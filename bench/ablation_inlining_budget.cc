@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation of the paper's §3.1 inlining budget: IMPACT inlines in
+ * priority order (weight / sqrt(size)) until touched code grows 1.6x,
+ * "an empirically determined value". Sweeps the growth budget and
+ * reports suite performance and code growth — the paper says inlining
+ * influences outcomes by up to 20%.
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+int
+main()
+{
+    printf("Ablation: inlining growth budget (paper default 1.6x)\n\n");
+
+    const double budgets[] = {1.0, 1.2, 1.6, 2.2, 3.0};
+    // Call-heavy subset where inlining matters most.
+    const char *names[] = {"186.crafty", "252.eon", "253.perlbmk",
+                           "255.vortex", "300.twolf"};
+
+    Table t({"budget", "geomean speedup vs 1.0x", "code growth x",
+             "inlined sites"});
+    std::vector<uint64_t> baseline;
+
+    for (double budget : budgets) {
+        RunOptions opts;
+        opts.tweak = [budget](CompileOptions &o) {
+            o.inline_opts.growth_budget = budget;
+        };
+        std::vector<double> speedups, growths;
+        int inlined = 0;
+        size_t idx = 0;
+        for (const char *n : names) {
+            const Workload *w = findWorkload(n);
+            ConfigRun r = runConfig(*w, Config::IlpCs, opts);
+            if (!r.ok)
+                continue;
+            if (budget == budgets[0])
+                baseline.push_back(r.pm.total());
+            speedups.push_back(static_cast<double>(baseline[idx]) /
+                               r.pm.total());
+            growths.push_back(
+                static_cast<double>(r.instrs_after_classical) /
+                std::max(1, r.instrs_source));
+            inlined += r.inl.inlined;
+            ++idx;
+        }
+        t.row().cell(budget, 1).cell(geomean(speedups), 3)
+            .cell(geomean(growths), 2)
+            .cell(static_cast<long long>(inlined));
+    }
+    t.print();
+    printf("\nExpected: large gains from 1.0x to ~1.6x, diminishing (or "
+           "negative, via I-cache\npressure) returns beyond — the "
+           "empirical basis for the paper's 1.6x.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation of interprocedural pointer analysis (paper §2.2/§3.1):
+ * IMPACT's modular interprocedural analysis provides the dependence
+ * arcs that make region scheduling effective; the paper disables it
+ * for eon/perlbmk and cites it as a "substantial effect on output code
+ * quality". Compares ILP-CS with full analysis vs none.
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+int
+main()
+{
+    printf("Ablation: interprocedural pointer analysis on/off "
+           "(ILP-CS)\n\n");
+
+    RunOptions noptr;
+    noptr.tweak = [](CompileOptions &o) {
+        o.enable_pointer_analysis = false;
+    };
+
+    Table t({"Benchmark", "with analysis", "without", "contribution"});
+    std::vector<double> speedups;
+    for (const Workload &w : allWorkloads()) {
+        ConfigRun with = runConfig(w, Config::IlpCs);
+        ConfigRun without = runConfig(w, Config::IlpCs, noptr);
+        if (!with.ok || !without.ok)
+            continue;
+        double sp =
+            static_cast<double>(without.pm.total()) / with.pm.total();
+        t.row().cell(w.name);
+        t.cell(static_cast<long long>(with.pm.total()));
+        t.cell(static_cast<long long>(without.pm.total()));
+        t.cell(sp, 3);
+        speedups.push_back(sp);
+    }
+    t.print();
+    printf("\nGeomean pointer-analysis contribution: %.3fx. eon and "
+           "perlbmk are unaffected\n(the paper disables analysis for "
+           "them in all configurations); gap stays limited\neither way "
+           "(its dependences are spurious but unresolvable — the "
+           "data-speculation\nopportunity of §2).\n",
+           geomean(speedups));
+    return 0;
+}

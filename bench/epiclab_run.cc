@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Command-line driver: run any workload under any configuration and
+ * print the full Perfmon report — the "pfmon" of this repository.
+ *
+ * Usage:
+ *   epiclab_run [--list]
+ *   epiclab_run <benchmark> [--config GCC|O-NS|ILP-NS|ILP-CS]
+ *               [--spec general|sentinel] [--profile-on-ref]
+ *               [--no-peel] [--no-pointer-analysis] [--conservative-hb]
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "driver/experiment.h"
+
+using namespace epic;
+
+namespace {
+
+void
+usage()
+{
+    printf("usage: epiclab_run <benchmark> [options]\n"
+           "       epiclab_run --list\n\n"
+           "options:\n"
+           "  --config <GCC|O-NS|ILP-NS|ILP-CS>   (default ILP-CS)\n"
+           "  --spec <general|sentinel>           OS speculation model\n"
+           "  --profile-on-ref                    train on the ref input\n"
+           "  --no-peel --no-pointer-analysis --conservative-hb\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    if (std::strcmp(argv[1], "--list") == 0) {
+        for (const Workload &w : allWorkloads())
+            printf("%-12s %s\n", w.name.c_str(), w.signature.c_str());
+        return 0;
+    }
+
+    std::string bench = argv[1];
+    Config cfg = Config::IlpCs;
+    RunOptions opts;
+    bool no_peel = false, no_ptr = false, cons_hb = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--config" && i + 1 < argc) {
+            std::string c = argv[++i];
+            if (c == "GCC")
+                cfg = Config::Gcc;
+            else if (c == "O-NS")
+                cfg = Config::ONS;
+            else if (c == "ILP-NS")
+                cfg = Config::IlpNs;
+            else if (c == "ILP-CS")
+                cfg = Config::IlpCs;
+            else {
+                usage();
+                return 1;
+            }
+        } else if (a == "--spec" && i + 1 < argc) {
+            std::string m = argv[++i];
+            opts.spec_model = m == "sentinel" ? SpecModel::Sentinel
+                                              : SpecModel::General;
+        } else if (a == "--profile-on-ref") {
+            opts.profile_input = InputKind::Ref;
+        } else if (a == "--no-peel") {
+            no_peel = true;
+        } else if (a == "--no-pointer-analysis") {
+            no_ptr = true;
+        } else if (a == "--conservative-hb") {
+            cons_hb = true;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    opts.tweak = [=](CompileOptions &o) {
+        if (no_peel)
+            o.enable_peel = false;
+        if (no_ptr)
+            o.enable_pointer_analysis = false;
+        if (cons_hb)
+            o.hb_opts.conservative = true;
+    };
+
+    const Workload *w = findWorkload(bench);
+    if (!w) {
+        for (const Workload &cand : allWorkloads())
+            if (cand.name.find(bench) != std::string::npos)
+                w = &cand;
+    }
+    if (!w) {
+        printf("unknown benchmark '%s' (try --list)\n", bench.c_str());
+        return 1;
+    }
+
+    ConfigRun r = runConfig(*w, cfg, opts);
+    if (!r.ok) {
+        printf("run failed: %s\n", r.error.c_str());
+        return 1;
+    }
+
+    printf("%s  [%s]\n", w->name.c_str(), configName(cfg));
+    printf("  checksum            %lld\n", (long long)r.checksum);
+    printf("  cycles              %llu\n",
+           (unsigned long long)r.pm.total());
+    printf("  useful IPC          %.2f (planned %.2f)\n",
+           r.pm.usefulIpc(), r.pm.plannedIpc());
+    printf("\ncycle accounting:\n");
+    for (int c = 0; c < Perfmon::kNumCats; ++c) {
+        if (!r.pm.cycles[c])
+            continue;
+        printf("  %-22s %10llu  %5.1f%%\n",
+               cycleCatName(static_cast<CycleCat>(c)),
+               (unsigned long long)r.pm.cycles[c],
+               100.0 * r.pm.cycles[c] / r.pm.total());
+    }
+    printf("\nevents:\n");
+    printf("  ops useful/squashed/nop  %llu / %llu / %llu\n",
+           (unsigned long long)r.pm.useful_ops,
+           (unsigned long long)r.pm.squashed_ops,
+           (unsigned long long)r.pm.nop_ops);
+    printf("  branches %llu (mispred %llu, rate %.4f)\n",
+           (unsigned long long)r.pm.branches,
+           (unsigned long long)r.pm.mispredictions,
+           r.pm.predictionRate());
+    printf("  L1D acc/miss  %llu / %llu    L1I acc/miss  %llu / %llu\n",
+           (unsigned long long)r.pm.l1d_accesses,
+           (unsigned long long)r.pm.l1d_misses,
+           (unsigned long long)r.pm.l1i_accesses,
+           (unsigned long long)r.pm.l1i_misses);
+    printf("  DTLB miss %llu   wild loads %llu   STLF conflicts %llu   "
+           "RSE regs %llu\n",
+           (unsigned long long)r.pm.dtlb_misses,
+           (unsigned long long)r.pm.wild_loads,
+           (unsigned long long)r.pm.stlf_conflicts,
+           (unsigned long long)(r.pm.rse_spill_regs +
+                                r.pm.rse_fill_regs));
+    printf("\ncompilation:\n");
+    printf("  instrs %d -> %d (classical) -> %d (regions) -> %d\n",
+           r.instrs_source, r.instrs_after_classical,
+           r.instrs_after_regions, r.instrs_final);
+    printf("  inlined %d  promoted icalls %d  superblocks %d  "
+           "hyperblocks %d  peeled %d\n",
+           r.inl.inlined, r.inl.promoted, r.sb.traces, r.hb.regions,
+           r.peel.peeled);
+    printf("  spec moved %d  promoted %d  spec loads %d  stacked regs "
+           "%d  spilled %d\n",
+           r.spec.moved, r.spec.promoted, r.spec.spec_loads,
+           r.ra.gr_used, r.ra.spilled);
+
+    printf("\nhottest functions:\n");
+    std::vector<std::pair<uint64_t, int>> hot;
+    for (auto &[fid, cyc] : r.pm.func_cycles)
+        hot.push_back({cyc, fid});
+    std::sort(hot.rbegin(), hot.rend());
+    for (size_t i = 0; i < hot.size() && i < 8; ++i) {
+        const Function *f = r.prog->func(hot[i].second);
+        printf("  %-24s %10llu  %5.1f%%%s\n",
+               f ? f->name.c_str() : "?",
+               (unsigned long long)hot[i].first,
+               100.0 * hot[i].first / r.pm.total(),
+               f && (f->attr & kFuncLibrary) ? "  [library]" : "");
+    }
+    return 0;
+}

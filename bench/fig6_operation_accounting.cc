@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: dynamic operation accounting — useful ops,
+ * predicate-squashed ops, explicit NOPs, kernel ops — normalized to the
+ * O-NS useful-op count, annotated with planned and achieved useful IPC
+ * (paper: 2.00/1.10 O-NS, 2.21/1.12 ILP-NS, 2.63/1.23 ILP-CS averages).
+ *
+ * Usage: fig6_operation_accounting [benchmark-name ...]
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> only;
+    for (int i = 1; i < argc; ++i)
+        only.push_back(argv[i]);
+
+    printf("Figure 6: operation accounting and IPC\n\n");
+
+    const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
+                                         Config::IlpCs};
+    std::map<Config, std::vector<double>> planned_ipcs, achieved_ipcs;
+
+    for (const Workload &w : allWorkloads()) {
+        if (!only.empty()) {
+            bool match = false;
+            for (const std::string &n : only)
+                if (w.name.find(n) != std::string::npos)
+                    match = true;
+            if (!match)
+                continue;
+        }
+        WorkloadRuns runs = runWorkload(w, configs);
+        double base = static_cast<double>(
+            runs.by_config.at(Config::ONS).pm.useful_ops);
+        if (base <= 0)
+            continue;
+
+        printf("%s%s\n", w.name.c_str(),
+               runs.all_match ? "" : "  [CHECKSUM MISMATCH]");
+        Table t({"config", "useful", "squashed", "nops", "kernel",
+                 "planned-IPC", "achieved-IPC"});
+        for (Config cfg : configs) {
+            const Perfmon &pm = runs.by_config.at(cfg).pm;
+            t.row().cell(configName(cfg));
+            t.cell(static_cast<double>(pm.useful_ops) / base, 3);
+            t.cell(static_cast<double>(pm.squashed_ops) / base, 3);
+            t.cell(static_cast<double>(pm.nop_ops) / base, 3);
+            t.cell(static_cast<double>(pm.kernel_ops) / base, 3);
+            t.cell(pm.plannedIpc(), 2);
+            t.cell(pm.usefulIpc(), 2);
+            planned_ipcs[cfg].push_back(pm.plannedIpc());
+            achieved_ipcs[cfg].push_back(pm.usefulIpc());
+        }
+        t.print();
+        printf("\n");
+    }
+
+    printf("Suite average IPC (paper: O-NS 2.00/1.10, ILP-NS 2.21/1.12, "
+           "ILP-CS 2.63/1.23):\n");
+    for (Config cfg : configs) {
+        printf("  %-7s planned %.2f  achieved %.2f\n", configName(cfg),
+               mean(planned_ipcs[cfg]), mean(achieved_ipcs[cfg]));
+    }
+    return 0;
+}

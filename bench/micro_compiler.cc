@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the compiler infrastructure
+ * itself: pass throughput on a representative workload program.
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/cfg.h"
+#include "analysis/dom.h"
+#include "analysis/liveness.h"
+#include "driver/compiler.h"
+#include "sim/interp.h"
+#include "workloads/workload.h"
+
+using namespace epic;
+
+namespace {
+
+/** Build + profile one source program (shared by the benchmarks). */
+const Program &
+profiledSource()
+{
+    static const std::unique_ptr<Program> prog = [] {
+        const Workload *w = findWorkload("186.crafty");
+        auto p = w->build();
+        p->layoutData();
+        Memory mem;
+        mem.initFromProgram(*p);
+        w->write_input(*p, mem, InputKind::Train);
+        profileRun(*p, mem);
+        return p;
+    }();
+    return *prog;
+}
+
+void
+BM_CompileIlpCs(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    for (auto _ : state) {
+        Compiled c = compileProgram(src, Config::IlpCs);
+        benchmark::DoNotOptimize(c.instrs_final);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            src.staticInstrCount());
+}
+BENCHMARK(BM_CompileIlpCs)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileONS(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    for (auto _ : state) {
+        Compiled c = compileProgram(src, Config::ONS);
+        benchmark::DoNotOptimize(c.instrs_final);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            src.staticInstrCount());
+}
+BENCHMARK(BM_CompileONS)->Unit(benchmark::kMillisecond);
+
+void
+BM_CfgAndDominators(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    const Function *biggest = nullptr;
+    for (const auto &f : src.funcs)
+        if (f && (!biggest ||
+                  f->staticInstrCount() > biggest->staticInstrCount()))
+            biggest = f.get();
+    for (auto _ : state) {
+        Cfg cfg(*biggest);
+        DomTree dom(cfg);
+        benchmark::DoNotOptimize(dom.idom(biggest->entry));
+    }
+}
+BENCHMARK(BM_CfgAndDominators);
+
+void
+BM_Liveness(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    const Function *biggest = nullptr;
+    for (const auto &f : src.funcs)
+        if (f && (!biggest ||
+                  f->staticInstrCount() > biggest->staticInstrCount()))
+            biggest = f.get();
+    for (auto _ : state) {
+        Cfg cfg(*biggest);
+        Liveness live(cfg);
+        benchmark::DoNotOptimize(live.liveIn(biggest->entry).size());
+    }
+}
+BENCHMARK(BM_Liveness);
+
+} // namespace
+
+BENCHMARK_MAIN();

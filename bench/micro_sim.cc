@@ -1,0 +1,64 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulation infrastructure:
+ * functional-interpretation rate and timing-simulation rate.
+ */
+#include <benchmark/benchmark.h>
+
+#include "driver/compiler.h"
+#include "sim/interp.h"
+#include "sim/timing.h"
+#include "workloads/workload.h"
+
+using namespace epic;
+
+namespace {
+
+void
+BM_FunctionalInterp(benchmark::State &state)
+{
+    const Workload *w = findWorkload("164.gzip");
+    auto prog = w->build();
+    prog->layoutData();
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w->write_input(*prog, mem, InputKind::Ref);
+        auto r = interpret(*prog, mem);
+        instrs = r.dyn_instrs;
+        benchmark::DoNotOptimize(r.ret_value);
+    }
+    state.SetItemsProcessed(state.iterations() * instrs);
+}
+BENCHMARK(BM_FunctionalInterp)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSim(benchmark::State &state)
+{
+    const Workload *w = findWorkload("164.gzip");
+    auto prog = w->build();
+    prog->layoutData();
+    {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w->write_input(*prog, mem, InputKind::Train);
+        profileRun(*prog, mem);
+    }
+    Compiled c = compileProgram(*prog, Config::IlpCs);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        Memory mem;
+        mem.initFromProgram(*c.prog);
+        w->write_input(*c.prog, mem, InputKind::Ref);
+        auto r = simulate(*c.prog, mem, {});
+        ops = r.pm.useful_ops;
+        benchmark::DoNotOptimize(r.ret_value);
+    }
+    state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_TimingSim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

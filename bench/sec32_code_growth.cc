@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces the paper's §3.2 static-code-growth accounting: tail
+ * duplication grows static code by ~21% and loop peeling adds ~2% more,
+ * while region formation removes ~27% of dynamic branches — the
+ * aggressiveness indicators of IMPACT's region formation.
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+int
+main()
+{
+    printf("Section 3.2: code growth from region formation\n\n");
+
+    Table t({"Benchmark", "base instrs", "tail-dup %", "peel %",
+             "unroll %", "total ILP growth %", "dyn branch red. %"});
+    std::vector<double> dup_pct, peel_pct, branch_red;
+
+    for (const Workload &w : allWorkloads()) {
+        WorkloadRuns runs =
+            runWorkload(w, {Config::ONS, Config::IlpNs});
+        const ConfigRun &ons = runs.by_config.at(Config::ONS);
+        const ConfigRun &ilp = runs.by_config.at(Config::IlpNs);
+        if (!ons.ok || !ilp.ok)
+            continue;
+        double base = std::max(1, ilp.instrs_after_classical);
+        double dup = 100.0 * ilp.sb.tail_dup_instrs / base;
+        double peel = 100.0 * ilp.peel.peel_instrs / base;
+        double unroll = 100.0 * ilp.peel.unroll_instrs / base;
+        double growth =
+            100.0 * (ilp.instrs_after_regions - ilp.instrs_after_classical) /
+            base;
+        double br = ons.pm.branches > 0
+                        ? 100.0 * (1.0 - static_cast<double>(
+                                             ilp.pm.branches) /
+                                             ons.pm.branches)
+                        : 0.0;
+        t.row().cell(w.name);
+        t.cell(static_cast<long long>(ilp.instrs_after_classical));
+        t.cell(dup, 1);
+        t.cell(peel, 1);
+        t.cell(unroll, 1);
+        t.cell(growth, 1);
+        t.cell(br, 1);
+        dup_pct.push_back(dup);
+        peel_pct.push_back(peel);
+        branch_red.push_back(br);
+    }
+    t.print();
+
+    printf("\nSuite averages: tail-dup +%.1f%% (paper: +21%%), "
+           "peel +%.1f%% (paper: +2%%),\n"
+           "dynamic branches removed %.1f%% (paper: 27%%)\n",
+           mean(dup_pct), mean(peel_pct), mean(branch_red));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces the paper's §4.1 instruction-cache case study: across the
+ * suite, specialization *improves* fetch efficiency (the paper reports
+ * L1I line fetches down ~10% and I-cache stall cycles down ~15% on
+ * average) — but in benchmarks whose replicated code is "lukewarm"
+ * (crafty, twolf), the copies compete for the 16 KB L1I and stall
+ * cycles *increase* (paper: +5% crafty, +35% twolf). Misses are
+ * attributed to the transformation that created the code via the
+ * provenance bits (tail duplication, peel/remainder), mirroring the
+ * paper's sample-based attribution (4.4% of crafty L1I misses from tail
+ * duplication, 2.4% from residual loops).
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+int
+main()
+{
+    printf("Section 4.1: code-expansion effects on the I-cache\n\n");
+
+    Table t({"Benchmark", "L1I acc ratio", "stall ratio",
+             "miss% taildup", "miss% peel/rem", "speedup"});
+    std::vector<double> acc_ratio, stall_ratio;
+
+    for (const Workload &w : allWorkloads()) {
+        WorkloadRuns runs =
+            runWorkload(w, {Config::ONS, Config::IlpCs});
+        const ConfigRun &ons = runs.by_config.at(Config::ONS);
+        const ConfigRun &cs = runs.by_config.at(Config::IlpCs);
+        if (!ons.ok || !cs.ok)
+            continue;
+
+        double ar = ons.pm.l1i_accesses
+                        ? static_cast<double>(cs.pm.l1i_accesses) /
+                              ons.pm.l1i_accesses
+                        : 1.0;
+        uint64_t bs = ons.pm.get(CycleCat::FrontEndBubble);
+        uint64_t csb = cs.pm.get(CycleCat::FrontEndBubble);
+        double sr = bs ? static_cast<double>(csb) / bs : 1.0;
+        double mt = cs.pm.l1i_misses
+                        ? 100.0 * cs.pm.l1i_miss_taildup /
+                              cs.pm.l1i_misses
+                        : 0.0;
+        double mp = cs.pm.l1i_misses
+                        ? 100.0 * cs.pm.l1i_miss_peel_remainder /
+                              cs.pm.l1i_misses
+                        : 0.0;
+        double sp = cs.pm.total()
+                        ? static_cast<double>(ons.pm.total()) /
+                              cs.pm.total()
+                        : 0.0;
+        t.row().cell(w.name).cell(ar, 3).cell(sr, 3).cell(mt, 1)
+            .cell(mp, 1).cell(sp, 3);
+        acc_ratio.push_back(ar);
+        if (bs > 100) // only meaningful when the baseline stalls at all
+            stall_ratio.push_back(sr);
+    }
+    t.print();
+
+    printf("\nSuite geomean: L1I accesses x%.3f (paper: ~0.90), "
+           "I-stall cycles x%.3f (paper: ~0.85\nwith crafty/twolf "
+           "above 1.0). Lukewarm replication shows up in the taildup/\n"
+           "peel-remainder miss attribution columns.\n",
+           geomean(acc_ratio),
+           stall_ratio.empty() ? 1.0 : geomean(stall_ratio));
+    return 0;
+}

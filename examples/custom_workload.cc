@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Defining a new benchmark and running it through the standard
+ * experiment harness: the same plumbing the SPECint2000 stand-ins use.
+ * A downstream user adds a Workload (build + write_input) and gets the
+ * full Table-1-style evaluation — four configurations, semantic
+ * validation against the source program, and the Perfmon breakdown —
+ * for free.
+ *
+ * The benchmark here: a histogram-equalization-flavoured kernel with a
+ * data-dependent branch and a low-trip correction loop.
+ */
+#include <cstdio>
+
+#include "driver/experiment.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+using namespace epic;
+
+namespace {
+
+constexpr int kPixels = 96 * 1024;
+
+std::unique_ptr<Program>
+buildHistogram()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int pixels = p.addSymbol("hx_pixels", kPixels);
+    int hist = p.addSymbol("hx_hist", 256 * 8);
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *bright = b.newBlock();
+    BasicBlock *merge = b.newBlock();
+    BasicBlock *fix = b.newBlock();
+    BasicBlock *after = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg pbase = b.mova(pixels);
+    Reg hbase = b.mova(hist);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg pa = b.add(pbase, i);
+    Reg px = b.ld(pa, 1, MemHint{pixels, -1});
+    Reg ha = b.add(hbase, b.shli(px, 3));
+    Reg cnt = b.ld(ha, 8, MemHint{hist, -1});
+    b.st(ha, b.addi(cnt, 1), 8, MemHint{hist, -1});
+    auto [pb, pd] = b.cmpi(CmpCond::GT, px, 200);
+    (void)pd;
+    b.br(pb, bright);
+    b.fallthrough(merge);
+
+    b.setBlock(bright);
+    b.addTo(acc, acc, px);
+    b.fallthrough(merge);
+
+    // Low-trip correction loop: runs while the bucket is "overfull".
+    Reg k = b.gr();
+    b.setBlock(merge);
+    b.moviTo(k, 0);
+    b.fallthrough(fix);
+    b.setBlock(fix);
+    Reg over = b.shri(cnt, 9); // 0 almost always, 1+ when hot bucket
+    b.addiTo(k, k, 1);
+    auto [pmore, pstop] = b.cmp(CmpCond::LT, k, over);
+    (void)pstop;
+    b.addTo(acc, acc, k);
+    b.br(pmore, fix);
+    b.fallthrough(after);
+
+    b.setBlock(after);
+    b.movTo(acc, b.andi(acc, 0xffffffffll));
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kPixels);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writePixels(const Program &p, Memory &mem, InputKind kind)
+{
+    int pixels = 0;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "hx_pixels")
+            pixels = s.id;
+    Rng rng(kind == InputKind::Train ? 11 : 23);
+    uint64_t base = p.symbolAddr(pixels);
+    for (int i = 0; i < kPixels; ++i) {
+        uint8_t v = static_cast<uint8_t>(
+            rng.chance(1, 5) ? 200 + rng.nextBelow(56)
+                             : rng.nextBelow(200));
+        mem.writeBytes(base + i, &v, 1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    Workload w;
+    w.name = "histeq";
+    w.signature = "histogram kernel (user-defined workload demo)";
+    w.ref_time = 1000;
+    w.build = buildHistogram;
+    w.write_input = writePixels;
+
+    printf("Custom workload '%s' through the standard harness:\n\n",
+           w.name.c_str());
+    WorkloadRuns runs = runWorkload(w, standardConfigs());
+    printf("source checksum: %lld; all configurations match: %s\n\n",
+           (long long)runs.source_checksum,
+           runs.all_match ? "yes" : "NO");
+
+    Table t({"config", "cycles", "useful IPC", "branches",
+             "L1D misses"});
+    for (Config cfg : standardConfigs()) {
+        const ConfigRun &r = runs.by_config.at(cfg);
+        if (!r.ok)
+            continue;
+        t.row().cell(configName(cfg));
+        t.cell(static_cast<long long>(r.pm.total()));
+        t.cell(r.pm.usefulIpc(), 2);
+        t.cell(static_cast<long long>(r.pm.branches));
+        t.cell(static_cast<long long>(r.pm.l1d_misses));
+    }
+    t.print();
+    return runs.all_match ? 0 : 1;
+}

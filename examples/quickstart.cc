@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Quickstart: build a small program with the IR builder, compile it
+ * under two configurations (classical O-NS and structural ILP-CS),
+ * simulate both on the Itanium-2-class machine model, and print the
+ * cycle accounting — the end-to-end flow every experiment uses.
+ *
+ * The program: a hot loop with a biased branch and a dependent lookup,
+ * the minimal shape that benefits from if-conversion + speculation.
+ */
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/timing.h"
+
+using namespace epic;
+
+namespace {
+
+Program
+buildDemo()
+{
+    Program p;
+    int table = p.addSymbol("table", 8 * 4096);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *hit = b.newBlock();
+    BasicBlock *merge = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg base = b.mova(table);
+    // Seed the table so the loop has data.
+    BasicBlock *fill = b.newBlock();
+    b.jump(fill);
+    b.setBlock(fill);
+    Reg fa = b.add(base, b.shli(i, 3));
+    b.st(fa, b.xori(b.shli(i, 2), 5), 8, MemHint{table, -1});
+    b.addiTo(i, i, 1);
+    auto [pfl, pfge] = b.cmpi(CmpCond::LT, i, 4096);
+    (void)pfge;
+    b.br(pfl, fill);
+    BasicBlock *reset = b.newBlock();
+    b.fallthrough(reset);
+    b.setBlock(reset);
+    b.moviTo(i, 0);
+    b.fallthrough(loop);
+
+    // for (i) { v = table[i & 4095]; if (v & 4) acc += table[v & 4095]; }
+    b.setBlock(loop);
+    Reg ea = b.add(base, b.shli(b.andi(i, 4095), 3));
+    Reg v = b.ld(ea, 8, MemHint{table, -1});
+    Reg bit = b.andi(v, 4);
+    auto [phit, pmiss] = b.cmpi(CmpCond::NE, bit, 0);
+    (void)pmiss;
+    b.br(phit, hit);
+    b.fallthrough(merge);
+
+    b.setBlock(hit);
+    Reg idx = b.andi(v, 4095);
+    Reg ia = b.add(base, b.shli(idx, 3));
+    Reg w = b.ld(ia, 8, MemHint{table, -1});
+    b.addTo(acc, acc, w);
+    b.fallthrough(merge);
+
+    b.setBlock(merge);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, 50000);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(b.andi(acc, 0xffffffffll));
+    p.entry_func = f->id;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    Program src = buildDemo();
+    src.layoutData();
+
+    // 1. Profile on a training run (annotates block/branch weights).
+    {
+        Memory mem;
+        mem.initFromProgram(src);
+        auto prof = profileRun(src, mem);
+        printf("profile run: %s, %llu dynamic instructions\n",
+               prof.ok ? "ok" : prof.error.c_str(),
+               (unsigned long long)prof.dyn_instrs);
+    }
+
+    // 2. Compile under two configurations and simulate each.
+    for (Config cfg : {Config::ONS, Config::IlpCs}) {
+        Compiled c = compileProgram(src, cfg);
+        Memory mem;
+        mem.initFromProgram(*c.prog);
+        auto r = simulate(*c.prog, mem, {});
+        if (!r.ok) {
+            printf("%s: simulation failed: %s\n", configName(cfg),
+                   r.error.c_str());
+            return 1;
+        }
+        printf("\n%s: checksum %lld, %llu cycles, useful IPC %.2f "
+               "(planned %.2f)\n",
+               configName(cfg), (long long)r.ret_value,
+               (unsigned long long)r.pm.total(), r.pm.usefulIpc(),
+               r.pm.plannedIpc());
+        for (int cat = 0; cat < Perfmon::kNumCats; ++cat) {
+            if (r.pm.cycles[cat] == 0)
+                continue;
+            printf("  %-22s %8llu (%.1f%%)\n",
+                   cycleCatName(static_cast<CycleCat>(cat)),
+                   (unsigned long long)r.pm.cycles[cat],
+                   100.0 * r.pm.cycles[cat] / r.pm.total());
+        }
+        printf("  branches removed by regions: superblocks=%d "
+               "hyperblocks=%d, speculated loads=%d\n",
+               c.sb.branches_removed, c.hb.branches_removed,
+               c.spec.spec_loads);
+    }
+    return 0;
+}

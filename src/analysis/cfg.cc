@@ -1,0 +1,108 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace epic {
+
+Cfg::Cfg(const Function &f) : f_(&f)
+{
+    int n = static_cast<int>(f.blocks.size());
+    succs_.resize(n);
+    preds_.resize(n);
+    out_edges_.resize(n);
+    reach_.assign(n, false);
+
+    for (int bid = 0; bid < n; ++bid) {
+        const BasicBlock *b = f.block(bid);
+        if (!b)
+            continue;
+
+        // Walk instructions; accumulate side-exit weights so the
+        // fall-through residue is correct.
+        double remaining = b->weight;
+        bool ended = false;
+        for (size_t i = 0; i < b->instrs.size(); ++i) {
+            const Instruction &inst = b->instrs[i];
+            bool is_transfer = (inst.op == Opcode::BR ||
+                                inst.op == Opcode::CHK_S) &&
+                               inst.target >= 0;
+            if (!is_transfer)
+                continue;
+            CfgEdge e;
+            e.from = bid;
+            e.to = inst.target;
+            e.branch_idx = static_cast<int>(i);
+            e.weight = std::min(inst.prof_taken, remaining);
+            remaining -= e.weight;
+            out_edges_[bid].push_back(e);
+            if (inst.op == Opcode::BR && !inst.hasGuard()) {
+                ended = true;
+                break; // unconditional: nothing after executes
+            }
+        }
+        if (!ended && b->fallthrough >= 0) {
+            CfgEdge e;
+            e.from = bid;
+            e.to = b->fallthrough;
+            e.is_fallthrough = true;
+            e.weight = std::max(remaining, 0.0);
+            out_edges_[bid].push_back(e);
+        }
+
+        for (const CfgEdge &e : out_edges_[bid]) {
+            if (std::find(succs_[bid].begin(), succs_[bid].end(), e.to) ==
+                succs_[bid].end()) {
+                succs_[bid].push_back(e.to);
+            }
+        }
+    }
+
+    for (int bid = 0; bid < n; ++bid)
+        for (int s : succs_[bid])
+            if (s >= 0 && s < n)
+                preds_[s].push_back(bid);
+
+    // Reverse post-order via iterative DFS.
+    std::vector<int> post;
+    std::vector<int> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    if (f.block(f.entry)) {
+        std::vector<std::pair<int, size_t>> stack;
+        stack.push_back({f.entry, 0});
+        state[f.entry] = 1;
+        reach_[f.entry] = true;
+        while (!stack.empty()) {
+            auto &[bid, idx] = stack.back();
+            if (idx < succs_[bid].size()) {
+                int s = succs_[bid][idx++];
+                if (s >= 0 && s < n && f.block(s) && state[s] == 0) {
+                    state[s] = 1;
+                    reach_[s] = true;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                state[bid] = 2;
+                post.push_back(bid);
+                stack.pop_back();
+            }
+        }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+}
+
+int
+pruneUnreachableBlocks(Function &f)
+{
+    Cfg cfg(f);
+    int removed = 0;
+    for (int bid = 0; bid < static_cast<int>(f.blocks.size()); ++bid) {
+        if (f.block(bid) && !cfg.reachable(bid)) {
+            f.eraseBlock(bid);
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace epic

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Control-flow graph view of a function.
+ *
+ * The CFG is computed on demand from the block structure (branch targets
+ * plus fall-through edges) and carries profile-derived edge weights: a
+ * block's side-exit branches carry their recorded taken counts, and the
+ * fall-through edge receives the residue of the block weight. Because a
+ * taken side exit skips the rest of the block, the residue is computed
+ * sequentially.
+ */
+#ifndef EPIC_ANALYSIS_CFG_H
+#define EPIC_ANALYSIS_CFG_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace epic {
+
+/** One CFG edge. */
+struct CfgEdge
+{
+    int from = -1;
+    int to = -1;
+    double weight = 0.0;
+    bool is_fallthrough = false;
+    int branch_idx = -1; ///< instruction index of the branch (-1 for FT)
+};
+
+/** Immutable CFG snapshot of a function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &f);
+
+    const Function &function() const { return *f_; }
+
+    const std::vector<int> &succs(int bid) const { return succs_[bid]; }
+    const std::vector<int> &preds(int bid) const { return preds_[bid]; }
+    const std::vector<CfgEdge> &outEdges(int bid) const
+    {
+        return out_edges_[bid];
+    }
+
+    /** Reverse post-order over reachable blocks (entry first). */
+    const std::vector<int> &rpo() const { return rpo_; }
+
+    /** True if the block id is live and reachable from entry. */
+    bool reachable(int bid) const
+    {
+        return bid >= 0 && bid < static_cast<int>(reach_.size()) &&
+               reach_[bid];
+    }
+
+    int maxBlockId() const { return static_cast<int>(succs_.size()); }
+
+  private:
+    const Function *f_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<CfgEdge>> out_edges_;
+    std::vector<int> rpo_;
+    std::vector<bool> reach_;
+};
+
+/**
+ * Remove blocks unreachable from the entry (they arise naturally from
+ * region formation). Returns the number removed.
+ */
+int pruneUnreachableBlocks(Function &f);
+
+} // namespace epic
+
+#endif // EPIC_ANALYSIS_CFG_H

@@ -1,0 +1,66 @@
+#include "analysis/dom.h"
+
+namespace epic {
+
+DomTree::DomTree(const Cfg &cfg)
+{
+    const auto &rpo = cfg.rpo();
+    int n = cfg.maxBlockId();
+    idom_.assign(n, -1);
+    rpo_index_.assign(n, -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpo_index_[rpo[i]] = static_cast<int>(i);
+
+    if (rpo.empty())
+        return;
+    int entry = rpo[0];
+    idom_[entry] = entry;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index_[a] > rpo_index_[b])
+                a = idom_[a];
+            while (rpo_index_[b] > rpo_index_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < rpo.size(); ++i) {
+            int b = rpo[i];
+            int new_idom = -1;
+            for (int p : cfg.preds(b)) {
+                if (!cfg.reachable(p) || idom_[p] < 0)
+                    continue;
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Normalize: entry's idom reported as -1.
+    idom_[entry] = -1;
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    if (b < 0 || b >= static_cast<int>(idom_.size()))
+        return false;
+    int x = idom_[b];
+    while (x >= 0) {
+        if (x == a)
+            return true;
+        x = idom_[x];
+    }
+    return false;
+}
+
+} // namespace epic

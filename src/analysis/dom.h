@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) over a Cfg.
+ */
+#ifndef EPIC_ANALYSIS_DOM_H
+#define EPIC_ANALYSIS_DOM_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace epic {
+
+/** Dominator information for a function. */
+class DomTree
+{
+  public:
+    explicit DomTree(const Cfg &cfg);
+
+    /** Immediate dominator of a block (-1 for entry / unreachable). */
+    int idom(int bid) const
+    {
+        return bid >= 0 && bid < static_cast<int>(idom_.size())
+                   ? idom_[bid]
+                   : -1;
+    }
+
+    /** True if a dominates b (reflexive). */
+    bool dominates(int a, int b) const;
+
+  private:
+    std::vector<int> idom_;
+    std::vector<int> rpo_index_;
+};
+
+} // namespace epic
+
+#endif // EPIC_ANALYSIS_DOM_H

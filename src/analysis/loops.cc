@@ -1,0 +1,97 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace epic {
+
+LoopForest::LoopForest(const Cfg &cfg, const DomTree &dom)
+{
+    // Find back edges: succ dominates pred.
+    std::map<int, Loop> by_header;
+    for (int b : cfg.rpo()) {
+        for (int s : cfg.succs(b)) {
+            if (!cfg.reachable(s))
+                continue;
+            if (dom.dominates(s, b)) {
+                Loop &l = by_header[s];
+                l.header = s;
+                l.latches.push_back(b);
+            }
+        }
+    }
+
+    // Grow each loop body backwards from its latches.
+    for (auto &[header, loop] : by_header) {
+        loop.blocks.insert(header);
+        std::vector<int> work(loop.latches.begin(), loop.latches.end());
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            if (loop.blocks.count(b))
+                continue;
+            loop.blocks.insert(b);
+            for (int p : cfg.preds(b))
+                if (cfg.reachable(p))
+                    work.push_back(p);
+        }
+        // Exits and profile.
+        for (int b : loop.blocks) {
+            for (int s : cfg.succs(b))
+                if (!loop.blocks.count(s))
+                    loop.exits.push_back({b, s});
+        }
+        const Function &f = cfg.function();
+        loop.header_weight =
+            f.block(header) ? f.block(header)->weight : 0.0;
+        // Entries = header weight minus back-edge weight.
+        double back_weight = 0.0;
+        for (int latch : loop.latches)
+            for (const CfgEdge &e : cfg.outEdges(latch))
+                if (e.to == header)
+                    back_weight += e.weight;
+        double entries = loop.header_weight - back_weight;
+        loop.avg_trip =
+            entries > 0.5 ? loop.header_weight / entries : 0.0;
+        loops_.push_back(loop);
+    }
+
+    // Establish nesting: loop A is the parent of B if A's body strictly
+    // contains B's and no smaller loop does.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        int best = -1;
+        size_t best_size = SIZE_MAX;
+        for (size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j)
+                continue;
+            if (loops_[j].blocks.size() <= loops_[i].blocks.size())
+                continue;
+            if (std::includes(loops_[j].blocks.begin(),
+                              loops_[j].blocks.end(),
+                              loops_[i].blocks.begin(),
+                              loops_[i].blocks.end()) &&
+                loops_[j].blocks.size() < best_size) {
+                best = static_cast<int>(j);
+                best_size = loops_[j].blocks.size();
+            }
+        }
+        loops_[i].parent = best;
+    }
+}
+
+int
+LoopForest::innermostLoopOf(int bid) const
+{
+    int best = -1;
+    size_t best_size = SIZE_MAX;
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        if (loops_[i].blocks.count(bid) &&
+            loops_[i].blocks.size() < best_size) {
+            best = static_cast<int>(i);
+            best_size = loops_[i].blocks.size();
+        }
+    }
+    return best;
+}
+
+} // namespace epic

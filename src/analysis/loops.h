@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Natural-loop detection from back edges (dominator based).
+ *
+ * Used by loop peeling, unrolling, LICM and the modulo scheduler. Each
+ * loop records its header, body blocks, back-edge sources ("latches"),
+ * exit edges, and a profile-derived average trip count — the quantity the
+ * peeling heuristic keys on (the paper peels loops that "typically execute
+ * exactly once").
+ */
+#ifndef EPIC_ANALYSIS_LOOPS_H
+#define EPIC_ANALYSIS_LOOPS_H
+
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dom.h"
+
+namespace epic {
+
+/** One natural loop. */
+struct Loop
+{
+    int header = -1;
+    std::set<int> blocks;       ///< body including header
+    std::vector<int> latches;   ///< back-edge sources
+    /// Edges leaving the loop: (from-block, to-block).
+    std::vector<std::pair<int, int>> exits;
+    /// Profile: average iterations per entry (0 when no profile).
+    double avg_trip = 0.0;
+    /// Profile: times the header executed.
+    double header_weight = 0.0;
+    /// Loop nesting parent index in the enclosing LoopForest (-1: top).
+    int parent = -1;
+};
+
+/** All natural loops of a function (irreducible regions are skipped). */
+class LoopForest
+{
+  public:
+    LoopForest(const Cfg &cfg, const DomTree &dom);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing a block (-1 if none). */
+    int innermostLoopOf(int bid) const;
+
+  private:
+    std::vector<Loop> loops_;
+};
+
+} // namespace epic
+
+#endif // EPIC_ANALYSIS_LOOPS_H

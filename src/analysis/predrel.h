@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Local predicate-relation analysis (a lightweight stand-in for IMPACT's
+ * BDD-based predicate analysis, reference [27] of the paper).
+ *
+ * Tracks, within one block, which predicate pairs are *disjoint* (never
+ * simultaneously true). The scheduler uses disjointness to drop
+ * output/anti dependences between instructions guarded by complementary
+ * predicates and to allow memory operations on mutually exclusive paths
+ * of a hyperblock to be reordered — the property that makes if-converted
+ * regions schedule well.
+ *
+ * Soundness: a (p_t, p_f) pair from a compare is recorded as disjoint
+ * only when the compare is unconditional or unc-type (an unc compare
+ * clears both destinations when its guard is false, so the pair can
+ * never be simultaneously true); the relation is killed at any other
+ * write to either predicate.
+ */
+#ifndef EPIC_ANALYSIS_PREDREL_H
+#define EPIC_ANALYSIS_PREDREL_H
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ir/basic_block.h"
+
+namespace epic {
+
+/** Disjointness facts for one block, position-sensitive. */
+class PredRelations
+{
+  public:
+    explicit PredRelations(const BasicBlock &b);
+
+    /**
+     * Are predicates p and q disjoint at instruction position `pos`
+     * (i.e., valid for instructions at indices >= pos)?
+     */
+    bool disjointAt(int pos, Reg p, Reg q) const;
+
+  private:
+    struct Fact
+    {
+        Reg a, b;
+        int from; ///< first position where the fact holds
+        int to;   ///< last position (inclusive)
+    };
+    std::vector<Fact> facts_;
+};
+
+} // namespace epic
+
+#endif // EPIC_ANALYSIS_PREDREL_H

@@ -1,0 +1,140 @@
+#include "driver/compiler.h"
+
+#include "analysis/cfg.h"
+#include "ir/verifier.h"
+#include "support/logging.h"
+
+namespace epic {
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Gcc: return "GCC";
+      case Config::ONS: return "O-NS";
+      case Config::IlpNs: return "ILP-NS";
+      case Config::IlpCs: return "ILP-CS";
+    }
+    return "?";
+}
+
+CompileOptions
+CompileOptions::forConfig(Config c)
+{
+    CompileOptions o;
+    o.config = c;
+    switch (c) {
+      case Config::Gcc:
+        o.enable_inline = false;
+        o.enable_pointer_analysis = false;
+        o.mach = MachineConfig::gccStyle();
+        o.layout_opts.use_profile = false; // GCC 3.2: no profile feedback
+        break;
+      case Config::ONS:
+      case Config::IlpNs:
+      case Config::IlpCs:
+        break;
+    }
+    return o;
+}
+
+namespace {
+
+/** Schedule one program: library functions always get the GCC machine. */
+SchedStats
+scheduleWithLibraryRule(Program &prog, const AliasAnalysis &aa,
+                        const MachineConfig &mach)
+{
+    MachineConfig gcc_mach = MachineConfig::gccStyle();
+    SchedStats total;
+    for (auto &fp : prog.funcs) {
+        if (!fp)
+            continue;
+        const MachineConfig &m =
+            (fp->attr & kFuncLibrary) ? gcc_mach : mach;
+        total += scheduleFunction(*fp, aa, m);
+    }
+    return total;
+}
+
+} // namespace
+
+Compiled
+compileProgram(const Program &source, const CompileOptions &opts)
+{
+    Compiled out;
+    out.config = opts.config;
+    out.prog = source.clone();
+    Program &prog = *out.prog;
+    out.instrs_source = prog.staticInstrCount();
+
+    const bool ilp = opts.config == Config::IlpNs ||
+                     opts.config == Config::IlpCs;
+    const AliasLevel alias_level =
+        opts.enable_pointer_analysis && opts.config != Config::Gcc
+            ? AliasLevel::Inter
+            : AliasLevel::None;
+
+    // ---- High-level phase: inlining (profile-guided) ----
+    if (opts.enable_inline && opts.config != Config::Gcc)
+        out.inl = inlineProgram(prog, opts.inline_opts);
+    out.instrs_after_inline = prog.staticInstrCount();
+
+    // ---- Interprocedural analysis + classical optimization ----
+    {
+        AliasAnalysis aa(prog, alias_level);
+        out.classical = classicalOptimize(prog, aa);
+    }
+    out.instrs_after_classical = prog.staticInstrCount();
+    verifyOrDie(prog, "classical");
+
+    // ---- Structural ILP transformations ----
+    // Hyperblocks first (if-conversion of compatible paths), then
+    // superblock merging of the straightened traces, then peeling, then
+    // a second round to merge the peeled iterations with their
+    // surroundings (the Figure 3(c) peel-and-merge effect).
+    if (ilp) {
+        out.hb += formHyperblocksProgram(prog, opts.hb_opts);
+        out.sb += formSuperblocksProgram(prog, opts.sb_opts);
+        if (opts.enable_peel) {
+            PeelOptions peel = opts.peel_opts;
+            peel.enable_unroll = opts.enable_unroll;
+            out.peel = peelLoopsProgram(prog, peel);
+        }
+        out.hb += formHyperblocksProgram(prog, opts.hb_opts);
+        out.sb += formSuperblocksProgram(prog, opts.sb_opts);
+        verifyOrDie(prog, "region formation");
+
+        // Region formation exposes new classical opportunities.
+        AliasAnalysis aa(prog, alias_level);
+        out.classical += classicalOptimize(prog, aa, 2);
+        verifyOrDie(prog, "post-region classical");
+    }
+    out.instrs_after_regions = prog.staticInstrCount();
+
+    // ---- Control speculation (ILP-CS only) ----
+    if (opts.config == Config::IlpCs) {
+        out.spec = speculateProgram(prog, opts.spec_opts);
+        verifyOrDie(prog, "speculation");
+    }
+
+    // ---- Low-level: registers, schedule, layout ----
+    out.ra = allocateProgram(prog);
+    {
+        AliasAnalysis aa(prog, alias_level);
+        out.sched = scheduleWithLibraryRule(prog, aa, opts.mach);
+    }
+    out.layout = layoutProgram(prog, opts.layout_opts);
+    out.instrs_final = prog.staticInstrCount();
+    verifyOrDie(prog, "scheduling");
+
+    return out;
+}
+
+Compiled
+compileProgram(const Program &source, Config config)
+{
+    return compileProgram(source, CompileOptions::forConfig(config));
+}
+
+} // namespace epic

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Compilation driver: the paper's four code-generation configurations.
+ *
+ *  - Gcc:    classical optimization only, no inlining, no interprocedural
+ *            pointer analysis, one-bundle issue groups (GCC 3.2 -O3
+ *            behaviour on IA-64 as characterized in §2.1).
+ *  - ONS:    "O-NS" — IMPACT classical optimization + profile-guided
+ *            inlining + interprocedural analysis; no predication, no
+ *            speculation (the paper's baseline).
+ *  - IlpNs:  adds the structural ILP transforms: superblock formation
+ *            with tail duplication, hyperblock if-conversion, loop
+ *            peeling/unrolling — but no control speculation.
+ *  - IlpCs:  adds control speculation and predicate promotion.
+ *
+ * Functions marked kFuncLibrary always get the Gcc treatment (the
+ * paper's gcc-compiled system libraries in Figure 10).
+ */
+#ifndef EPIC_DRIVER_COMPILER_H
+#define EPIC_DRIVER_COMPILER_H
+
+#include <memory>
+
+#include "ilp/hyperblock.h"
+#include "ilp/layout.h"
+#include "ilp/peel.h"
+#include "ilp/speculate.h"
+#include "ilp/superblock.h"
+#include "mach/machine.h"
+#include "opt/classical.h"
+#include "opt/inline.h"
+#include "sched/listsched.h"
+#include "sched/regalloc.h"
+
+namespace epic {
+
+/** Code-generation configuration (paper Table 1 key). */
+enum class Config { Gcc, ONS, IlpNs, IlpCs };
+
+/** Printable configuration name. */
+const char *configName(Config c);
+
+/** All knobs, pre-populated per Config but overridable for ablations. */
+struct CompileOptions
+{
+    Config config = Config::IlpCs;
+    MachineConfig mach;
+
+    InlineOptions inline_opts;
+    SuperblockOptions sb_opts;
+    HyperblockOptions hb_opts;
+    PeelOptions peel_opts;
+    SpecOptions spec_opts;
+    LayoutOptions layout_opts;
+
+    bool enable_inline = true;     ///< per-config default applied
+    bool enable_pointer_analysis = true;
+    bool enable_peel = true;
+    bool enable_unroll = true;
+
+    /** Defaults for a configuration. */
+    static CompileOptions forConfig(Config c);
+};
+
+/** Everything produced by a compilation. */
+struct Compiled
+{
+    std::unique_ptr<Program> prog;
+    Config config;
+
+    // Phase statistics (for the §3.2 code-growth experiments etc.).
+    InlineStats inl;
+    OptStats classical;
+    SuperblockStats sb;
+    HyperblockStats hb;
+    PeelStats peel;
+    SpecStats spec;
+    RegAllocStats ra;
+    SchedStats sched;
+    LayoutStats layout;
+
+    int instrs_source = 0;      ///< before anything
+    int instrs_after_inline = 0;
+    int instrs_after_classical = 0;
+    int instrs_after_regions = 0;
+    int instrs_final = 0;
+};
+
+/**
+ * Compile a profiled source program under a configuration. The source
+ * is cloned; profile annotations travel with the clone.
+ */
+Compiled compileProgram(const Program &source, const CompileOptions &opts);
+
+/** Convenience: compile with per-config defaults. */
+Compiled compileProgram(const Program &source, Config config);
+
+} // namespace epic
+
+#endif // EPIC_DRIVER_COMPILER_H

@@ -1,0 +1,136 @@
+#include "driver/experiment.h"
+
+#include "support/logging.h"
+
+namespace epic {
+
+const std::vector<Config> &
+standardConfigs()
+{
+    static const std::vector<Config> kConfigs = {
+        Config::Gcc, Config::ONS, Config::IlpNs, Config::IlpCs};
+    return kConfigs;
+}
+
+namespace {
+
+/** Build + profile a fresh source program for a workload. */
+std::unique_ptr<Program>
+buildProfiled(const Workload &w, const RunOptions &opts,
+              std::string *error)
+{
+    auto prog = w.build();
+    prog->layoutData();
+    Memory mem;
+    mem.initFromProgram(*prog);
+    w.write_input(*prog, mem, opts.profile_input);
+    auto prof = profileRun(*prog, mem);
+    if (!prof.ok) {
+        *error = "profile run failed: " + prof.error;
+        return nullptr;
+    }
+    return prog;
+}
+
+} // namespace
+
+ConfigRun
+runConfig(const Workload &w, Config cfg, const RunOptions &opts)
+{
+    ConfigRun out;
+    out.config = cfg;
+
+    std::string err;
+    auto src = buildProfiled(w, opts, &err);
+    if (!src) {
+        out.error = err;
+        return out;
+    }
+
+    CompileOptions copts = CompileOptions::forConfig(cfg);
+    if (opts.tweak)
+        opts.tweak(copts);
+    Compiled c = compileProgram(*src, copts);
+
+    out.inl = c.inl;
+    out.sb = c.sb;
+    out.hb = c.hb;
+    out.peel = c.peel;
+    out.spec = c.spec;
+    out.ra = c.ra;
+    out.sched = c.sched;
+    out.instrs_source = c.instrs_source;
+    out.instrs_after_classical = c.instrs_after_classical;
+    out.instrs_after_regions = c.instrs_after_regions;
+    out.instrs_final = c.instrs_final;
+
+    Memory mem;
+    mem.initFromProgram(*c.prog);
+    w.write_input(*c.prog, mem, opts.run_input);
+    TimingOptions topts;
+    topts.spec_model = opts.spec_model;
+    auto r = simulate(*c.prog, mem, topts);
+    if (!r.ok) {
+        out.error = std::string(configName(cfg)) +
+                    " simulation failed: " + r.error;
+        return out;
+    }
+    out.ok = true;
+    out.checksum = r.ret_value;
+    out.pm = std::move(r.pm);
+    out.prog = std::shared_ptr<Program>(std::move(c.prog));
+    return out;
+}
+
+std::vector<WorkloadRuns>
+runSuite(const std::vector<Config> &configs, const RunOptions &opts,
+         const std::function<void(const WorkloadRuns &)> &progress)
+{
+    std::vector<WorkloadRuns> out;
+    for (const Workload &w : allWorkloads()) {
+        out.push_back(runWorkload(w, configs, opts));
+        if (progress)
+            progress(out.back());
+    }
+    return out;
+}
+
+WorkloadRuns
+runWorkload(const Workload &w, const std::vector<Config> &configs,
+            const RunOptions &opts)
+{
+    WorkloadRuns out;
+    out.name = w.name;
+
+    // Source truth: functional run of the unoptimized program on the
+    // measurement input.
+    {
+        auto prog = w.build();
+        prog->layoutData();
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w.write_input(*prog, mem, opts.run_input);
+        auto r = interpret(*prog, mem);
+        if (!r.ok)
+            epic_fatal(w.name, ": source program failed: ", r.error);
+        out.source_checksum = r.ret_value;
+    }
+
+    out.all_match = true;
+    for (Config cfg : configs) {
+        ConfigRun r = runConfig(w, cfg, opts);
+        if (!r.ok) {
+            epic_warn(w.name, " [", configName(cfg), "]: ", r.error);
+            out.all_match = false;
+        } else if (r.checksum != out.source_checksum) {
+            epic_warn(w.name, " [", configName(cfg),
+                      "]: checksum mismatch (", r.checksum, " vs ",
+                      out.source_checksum, ")");
+            out.all_match = false;
+        }
+        out.by_config.emplace(cfg, std::move(r));
+    }
+    return out;
+}
+
+} // namespace epic

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment harness shared by every table/figure reproduction binary:
+ * build a workload, profile it on the train input, compile it under one
+ * or more configurations, simulate on the ref input, and validate that
+ * every configuration computes the same architected checksum as the
+ * source program.
+ */
+#ifndef EPIC_DRIVER_EXPERIMENT_H
+#define EPIC_DRIVER_EXPERIMENT_H
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "driver/compiler.h"
+#include "sim/interp.h"
+#include "sim/timing.h"
+#include "workloads/workload.h"
+
+namespace epic {
+
+/** Options for a workload run. */
+struct RunOptions
+{
+    SpecModel spec_model = SpecModel::General;
+    InputKind profile_input = InputKind::Train;
+    InputKind run_input = InputKind::Ref;
+    /// Hook to tweak compile options per configuration (ablations).
+    std::function<void(CompileOptions &)> tweak;
+};
+
+/** One configuration's full outcome. */
+struct ConfigRun
+{
+    Config config = Config::ONS;
+    bool ok = false;
+    std::string error;
+    int64_t checksum = 0;
+    Perfmon pm;
+
+    // Compilation statistics.
+    InlineStats inl;
+    SuperblockStats sb;
+    HyperblockStats hb;
+    PeelStats peel;
+    SpecStats spec;
+    RegAllocStats ra;
+    SchedStats sched;
+    int instrs_source = 0;
+    int instrs_after_classical = 0;
+    int instrs_after_regions = 0;
+    int instrs_final = 0;
+
+    /// The compiled program (kept for function-level attribution).
+    std::shared_ptr<Program> prog;
+};
+
+/** Outcome across configurations, plus the source-truth checksum. */
+struct WorkloadRuns
+{
+    std::string name;
+    int64_t source_checksum = 0;
+    bool all_match = false; ///< every config reproduced the checksum
+    std::map<Config, ConfigRun> by_config;
+};
+
+/** Run one workload under one configuration. */
+ConfigRun runConfig(const Workload &w, Config cfg,
+                    const RunOptions &opts = {});
+
+/** Run one workload under a set of configurations (with validation). */
+WorkloadRuns runWorkload(const Workload &w,
+                         const std::vector<Config> &configs,
+                         const RunOptions &opts = {});
+
+/** The standard four configurations in Table 1 order. */
+const std::vector<Config> &standardConfigs();
+
+/**
+ * Run the whole suite under the given configurations; `progress`
+ * (optional) is invoked per workload for console feedback.
+ */
+std::vector<WorkloadRuns>
+runSuite(const std::vector<Config> &configs, const RunOptions &opts = {},
+         const std::function<void(const WorkloadRuns &)> &progress = {});
+
+} // namespace epic
+
+#endif // EPIC_DRIVER_EXPERIMENT_H

@@ -1,0 +1,93 @@
+#include "ilp/layout.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace epic {
+
+LayoutStats
+layoutProgram(Program &prog, const LayoutOptions &opts)
+{
+    LayoutStats stats;
+    uint64_t cursor = Program::kTextBase;
+
+    struct ColdBlock
+    {
+        Function *f;
+        BasicBlock *b;
+    };
+    std::vector<ColdBlock> cold_list;
+
+    for (auto &fp : prog.funcs) {
+        if (!fp)
+            continue;
+        Function &f = *fp;
+
+        double hottest = 1.0;
+        for (const auto &bp : f.blocks)
+            if (bp)
+                hottest = std::max(hottest, bp->weight);
+
+        std::vector<bool> placed(f.blocks.size(), false);
+        auto is_cold = [&](const BasicBlock &b) {
+            if (!opts.use_profile || b.id == f.entry)
+                return false;
+            return b.weight < opts.min_abs_weight ||
+                   b.weight < opts.cold_fraction * hottest;
+        };
+        auto place = [&](BasicBlock &b) {
+            for (Bundle &bun : b.bundles) {
+                bun.addr = cursor;
+                cursor += 16;
+                ++stats.hot_bundles;
+            }
+            placed[b.id] = true;
+            b.cold = false;
+        };
+
+        // Chains: entry first, then remaining hot blocks by weight.
+        std::vector<int> seeds;
+        seeds.push_back(f.entry);
+        for (const auto &bp : f.blocks)
+            if (bp && bp->id != f.entry)
+                seeds.push_back(bp->id);
+        if (opts.use_profile) {
+            std::stable_sort(seeds.begin() + 1, seeds.end(),
+                             [&](int a, int b) {
+                                 return f.block(a)->weight >
+                                        f.block(b)->weight;
+                             });
+        }
+        for (int seed : seeds) {
+            BasicBlock *b = f.block(seed);
+            while (b && !placed[b->id] && !is_cold(*b)) {
+                place(*b);
+                b = b->fallthrough >= 0 ? f.block(b->fallthrough)
+                                        : nullptr;
+            }
+        }
+        // Function padding (keeps functions cache-line separated).
+        cursor = (cursor + 63) & ~63ull;
+
+        for (auto &bp : f.blocks)
+            if (bp && !placed[bp->id])
+                cold_list.push_back({&f, bp.get()});
+    }
+
+    stats.text_bytes = cursor - Program::kTextBase;
+
+    // Cold section: far away from the hot text.
+    uint64_t cold_cursor = Program::kTextBase + (64ull << 20);
+    for (ColdBlock &cb : cold_list) {
+        cb.b->cold = true;
+        for (Bundle &bun : cb.b->bundles) {
+            bun.addr = cold_cursor;
+            cold_cursor += 16;
+            ++stats.cold_bundles;
+        }
+    }
+    return stats;
+}
+
+} // namespace epic

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Code layout: hot/cold block placement and bundle address assignment.
+ *
+ * Runs after scheduling. Hot blocks are chained along fall-through edges
+ * and placed contiguously per function; cold blocks (rarely or never
+ * executed — e.g. zero-weight tail-duplication residue) are exiled to a
+ * far cold section shared by the whole program, reproducing the paper's
+ * observation that ejected cold copies "only infrequently enter the
+ * cache" (§4.1). Bundle addresses drive the L1I/L2/L3 model.
+ */
+#ifndef EPIC_ILP_LAYOUT_H
+#define EPIC_ILP_LAYOUT_H
+
+#include "ir/program.h"
+
+namespace epic {
+
+/** Layout knobs. */
+struct LayoutOptions
+{
+    /// A block is cold when its weight is below this fraction of its
+    /// function's hottest block (or below min_abs_weight).
+    double cold_fraction = 0.01;
+    double min_abs_weight = 0.5;
+    /// Profile-guided placement (hot chaining + cold exile). Off for
+    /// the GCC configuration, which has no profile feedback: blocks are
+    /// placed in their original order.
+    bool use_profile = true;
+};
+
+/** Layout statistics. */
+struct LayoutStats
+{
+    int hot_bundles = 0;
+    int cold_bundles = 0;
+    uint64_t text_bytes = 0; ///< hot-section size
+};
+
+/** Assign bundle addresses program-wide. */
+LayoutStats layoutProgram(Program &prog, const LayoutOptions &opts = {});
+
+} // namespace epic
+
+#endif // EPIC_ILP_LAYOUT_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Basic block (more precisely: *scheduling block*) representation.
+ *
+ * Blocks are single-entry but may contain conditional branches anywhere in
+ * their body (side exits), which is what makes superblocks and hyperblocks
+ * representable directly. A block ends either by falling through to
+ * `fallthrough`, or with an unconditional branch / return as its last
+ * instruction.
+ *
+ * After scheduling, a block additionally carries its bundle sequence:
+ * 3-slot IA-64 bundles with explicit NOPs, grouped into issue groups by
+ * stop bits. Code addresses are assigned to bundles by the layout pass and
+ * drive the I-cache model.
+ */
+#ifndef EPIC_IR_BASIC_BLOCK_H
+#define EPIC_IR_BASIC_BLOCK_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace epic {
+
+/// Slot value meaning "explicit NOP" in a bundle.
+inline constexpr int16_t kSlotNop = -1;
+
+/**
+ * One 16-byte IA-64 bundle: a template id (index into the machine model's
+ * template table) and three slots, each holding an instruction index
+ * within the enclosing block or kSlotNop.
+ */
+struct Bundle
+{
+    uint8_t tmpl = 0;
+    std::array<int16_t, 3> slots = {kSlotNop, kSlotNop, kSlotNop};
+    bool stop_after = false; ///< issue-group boundary after this bundle
+    uint64_t addr = 0;       ///< code address (layout pass)
+};
+
+/** A scheduling block. */
+class BasicBlock
+{
+  public:
+    explicit BasicBlock(int block_id) : id(block_id) {}
+
+    int id;
+    std::vector<Instruction> instrs;
+
+    /// Fall-through successor block id; -1 when the block ends in an
+    /// unconditional branch or return.
+    int fallthrough = -1;
+
+    /// Profile: number of times this block executed in the training run.
+    double weight = 0.0;
+
+    /// Layout: placed in the cold section (rarely-executed code).
+    bool cold = false;
+
+    /// Post-scheduling bundle sequence (empty before scheduling).
+    std::vector<Bundle> bundles;
+
+    /** Append an instruction; returns its index. */
+    int
+    append(Instruction inst)
+    {
+        instrs.push_back(std::move(inst));
+        return static_cast<int>(instrs.size()) - 1;
+    }
+
+    /** True if the block has been scheduled into bundles. */
+    bool scheduled() const { return !bundles.empty(); }
+
+    /** Last instruction is an unconditional control transfer or return. */
+    bool endsInUnconditionalTransfer() const;
+
+    /** All successor block ids (branch targets + fallthrough), deduped. */
+    std::vector<int> successorIds() const;
+};
+
+} // namespace epic
+
+#endif // EPIC_IR_BASIC_BLOCK_H

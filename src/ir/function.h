@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Function representation: an id-indexed collection of blocks, parameter
+ * registers, virtual-register counters, and post-compilation artifacts
+ * (register-stack frame size, spill bytes, code placement).
+ */
+#ifndef EPIC_IR_FUNCTION_H
+#define EPIC_IR_FUNCTION_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/reg.h"
+
+namespace epic {
+
+/** Function attribute flags. */
+enum FuncAttr : uint32_t {
+    kFuncNone = 0,
+    /// A "system library" function: always compiled at the weak (GCC-like)
+    /// level regardless of configuration, reproducing the paper's
+    /// gcc-compiled chunk_alloc/chunk_free/memcpy in vortex (Fig. 10).
+    kFuncLibrary = 1u << 0,
+    /// Pointer analysis disabled for this function (paper: eon, perlbmk).
+    kFuncNoPointerAnalysis = 1u << 1,
+    /// Never inline this function.
+    kFuncNoInline = 1u << 2,
+};
+
+/** A compiled or to-be-compiled function. */
+class Function
+{
+  public:
+    Function(int func_id, std::string func_name)
+        : id(func_id), name(std::move(func_name))
+    {
+        next_virt_.fill(kFirstVirtual);
+    }
+
+    int id;
+    std::string name;
+    uint32_t attr = kFuncNone;
+
+    /// Registers that receive the arguments on entry (virtual before
+    /// register allocation; rewritten by the allocator).
+    std::vector<Reg> params;
+
+    int entry = 0; ///< entry block id
+
+    /// Blocks indexed by id; deleted blocks leave a null slot.
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+
+    /// Profile: number of invocations in the training run.
+    double weight = 0.0;
+
+    // ---- Post-register-allocation artifacts ----
+    bool reg_allocated = false;
+    int stacked_regs = 0;  ///< register-stack frame size (alloc)
+    int spill_slots = 0;   ///< spill area size in 8-byte slots
+
+    /** Allocate a fresh virtual register of the given class. */
+    Reg
+    makeReg(RegClass cls)
+    {
+        return Reg(cls, next_virt_[static_cast<int>(cls)]++);
+    }
+
+    /** First never-used virtual id for a class (for dense renaming). */
+    int
+    virtLimit(RegClass cls) const
+    {
+        return next_virt_[static_cast<int>(cls)];
+    }
+
+    /** Note that register ids up to (and including) `id` are in use. */
+    void
+    reserveVirt(RegClass cls, int reg_id)
+    {
+        auto &n = next_virt_[static_cast<int>(cls)];
+        if (reg_id >= n)
+            n = reg_id + 1;
+    }
+
+    /** Create a new (empty) block; returns a non-owning pointer. */
+    BasicBlock *
+    newBlock()
+    {
+        int bid = static_cast<int>(blocks.size());
+        blocks.push_back(std::make_unique<BasicBlock>(bid));
+        return blocks[bid].get();
+    }
+
+    /** Access a block by id (null if deleted). */
+    BasicBlock *
+    block(int bid)
+    {
+        return bid >= 0 && bid < static_cast<int>(blocks.size())
+                   ? blocks[bid].get()
+                   : nullptr;
+    }
+    const BasicBlock *
+    block(int bid) const
+    {
+        return bid >= 0 && bid < static_cast<int>(blocks.size())
+                   ? blocks[bid].get()
+                   : nullptr;
+    }
+
+    /** Number of live (non-deleted) blocks. */
+    int liveBlockCount() const;
+
+    /** Total static instruction count over live blocks. */
+    int staticInstrCount() const;
+
+    /** Total static bundle count over live blocks (post-scheduling). */
+    int staticBundleCount() const;
+
+    /** Remove a block (slot becomes null; ids of others are stable). */
+    void
+    eraseBlock(int bid)
+    {
+        if (bid >= 0 && bid < static_cast<int>(blocks.size()))
+            blocks[bid].reset();
+    }
+
+  private:
+    /// Next virtual register id per register class.
+    std::array<int32_t, 4> next_virt_;
+};
+
+} // namespace epic
+
+#endif // EPIC_IR_FUNCTION_H

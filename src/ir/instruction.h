@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Instruction representation for the EPIC IR (Lcode-like: non-SSA,
+ * three-operand, fully predicated).
+ *
+ * Every instruction carries a guard predicate (kPrTrue when unconditional),
+ * up to two destinations (parallel compares write a predicate pair), a
+ * source list (calls may have up to eight argument sources), an optional
+ * control-flow target, a memory access size, a control-speculation flag,
+ * and provenance attributes used by the experiment harnesses to attribute
+ * cache misses to the transformation that created the code (tail
+ * duplication, loop peeling, ...), as the paper does in Section 4.1.
+ */
+#ifndef EPIC_IR_INSTRUCTION_H
+#define EPIC_IR_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/reg.h"
+
+namespace epic {
+
+/** Operand: a register, an immediate, or a symbol/function reference. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, Reg, Imm, FImm, Sym, Func };
+
+    Kind kind = Kind::None;
+    Reg reg;
+    int64_t imm = 0;    ///< integer immediate / symbol offset
+    double fimm = 0.0;
+    int32_t sym = -1;   ///< data symbol id (Kind::Sym)
+    int32_t func = -1;  ///< function id (Kind::Func)
+
+    Operand() = default;
+    static Operand
+    makeReg(Reg r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+    static Operand
+    makeImm(int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+    static Operand
+    makeFImm(double v)
+    {
+        Operand o;
+        o.kind = Kind::FImm;
+        o.fimm = v;
+        return o;
+    }
+    static Operand
+    makeSym(int32_t sym_id, int64_t offset)
+    {
+        Operand o;
+        o.kind = Kind::Sym;
+        o.sym = sym_id;
+        o.imm = offset;
+        return o;
+    }
+    static Operand
+    makeFunc(int32_t func_id)
+    {
+        Operand o;
+        o.kind = Kind::Func;
+        o.func = func_id;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    std::string str() const;
+};
+
+/**
+ * Provenance attributes (bitmask). The I-cache experiments attribute
+ * misses by these flags, reproducing the paper's Section 4.1 accounting
+ * of tail-duplicated and residual-loop code.
+ */
+enum InstrAttr : uint32_t {
+    kAttrNone = 0,
+    kAttrTailDup = 1u << 0,    ///< created by tail duplication
+    kAttrPeelCopy = 1u << 1,   ///< peeled-out loop iteration copy
+    kAttrRemainder = 1u << 2,  ///< residual ("clean-up") loop body
+    kAttrInlined = 1u << 3,    ///< inlined from another function
+    kAttrPromoted = 1u << 4,   ///< predicate-promoted (speculative)
+    kAttrSpecMoved = 1u << 5,  ///< moved above a branch (speculative)
+    kAttrSpill = 1u << 6,      ///< register-allocator spill/fill code
+    kAttrUnrolled = 1u << 7,   ///< loop-unroll copy
+};
+
+/** One IR instruction. */
+class Instruction
+{
+  public:
+    Opcode op = Opcode::NOP;
+    Reg guard = kPrTrue;   ///< qualifying predicate
+    std::vector<Reg> dests;
+    std::vector<Operand> srcs;
+
+    CmpCond cond = CmpCond::EQ;  ///< CMP/CMPI/FCMP only
+    CmpType ctype = CmpType::Norm;
+    uint8_t size = 8;    ///< LD/ST/SXT/ZXT access size; NOP unit class
+    bool spec = false;   ///< control-speculative (ld.s / moved code)
+
+    int target = -1;     ///< branch/chk target block id (-1: none)
+    int callee = -1;     ///< direct-call target function id (-1: none)
+
+    uint32_t attr = kAttrNone;
+
+    /// Memory disambiguation hints, filled by the program builder: the
+    /// data symbol this access provably stays within (-1 if unknown), and
+    /// an "alias group" that over-approximates may-alias classes among
+    /// unknown accesses (-1: may alias anything).
+    int32_t sym_hint = -1;
+    int32_t alias_group = -1;
+
+    /// Profile annotation: times this branch was taken (branches only).
+    double prof_taken = 0.0;
+
+    /// Profile annotation for indirect calls: (callee id, count) pairs.
+    std::vector<std::pair<int, double>> prof_callees;
+
+    /// Scheduler result: issue cycle within the block (-1: unscheduled).
+    int sched_cycle = -1;
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+    bool isLoad() const { return info().is_load; }
+    bool isStore() const { return info().is_store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return info().is_branch; }
+    bool isCall() const { return info().is_call; }
+    bool isRet() const { return info().is_ret; }
+    bool
+    hasGuard() const
+    {
+        return guard != kPrTrue;
+    }
+
+    /** Render in assembly-like text. */
+    std::string str() const;
+};
+
+} // namespace epic
+
+#endif // EPIC_IR_INSTRUCTION_H

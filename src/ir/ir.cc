@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Implementations for the core IR classes: operand/instruction printing,
+ * block successor computation, function statistics, and program layout.
+ */
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/program.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace epic {
+
+std::string
+Operand::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::None:
+        os << "<none>";
+        break;
+      case Kind::Reg:
+        os << reg.str();
+        break;
+      case Kind::Imm:
+        os << imm;
+        break;
+      case Kind::FImm:
+        os << fimm;
+        break;
+      case Kind::Sym:
+        os << "@sym" << sym;
+        if (imm)
+            os << "+" << imm;
+        break;
+      case Kind::Func:
+        os << "@fn" << func;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+Instruction::str() const
+{
+    std::ostringstream os;
+    if (hasGuard())
+        os << "(" << guard.str() << ") ";
+    os << info().name;
+    if (op == Opcode::CMP || op == Opcode::CMPI || op == Opcode::FCMP) {
+        os << "." << cmpCondName(cond);
+        if (ctype != CmpType::Norm)
+            os << "." << cmpTypeName(ctype);
+    }
+    if (isMem())
+        os << size * 8;
+    if (spec)
+        os << ".s";
+    os << " ";
+    bool first = true;
+    for (const Reg &d : dests) {
+        os << (first ? "" : ", ") << d.str();
+        first = false;
+    }
+    if (!dests.empty() && !srcs.empty())
+        os << " = ";
+    first = true;
+    for (const Operand &s : srcs) {
+        os << (first ? "" : ", ") << s.str();
+        first = false;
+    }
+    if (target >= 0)
+        os << " -> bb" << target;
+    if (callee >= 0)
+        os << " [fn" << callee << "]";
+    return os.str();
+}
+
+bool
+BasicBlock::endsInUnconditionalTransfer() const
+{
+    if (instrs.empty())
+        return false;
+    const Instruction &last = instrs.back();
+    if (last.isRet())
+        return !last.hasGuard();
+    if (last.op == Opcode::BR)
+        return !last.hasGuard();
+    return false;
+}
+
+std::vector<int>
+BasicBlock::successorIds() const
+{
+    std::vector<int> out;
+    for (const Instruction &inst : instrs) {
+        if (inst.target >= 0 &&
+            (inst.op == Opcode::BR || inst.op == Opcode::CHK_S)) {
+            if (std::find(out.begin(), out.end(), inst.target) == out.end())
+                out.push_back(inst.target);
+        }
+    }
+    if (fallthrough >= 0 &&
+        std::find(out.begin(), out.end(), fallthrough) == out.end()) {
+        out.push_back(fallthrough);
+    }
+    return out;
+}
+
+int
+Function::liveBlockCount() const
+{
+    int n = 0;
+    for (const auto &b : blocks)
+        if (b)
+            ++n;
+    return n;
+}
+
+int
+Function::staticInstrCount() const
+{
+    int n = 0;
+    for (const auto &b : blocks)
+        if (b)
+            n += static_cast<int>(b->instrs.size());
+    return n;
+}
+
+int
+Function::staticBundleCount() const
+{
+    int n = 0;
+    for (const auto &b : blocks)
+        if (b)
+            n += static_cast<int>(b->bundles.size());
+    return n;
+}
+
+Function *
+Program::findFunc(const std::string &name)
+{
+    for (auto &f : funcs)
+        if (f && f->name == name)
+            return f.get();
+    return nullptr;
+}
+
+int
+Program::addSymbol(const std::string &name, uint64_t size, uint32_t attr)
+{
+    DataSymbol s;
+    s.id = static_cast<int>(symbols.size());
+    s.name = name;
+    s.size = size;
+    s.attr = attr;
+    symbols.push_back(std::move(s));
+    return symbols.back().id;
+}
+
+int
+Program::addSymbolInit(const std::string &name, std::vector<uint8_t> init,
+                       uint32_t attr)
+{
+    int id = addSymbol(name, init.size(), attr);
+    symbols[id].init = std::move(init);
+    return id;
+}
+
+void
+Program::layoutData()
+{
+    uint64_t addr = kDataBase;
+    for (DataSymbol &s : symbols) {
+        uint64_t align = std::max<uint64_t>(s.align, 1);
+        addr = (addr + align - 1) & ~(align - 1);
+        s.addr = addr;
+        addr += std::max<uint64_t>(s.size, 1);
+    }
+}
+
+uint64_t
+Program::symbolAddr(int sym_id) const
+{
+    epic_assert(sym_id >= 0 && sym_id < static_cast<int>(symbols.size()),
+                "bad symbol id ", sym_id);
+    epic_assert(symbols[sym_id].addr != 0, "layoutData() has not run");
+    return symbols[sym_id].addr;
+}
+
+int
+Program::staticInstrCount() const
+{
+    int n = 0;
+    for (const auto &f : funcs)
+        if (f)
+            n += f->staticInstrCount();
+    return n;
+}
+
+std::unique_ptr<Program>
+Program::clone() const
+{
+    auto out = std::make_unique<Program>();
+    out->symbols = symbols;
+    out->entry_func = entry_func;
+    for (const auto &f : funcs) {
+        if (!f) {
+            out->funcs.push_back(nullptr);
+            continue;
+        }
+        auto nf = std::make_unique<Function>(f->id, f->name);
+        nf->attr = f->attr;
+        nf->params = f->params;
+        nf->entry = f->entry;
+        nf->weight = f->weight;
+        nf->reg_allocated = f->reg_allocated;
+        nf->stacked_regs = f->stacked_regs;
+        nf->spill_slots = f->spill_slots;
+        for (int cls = 0; cls < 4; ++cls) {
+            nf->reserveVirt(static_cast<RegClass>(cls),
+                            f->virtLimit(static_cast<RegClass>(cls)) - 1);
+        }
+        for (const auto &b : f->blocks) {
+            if (!b) {
+                nf->blocks.push_back(nullptr);
+                continue;
+            }
+            auto nb = std::make_unique<BasicBlock>(b->id);
+            *nb = *b;
+            nf->blocks.push_back(std::move(nb));
+        }
+        out->funcs.push_back(std::move(nf));
+    }
+    return out;
+}
+
+} // namespace epic

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Opcode set and static opcode metadata for the EPIC IR.
+ *
+ * The opcode set is a distilled IA-64: three-operand integer ALU ops,
+ * sized loads/stores with an optional control-speculative form, parallel
+ * compares writing predicate pairs, fully-predicated branches, a
+ * speculation check (chk.s), and a register-stack alloc. Functional-unit
+ * classes and latencies follow the Itanium 2 dispersal and bypass model
+ * (notably: integer multiply executes on the FP unit, as xma does).
+ */
+#ifndef EPIC_IR_OPCODE_H
+#define EPIC_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace epic {
+
+/** Operation codes. */
+enum class Opcode : uint8_t {
+    // Data movement
+    MOV,    ///< gr = gr
+    MOVI,   ///< gr = imm
+    MOVA,   ///< gr = address of data symbol (+offset)
+    MOVFN,  ///< gr = function token (for indirect calls)
+    MOVP,   ///< pr = imm (predicate set/clear)
+    // Integer ALU (A-type: any M or I slot)
+    ADD, SUB, AND, OR, XOR, ADDI, SUBI, ANDI, ORI, XORI,
+    CMP,    ///< pr1, pr2 = cond(gr, gr); ctype selects unc/and/or behavior
+    CMPI,   ///< pr1, pr2 = cond(gr, imm)
+    // Integer shifts and extensions (I-unit only, like Itanium 2)
+    SHL, SHR, SAR, SHLI, SHRI, SARI,
+    SXT,    ///< sign-extend low 1/2/4 bytes (size field)
+    ZXT,    ///< zero-extend low 1/2/4 bytes (size field)
+    // Multiply/divide (executed on the FP unit, like IA-64 xma/frcpa)
+    MUL, DIV, REM,
+    // Memory (M-unit); access size in Instruction::size
+    LD,     ///< gr = [gr]; speculative form when Instruction::spec
+    ST,     ///< [gr] = gr
+    LDF,    ///< fr = [gr] (8 bytes)
+    STF,    ///< [gr] = fr
+    // Floating point (F-unit)
+    FADD, FSUB, FMUL, FDIV, FMA, FNEG,
+    FCMP,   ///< pr1, pr2 = cond(fr, fr)
+    CVTFI,  ///< gr = (int64)fr
+    CVTIF,  ///< fr = (double)gr
+    // Control (B-unit); all fully predicated by the guard
+    BR,      ///< branch to label when guard true
+    BR_CALL, ///< direct call; srcs = args, dest0 = return value (optional)
+    BR_ICALL,///< indirect call through gr holding a function token
+    BR_RET,  ///< return; src0 = return value (optional)
+    CHK_S,   ///< if src gr holds NaT, branch to recovery label
+    // Misc
+    ALLOC,   ///< declare register-stack frame of 'imm' stacked registers
+    NOP,     ///< explicit no-op (slot filler; unit class in 'size' field)
+
+    NumOpcodes,
+};
+
+/** Comparison conditions for CMP/CMPI/FCMP. */
+enum class CmpCond : uint8_t { EQ, NE, LT, LE, GT, GE, LTU, GEU };
+
+/**
+ * Parallel-compare types (IA-64): how the two predicate destinations are
+ * written. Norm writes (cond, !cond); Unc additionally clears both when
+ * the guard is false; And clears both dests when cond is false (guard
+ * true); Or sets both dests when cond is true.
+ */
+enum class CmpType : uint8_t { Norm, Unc, And, Or };
+
+/** Functional-unit classes (dispersal targets). */
+enum class FuClass : uint8_t {
+    A, ///< either an M or an I slot
+    I, ///< integer unit only
+    M, ///< memory unit only
+    F, ///< floating-point unit only
+    B, ///< branch unit only
+};
+
+/** Static metadata for one opcode. */
+struct OpcodeInfo
+{
+    const char *name;
+    FuClass fu;
+    int latency;     ///< result latency in cycles (loads: L1-hit latency)
+    bool is_load;
+    bool is_store;
+    bool is_branch;  ///< any control transfer (br/call/ret/chk)
+    bool is_call;
+    bool is_ret;
+    bool has_side_effect; ///< must not be speculated or dead-code removed
+};
+
+/** Lookup static metadata. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Condition mnemonic ("eq", "ne", ...). */
+const char *cmpCondName(CmpCond c);
+/** Compare-type mnemonic ("", "unc", "and", "or"). */
+const char *cmpTypeName(CmpType t);
+
+} // namespace epic
+
+#endif // EPIC_IR_OPCODE_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Itanium-2-class machine description (paper Figure 1 / Table at right):
+ * issue-group dispersal limits, bundle templates, memory hierarchy
+ * parameters, branch predictor and pipeline penalties, TLB/OS costs, and
+ * register-stack capacity. One struct is shared by the scheduler (which
+ * consumes the dispersal/latency model) and the timing simulator (which
+ * consumes everything else) so compiler and machine can never disagree.
+ */
+#ifndef EPIC_MACH_MACHINE_H
+#define EPIC_MACH_MACHINE_H
+
+#include <array>
+#include <cstdint>
+
+#include "ir/opcode.h"
+
+namespace epic {
+
+/** Slot kinds within a bundle. */
+enum class SlotKind : uint8_t { M, I, F, B };
+
+/** A 3-slot bundle template (IA-64 subset; stop bits modelled per-bundle). */
+struct BundleTemplate
+{
+    const char *name;
+    std::array<SlotKind, 3> slots;
+};
+
+/** Template table: index is the Bundle::tmpl field. */
+inline constexpr BundleTemplate kTemplates[] = {
+    {"MII", {SlotKind::M, SlotKind::I, SlotKind::I}},
+    {"MMI", {SlotKind::M, SlotKind::M, SlotKind::I}},
+    {"MFI", {SlotKind::M, SlotKind::F, SlotKind::I}},
+    {"MMF", {SlotKind::M, SlotKind::M, SlotKind::F}},
+    {"MIB", {SlotKind::M, SlotKind::I, SlotKind::B}},
+    {"MBB", {SlotKind::M, SlotKind::B, SlotKind::B}},
+    {"BBB", {SlotKind::B, SlotKind::B, SlotKind::B}},
+    {"MMB", {SlotKind::M, SlotKind::M, SlotKind::B}},
+    {"MFB", {SlotKind::M, SlotKind::F, SlotKind::B}},
+};
+inline constexpr int kNumTemplates =
+    sizeof(kTemplates) / sizeof(kTemplates[0]);
+
+/** Can an operation of FU class `fu` occupy a slot of kind `slot`? */
+inline bool
+fuFitsSlot(FuClass fu, SlotKind slot)
+{
+    switch (fu) {
+      case FuClass::A:
+        return slot == SlotKind::M || slot == SlotKind::I;
+      case FuClass::M: return slot == SlotKind::M;
+      case FuClass::I: return slot == SlotKind::I;
+      case FuClass::F: return slot == SlotKind::F;
+      case FuClass::B: return slot == SlotKind::B;
+    }
+    return false;
+}
+
+/** One cache level's geometry and latency. */
+struct CacheConfig
+{
+    uint64_t size_bytes;
+    int assoc;
+    int line_bytes;
+    int latency; ///< load-use latency on hit, cycles
+};
+
+/** Full machine configuration (defaults: 1 GHz Itanium 2, 3 MB L3). */
+struct MachineConfig
+{
+    // ---- Issue / dispersal (per issue group, up to 2 bundles) ----
+    int issue_width = 6;
+    int max_bundles_per_group = 2;
+    /// Compiler-side cap on operations per issue group (models weak
+    /// stop-bit placement; the hardware width stays issue_width).
+    int max_ops_per_group = 6;
+    /// Schedule in source order (no height-driven reordering): models a
+    /// traditional compiler's local scheduling (the GCC configuration).
+    bool source_order_scheduling = false;
+    int m_ports = 4;  ///< M0-M3
+    int i_ports = 2;  ///< I0-I1
+    int f_ports = 2;  ///< F0-F1
+    int b_ports = 3;  ///< B0-B2
+    int max_loads = 2;  ///< loads issue on M0/M1 only
+    int max_stores = 2; ///< stores issue on M2/M3 only
+
+    // ---- Memory hierarchy ----
+    CacheConfig l1i{16 * 1024, 4, 64, 1};
+    CacheConfig l1d{16 * 1024, 4, 64, 1};
+    CacheConfig l2{256 * 1024, 8, 128, 5};
+    CacheConfig l3{3 * 1024 * 1024, 12, 128, 12};
+    int mem_latency = 140;
+
+    // ---- Front end ----
+    int fetch_bundles_per_cycle = 2;
+    int instr_buffer_ops = 48; ///< decoupling buffer (8 bundles)
+
+    // ---- Branch prediction ----
+    int predictor_bits = 12;    ///< gshare table = 2^bits 2-bit counters
+    int mispredict_penalty = 6; ///< pipeline flush cycles
+    /// Fetch-redirect bubble on calls and returns (pipeline re-steer +
+    /// register-stack bookkeeping); inlining removes it.
+    int call_redirect_cycles = 2;
+
+    // ---- TLB and OS model (16 KB pages) ----
+    int dtlb_entries = 128;
+    int vhpt_walk_cycles = 25;  ///< hardware walker on DTLB miss
+    int os_walk_cycles = 1200;  ///< kernel page walk for a wild load
+    int nat_page_cycles = 2;    ///< architected NULL/NaT page access
+
+    // ---- Store-to-load forwarding (micropipe) ----
+    int stlf_window = 10;      ///< cycles a store occupies the micropipe
+    int stlf_penalty = 4;      ///< stall for a (possibly spurious) hit
+
+    // ---- Register stack ----
+    int stacked_phys_regs = 96; ///< r32..r127
+    int rse_regs_per_cycle = 2; ///< spill/fill bandwidth
+
+    /** GCC-like code generation: one bundle per issue group, no
+     *  reordering. */
+    static MachineConfig
+    gccStyle()
+    {
+        MachineConfig m;
+        m.max_bundles_per_group = 1;
+        m.max_ops_per_group = 2; // poor stop-bit placement
+        m.source_order_scheduling = true;
+        return m;
+    }
+};
+
+/** Result latency of an opcode on this machine (cache-hit assumption). */
+inline int
+opLatency(const MachineConfig &, Opcode op)
+{
+    return opcodeInfo(op).latency;
+}
+
+} // namespace epic
+
+#endif // EPIC_MACH_MACHINE_H

@@ -1,0 +1,747 @@
+#include "opt/classical.h"
+
+#include <map>
+#include <optional>
+
+#include "analysis/cfg.h"
+#include "analysis/dom.h"
+#include "analysis/liveness.h"
+#include "analysis/loops.h"
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+/** Lattice value for local propagation. */
+struct LatVal
+{
+    enum class Kind { Unknown, Const, Copy, PredConst } kind =
+        Kind::Unknown;
+    int64_t cval = 0;
+    Reg copy_of;
+    bool pval = false;
+};
+
+/** Local propagation environment (one block at a time). */
+class Env
+{
+  public:
+    void
+    clear()
+    {
+        map_.clear();
+    }
+
+    const LatVal *
+    get(Reg r) const
+    {
+        auto it = map_.find(r);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    void
+    set(Reg r, LatVal v)
+    {
+        invalidate(r);
+        map_[r] = v;
+    }
+
+    /** A register was (re)defined with an unknown value. */
+    void
+    invalidate(Reg r)
+    {
+        map_.erase(r);
+        for (auto it = map_.begin(); it != map_.end();) {
+            if (it->second.kind == LatVal::Kind::Copy &&
+                it->second.copy_of == r) {
+                it = map_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+  private:
+    std::map<Reg, LatVal> map_;
+};
+
+bool
+isCmp(const Instruction &inst)
+{
+    return inst.op == Opcode::CMP || inst.op == Opcode::CMPI ||
+           inst.op == Opcode::FCMP;
+}
+
+std::optional<int64_t>
+foldAlu(Opcode op, int64_t a, int64_t b)
+{
+    auto ua = static_cast<uint64_t>(a);
+    auto ub = static_cast<uint64_t>(b);
+    switch (op) {
+      case Opcode::ADD: case Opcode::ADDI:
+        return static_cast<int64_t>(ua + ub);
+      case Opcode::SUB: case Opcode::SUBI:
+        return static_cast<int64_t>(ua - ub);
+      case Opcode::AND: case Opcode::ANDI: return a & b;
+      case Opcode::OR: case Opcode::ORI: return a | b;
+      case Opcode::XOR: case Opcode::XORI: return a ^ b;
+      case Opcode::SHL: case Opcode::SHLI:
+        return static_cast<int64_t>(ua << (ub & 63));
+      case Opcode::SHR: case Opcode::SHRI:
+        return static_cast<int64_t>(ua >> (ub & 63));
+      case Opcode::SAR: case Opcode::SARI: return a >> (ub & 63);
+      case Opcode::MUL: return static_cast<int64_t>(ua * ub);
+      case Opcode::DIV:
+        if (b == 0)
+            return std::nullopt;
+        return a / b;
+      case Opcode::REM:
+        if (b == 0)
+            return std::nullopt;
+        return a % b;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<bool>
+foldCmp(CmpCond cond, int64_t a, int64_t b)
+{
+    switch (cond) {
+      case CmpCond::EQ: return a == b;
+      case CmpCond::NE: return a != b;
+      case CmpCond::LT: return a < b;
+      case CmpCond::LE: return a <= b;
+      case CmpCond::GT: return a > b;
+      case CmpCond::GE: return a >= b;
+      case CmpCond::LTU:
+        return static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
+      case CmpCond::GEU:
+        return static_cast<uint64_t>(a) >= static_cast<uint64_t>(b);
+    }
+    return std::nullopt;
+}
+
+bool
+isPureAlu(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::MUL:
+      case Opcode::SHL: case Opcode::SHR: case Opcode::SAR:
+      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SHLI:
+      case Opcode::SHRI: case Opcode::SARI:
+      case Opcode::DIV: case Opcode::REM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+OptStats
+localValueProp(Function &f)
+{
+    OptStats stats;
+    Env env;
+
+    for (auto &bp : f.blocks) {
+        if (!bp)
+            continue;
+        BasicBlock &b = *bp;
+        env.clear();
+        std::vector<Instruction> out;
+        out.reserve(b.instrs.size());
+        bool block_ended = false;
+
+        for (Instruction inst : b.instrs) {
+            if (block_ended)
+                break; // code after an unconditional transfer is dead
+
+            // 1. Guard with known value?
+            if (inst.hasGuard()) {
+                const LatVal *g = env.get(inst.guard);
+                if (g && g->kind == LatVal::Kind::PredConst) {
+                    if (!g->pval) {
+                        // Squashed; unc compares still clear their dests.
+                        if (isCmp(inst) && inst.ctype == CmpType::Unc) {
+                            for (int d = 0; d < 2; ++d) {
+                                Instruction mp;
+                                mp.op = Opcode::MOVP;
+                                mp.dests = {inst.dests[d]};
+                                mp.srcs = {Operand::makeImm(0)};
+                                LatVal lv;
+                                lv.kind = LatVal::Kind::PredConst;
+                                lv.pval = false;
+                                env.set(inst.dests[d], lv);
+                                out.push_back(mp);
+                            }
+                        }
+                        ++stats.folded;
+                        continue; // drop the squashed instruction
+                    }
+                    inst.guard = kPrTrue; // known-true guard
+                    ++stats.propagated;
+                }
+            }
+
+            // 2. Substitute constant/copy sources. Immediate forms
+            // exist only for the add/logical/shift family (and cmp);
+            // mul by a power of two becomes a shift.
+            auto has_imm_form = [](Opcode op) {
+                switch (op) {
+                  case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+                  case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+                  case Opcode::SHR: case Opcode::SAR:
+                  case Opcode::ADDI: case Opcode::SUBI:
+                  case Opcode::ANDI: case Opcode::ORI:
+                  case Opcode::XORI: case Opcode::SHLI:
+                  case Opcode::SHRI: case Opcode::SARI:
+                    return true;
+                  default:
+                    return false;
+                }
+            };
+            for (size_t si = 0; si < inst.srcs.size(); ++si) {
+                Operand &o = inst.srcs[si];
+                if (!o.isReg() || o.reg.cls != RegClass::Gr)
+                    continue;
+                const LatVal *v = env.get(o.reg);
+                if (!v)
+                    continue;
+                if (v->kind == LatVal::Kind::Copy) {
+                    o.reg = v->copy_of;
+                    ++stats.propagated;
+                } else if (v->kind == LatVal::Kind::Const) {
+                    bool pow2 = v->cval > 0 &&
+                                (v->cval & (v->cval - 1)) == 0;
+                    bool can_imm =
+                        (has_imm_form(inst.op) && si == 1) ||
+                        (inst.op == Opcode::MOV && si == 0) ||
+                        ((inst.op == Opcode::CMP ||
+                          inst.op == Opcode::CMPI) && si == 1) ||
+                        (inst.op == Opcode::MUL && si == 1 && pow2);
+                    if (can_imm) {
+                        if (inst.op == Opcode::MUL) {
+                            int sh = 0;
+                            while ((1ll << sh) < v->cval)
+                                ++sh;
+                            inst.op = Opcode::SHLI;
+                            o = Operand::makeImm(sh);
+                        } else {
+                            o = Operand::makeImm(v->cval);
+                        }
+                        ++stats.propagated;
+                    }
+                }
+            }
+            bool imm_form_ok = has_imm_form(inst.op);
+
+            // Canonicalize reg->imm forms (add -> addi etc.).
+            if (imm_form_ok && inst.srcs.size() == 2 &&
+                inst.srcs[1].kind == Operand::Kind::Imm) {
+                switch (inst.op) {
+                  case Opcode::ADD: inst.op = Opcode::ADDI; break;
+                  case Opcode::SUB: inst.op = Opcode::SUBI; break;
+                  case Opcode::AND: inst.op = Opcode::ANDI; break;
+                  case Opcode::OR: inst.op = Opcode::ORI; break;
+                  case Opcode::XOR: inst.op = Opcode::XORI; break;
+                  case Opcode::SHL: inst.op = Opcode::SHLI; break;
+                  case Opcode::SHR: inst.op = Opcode::SHRI; break;
+                  case Opcode::SAR: inst.op = Opcode::SARI; break;
+                  default: break;
+                }
+            }
+            if (inst.op == Opcode::CMP &&
+                inst.srcs[1].kind == Operand::Kind::Imm) {
+                inst.op = Opcode::CMPI;
+            }
+            if (inst.op == Opcode::MOV &&
+                inst.srcs[0].kind == Operand::Kind::Imm) {
+                inst.op = Opcode::MOVI;
+            }
+
+            // 3. Fold fully-constant computations.
+            bool folded = false;
+            if (isPureAlu(inst) && !inst.hasGuard() &&
+                inst.srcs[0].kind == Operand::Kind::Imm &&
+                inst.srcs[1].kind == Operand::Kind::Imm) {
+                if (auto v =
+                        foldAlu(inst.op, inst.srcs[0].imm,
+                                inst.srcs[1].imm)) {
+                    Reg d = inst.dests[0];
+                    inst = Instruction();
+                    inst.op = Opcode::MOVI;
+                    inst.dests = {d};
+                    inst.srcs = {Operand::makeImm(*v)};
+                    ++stats.folded;
+                    folded = true;
+                }
+            }
+            // ALU with a constant *first* operand that became imm-form
+            // is impossible here (we only immediate-ize src1), but a
+            // reg-form op whose both sources are known constants can
+            // still fold.
+            if (!folded && isPureAlu(inst) && !inst.hasGuard()) {
+                auto cst = [&](const Operand &o) -> std::optional<int64_t> {
+                    if (o.kind == Operand::Kind::Imm)
+                        return o.imm;
+                    if (o.isReg()) {
+                        if (o.reg == kGrZero)
+                            return 0;
+                        const LatVal *v = env.get(o.reg);
+                        if (v && v->kind == LatVal::Kind::Const)
+                            return v->cval;
+                    }
+                    return std::nullopt;
+                };
+                auto a = cst(inst.srcs[0]);
+                auto b2 = cst(inst.srcs[1]);
+                if (a && b2) {
+                    if (auto v = foldAlu(inst.op, *a, *b2)) {
+                        Reg d = inst.dests[0];
+                        inst = Instruction();
+                        inst.op = Opcode::MOVI;
+                        inst.dests = {d};
+                        inst.srcs = {Operand::makeImm(*v)};
+                        ++stats.folded;
+                    }
+                }
+            }
+
+            // Fold compares with constant inputs into predicate sets.
+            if ((inst.op == Opcode::CMPI || inst.op == Opcode::CMP) &&
+                !inst.hasGuard() && inst.ctype == CmpType::Norm) {
+                auto cst = [&](const Operand &o) -> std::optional<int64_t> {
+                    if (o.kind == Operand::Kind::Imm)
+                        return o.imm;
+                    if (o.isReg()) {
+                        if (o.reg == kGrZero)
+                            return 0;
+                        const LatVal *v = env.get(o.reg);
+                        if (v && v->kind == LatVal::Kind::Const)
+                            return v->cval;
+                    }
+                    return std::nullopt;
+                };
+                auto a = cst(inst.srcs[0]);
+                auto b2 = cst(inst.srcs[1]);
+                if (a && b2) {
+                    if (auto c = foldCmp(inst.cond, *a, *b2)) {
+                        for (int d = 0; d < 2; ++d) {
+                            Instruction mp;
+                            mp.op = Opcode::MOVP;
+                            mp.dests = {inst.dests[d]};
+                            mp.srcs = {
+                                Operand::makeImm((d == 0) == *c ? 1 : 0)};
+                            LatVal lv;
+                            lv.kind = LatVal::Kind::PredConst;
+                            lv.pval = (d == 0) == *c;
+                            env.set(inst.dests[d], lv);
+                            out.push_back(mp);
+                        }
+                        ++stats.folded;
+                        continue;
+                    }
+                }
+            }
+
+            // 4. Branch simplification: unconditional branch ends block.
+            if (inst.op == Opcode::BR && !inst.hasGuard())
+                block_ended = true;
+
+            // 5. Record facts about destinations.
+            for (const Reg &d : inst.dests)
+                env.invalidate(d);
+            if (!inst.hasGuard()) {
+                if (inst.op == Opcode::MOVI) {
+                    LatVal lv;
+                    lv.kind = LatVal::Kind::Const;
+                    lv.cval = inst.srcs[0].imm;
+                    env.set(inst.dests[0], lv);
+                } else if (inst.op == Opcode::MOV &&
+                           inst.srcs[0].isReg()) {
+                    LatVal lv;
+                    lv.kind = LatVal::Kind::Copy;
+                    lv.copy_of = inst.srcs[0].reg;
+                    env.set(inst.dests[0], lv);
+                } else if (inst.op == Opcode::MOVP) {
+                    LatVal lv;
+                    lv.kind = LatVal::Kind::PredConst;
+                    lv.pval = inst.srcs[0].imm != 0;
+                    env.set(inst.dests[0], lv);
+                }
+            }
+            // A call invalidates nothing here: registers are
+            // frame-private (IA-64 register-stack semantics).
+
+            out.push_back(std::move(inst));
+        }
+        if (block_ended && out.size() < b.instrs.size())
+            b.fallthrough = -1;
+        b.instrs = std::move(out);
+    }
+    return stats;
+}
+
+OptStats
+localCse(Function &f, const AliasAnalysis &aa)
+{
+    OptStats stats;
+    for (auto &bp : f.blocks) {
+        if (!bp)
+            continue;
+        BasicBlock &b = *bp;
+
+        // Available expressions: (printable key) -> defining value reg.
+        std::map<std::string, Reg> avail;
+        // Available loads: key -> value reg, plus the defining load's
+        // index for dependence filtering.
+        struct AvailLoad
+        {
+            Reg value;
+            Instruction load; ///< copy, for alias queries
+        };
+        std::map<std::string, AvailLoad> loads;
+
+        auto key_of = [](const Instruction &inst) {
+            std::string k = std::string(inst.info().name) + "/" +
+                            cmpCondName(inst.cond);
+            for (const Operand &o : inst.srcs)
+                k += "," + o.str();
+            k += ";" + std::to_string(inst.size);
+            return k;
+        };
+
+        std::vector<Instruction> out;
+        out.reserve(b.instrs.size());
+        for (Instruction inst : b.instrs) {
+            // 1. Try to replace with an available value.
+            bool replaced = false;
+            const bool cse_alu = isPureAlu(inst) && !inst.hasGuard() &&
+                                 inst.dests.size() == 1;
+            const bool cse_ld = inst.op == Opcode::LD &&
+                                !inst.hasGuard() && !inst.spec;
+            std::string k;
+            if (cse_alu || cse_ld)
+                k = key_of(inst);
+            if (cse_alu) {
+                auto it = avail.find(k);
+                if (it != avail.end()) {
+                    Instruction mv;
+                    mv.op = Opcode::MOV;
+                    mv.dests = inst.dests;
+                    mv.srcs = {Operand::makeReg(it->second)};
+                    out.push_back(mv);
+                    ++stats.cse_removed;
+                    replaced = true;
+                }
+            } else if (cse_ld) {
+                auto it = loads.find(k);
+                if (it != loads.end()) {
+                    Instruction mv;
+                    mv.op = Opcode::MOV;
+                    mv.dests = inst.dests;
+                    mv.srcs = {Operand::makeReg(it->second.value)};
+                    out.push_back(mv);
+                    ++stats.cse_removed;
+                    replaced = true;
+                }
+            }
+            if (replaced) {
+                // The replacement MOV redefines the dest: kill stale
+                // facts about it.
+                Reg d = inst.dests[0];
+                for (auto it = avail.begin(); it != avail.end();) {
+                    bool uses = it->second == d ||
+                                it->first.find(d.str()) !=
+                                    std::string::npos;
+                    it = uses ? avail.erase(it) : std::next(it);
+                }
+                for (auto it = loads.begin(); it != loads.end();) {
+                    bool uses = it->second.value == d ||
+                                it->first.find(d.str()) !=
+                                    std::string::npos;
+                    it = uses ? loads.erase(it) : std::next(it);
+                }
+                continue;
+            }
+
+            // 2. Kill facts invalidated by this instruction.
+            for (const Reg &d : inst.dests) {
+                for (auto it = avail.begin(); it != avail.end();) {
+                    bool uses = it->second == d ||
+                                it->first.find(d.str()) !=
+                                    std::string::npos;
+                    it = uses ? avail.erase(it) : std::next(it);
+                }
+                for (auto it = loads.begin(); it != loads.end();) {
+                    bool uses = it->second.value == d ||
+                                it->first.find(d.str()) !=
+                                    std::string::npos;
+                    it = uses ? loads.erase(it) : std::next(it);
+                }
+            }
+            if (inst.isStore()) {
+                for (auto it = loads.begin(); it != loads.end();) {
+                    if (aa.mayAlias(f, inst, it->second.load))
+                        it = loads.erase(it);
+                    else
+                        ++it;
+                }
+            } else if (inst.isCall()) {
+                for (auto it = loads.begin(); it != loads.end();) {
+                    if (aa.callMayTouch(inst, it->second.load))
+                        it = loads.erase(it);
+                    else
+                        ++it;
+                }
+            }
+
+            // 3. Record the new availability — unless the expression
+            // reads its own destination (e.g. add x = x, 1), whose key
+            // now refers to a stale value.
+            bool self_ref = false;
+            for (const Reg &d : inst.dests)
+                if (k.find(d.str()) != std::string::npos)
+                    self_ref = true;
+            if (cse_alu && !self_ref)
+                avail[k] = inst.dests[0];
+            else if (cse_ld && !self_ref)
+                loads[k] = AvailLoad{inst.dests[0], inst};
+            out.push_back(std::move(inst));
+        }
+        b.instrs = std::move(out);
+    }
+    return stats;
+}
+
+OptStats
+deadCodeElim(Function &f)
+{
+    OptStats stats;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        Cfg cfg(f);
+        Liveness live(cfg);
+        for (int bid : cfg.rpo()) {
+            BasicBlock &b = *f.block(bid);
+            // Walk backwards tracking liveness precisely.
+            RegSet live_now = live.liveOut(bid);
+            std::vector<bool> keep(b.instrs.size(), true);
+            std::vector<Reg> uses, defs;
+            for (int i = static_cast<int>(b.instrs.size()) - 1; i >= 0;
+                 --i) {
+                const Instruction &inst = b.instrs[i];
+                if (inst.isBranch() && inst.target >= 0 &&
+                    cfg.reachable(inst.target)) {
+                    for (Reg r : live.liveIn(inst.target))
+                        live_now.insert(r);
+                }
+                instrDefs(inst, defs);
+                bool any_live = defs.empty();
+                for (Reg d : defs)
+                    if (live_now.count(d))
+                        any_live = true;
+                bool removable = !inst.info().has_side_effect &&
+                                 !inst.isBranch() && !defs.empty();
+                if (removable && !any_live) {
+                    keep[i] = false;
+                    ++stats.dce_removed;
+                    changed = true;
+                    continue;
+                }
+                if (defsAreUnconditional(inst))
+                    for (Reg d : defs)
+                        live_now.erase(d);
+                instrUses(inst, uses);
+                for (Reg r : uses)
+                    live_now.insert(r);
+            }
+            if (changed) {
+                std::vector<Instruction> out;
+                out.reserve(b.instrs.size());
+                for (size_t i = 0; i < b.instrs.size(); ++i)
+                    if (keep[i])
+                        out.push_back(std::move(b.instrs[i]));
+                b.instrs = std::move(out);
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return stats;
+}
+
+OptStats
+licm(Function &f, const AliasAnalysis &aa)
+{
+    OptStats stats;
+    Cfg cfg(f);
+    DomTree dom(cfg);
+    LoopForest forest(cfg, dom);
+
+    for (const Loop &loop : forest.loops()) {
+        // Collect loop-wide facts.
+        bool loop_has_store = false, loop_has_call = false;
+        std::map<Reg, int> def_count;
+        std::vector<const Instruction *> loop_stores;
+        for (int bid : loop.blocks) {
+            const BasicBlock *b = f.block(bid);
+            if (!b)
+                continue;
+            for (const Instruction &inst : b->instrs) {
+                for (const Reg &d : inst.dests)
+                    def_count[d]++;
+                if (inst.isStore()) {
+                    loop_has_store = true;
+                    loop_stores.push_back(&inst);
+                }
+                if (inst.isCall())
+                    loop_has_call = true;
+            }
+        }
+
+        // Hoist only from the header (executes every iteration when the
+        // loop runs; the header dominates the whole body).
+        BasicBlock *header = f.block(loop.header);
+        if (!header)
+            continue;
+
+        std::vector<Instruction> hoisted;
+        std::vector<Instruction> rest;
+        bool past_branch = false;
+        for (Instruction &inst : header->instrs) {
+            bool can = !past_branch && !inst.hasGuard() &&
+                       !inst.isBranch() && !inst.info().has_side_effect &&
+                       !inst.dests.empty();
+            if (inst.isBranch())
+                past_branch = true;
+            if (can) {
+                // Sources must be loop-invariant.
+                for (const Operand &o : inst.srcs) {
+                    if (o.isReg() && o.reg != kGrZero &&
+                        def_count.count(o.reg) && def_count[o.reg] > 0) {
+                        can = false;
+                    }
+                }
+                // Destination must have exactly one def in the loop.
+                for (const Reg &d : inst.dests)
+                    if (def_count[d] != 1)
+                        can = false;
+                // Loads need no conflicting stores/calls in the loop.
+                if (inst.isLoad()) {
+                    if (loop_has_call) {
+                        can = false;
+                    } else if (loop_has_store) {
+                        for (const Instruction *st : loop_stores)
+                            if (aa.mayAlias(f, inst, *st))
+                                can = false;
+                    }
+                }
+            }
+            if (can) {
+                // Update def counts so dependent hoists chain.
+                for (const Reg &d : inst.dests)
+                    def_count[d] = 0;
+                hoisted.push_back(inst);
+                ++stats.licm_moved;
+            } else {
+                rest.push_back(inst);
+            }
+        }
+        if (hoisted.empty())
+            continue;
+        header->instrs = std::move(rest);
+
+        // Build (or reuse) a preheader: redirect all non-latch preds.
+        BasicBlock *pre = f.newBlock();
+        pre->instrs = std::move(hoisted);
+        pre->fallthrough = header->id;
+        pre->weight = std::max(0.0, loop.header_weight /
+                                        std::max(1.0, loop.avg_trip));
+        for (int pid = 0; pid < static_cast<int>(f.blocks.size()); ++pid) {
+            BasicBlock *pb = f.block(pid);
+            if (!pb || pb == pre)
+                continue;
+            bool is_latch = loop.blocks.count(pid) != 0;
+            if (is_latch)
+                continue;
+            for (Instruction &inst : pb->instrs)
+                if (inst.isBranch() && inst.target == header->id)
+                    inst.target = pre->id;
+            if (pb->fallthrough == header->id)
+                pb->fallthrough = pre->id;
+        }
+        // Only handle one loop per invocation (the CFG changed).
+        break;
+    }
+    return stats;
+}
+
+OptStats
+peephole(Function &f)
+{
+    OptStats stats;
+    for (auto &bp : f.blocks) {
+        if (!bp)
+            continue;
+        for (Instruction &inst : bp->instrs) {
+            // x * 2^k  ->  x << k (mul runs on the slow FP unit).
+            if (inst.op == Opcode::MUL &&
+                inst.srcs[1].kind == Operand::Kind::Imm) {
+                int64_t v = inst.srcs[1].imm;
+                if (v > 0 && (v & (v - 1)) == 0) {
+                    int sh = 0;
+                    while ((1ll << sh) < v)
+                        ++sh;
+                    inst.op = Opcode::SHLI;
+                    inst.srcs[1] = Operand::makeImm(sh);
+                    ++stats.peephole;
+                }
+            }
+            // x +/- 0, x * 1 -> mov.
+            if ((inst.op == Opcode::ADDI || inst.op == Opcode::SUBI ||
+                 inst.op == Opcode::ORI || inst.op == Opcode::XORI ||
+                 inst.op == Opcode::SHLI || inst.op == Opcode::SHRI ||
+                 inst.op == Opcode::SARI) &&
+                inst.srcs[1].kind == Operand::Kind::Imm &&
+                inst.srcs[1].imm == 0) {
+                inst.op = Opcode::MOV;
+                inst.srcs.pop_back();
+                ++stats.peephole;
+            }
+        }
+    }
+    return stats;
+}
+
+OptStats
+classicalOptimize(Program &prog, const AliasAnalysis &aa, int max_iters)
+{
+    OptStats total;
+    for (auto &fp : prog.funcs) {
+        if (!fp)
+            continue;
+        Function &f = *fp;
+        for (int iter = 0; iter < max_iters; ++iter) {
+            OptStats round;
+            round += localValueProp(f);
+            round += localCse(f, aa);
+            round += peephole(f);
+            round += deadCodeElim(f);
+            round += licm(f, aa);
+            pruneUnreachableBlocks(f);
+            total += round;
+            if (round.total() == 0)
+                break;
+        }
+    }
+    return total;
+}
+
+} // namespace epic

@@ -1,0 +1,201 @@
+#include "sched/dag.h"
+
+#include <algorithm>
+
+#include "analysis/liveness.h"
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+/**
+ * Guard used for disjointness filtering. An unc-type compare writes its
+ * destinations even when its guard is false, so for dependence purposes
+ * it behaves as unconditional.
+ */
+Reg
+effectiveGuard(const Instruction &inst)
+{
+    if ((inst.op == Opcode::CMP || inst.op == Opcode::CMPI) &&
+        inst.ctype == CmpType::Unc) {
+        return kPrTrue;
+    }
+    return inst.guard;
+}
+
+bool
+isCmpOp(const Instruction &inst)
+{
+    return inst.op == Opcode::CMP || inst.op == Opcode::CMPI ||
+           inst.op == Opcode::FCMP;
+}
+
+} // namespace
+
+void
+DepDag::addEdge(int from, int to, int lat, DepKind kind)
+{
+    // Coalesce: keep only the strongest (max-latency) edge per pair.
+    for (int ei : succs_[from]) {
+        if (edges_[ei].to == to) {
+            edges_[ei].latency = std::max(edges_[ei].latency, lat);
+            return;
+        }
+    }
+    int id = static_cast<int>(edges_.size());
+    edges_.push_back(DagEdge{from, to, lat, kind});
+    succs_[from].push_back(id);
+    preds_[to].push_back(id);
+}
+
+DepDag::DepDag(const Function &f, const BasicBlock &b,
+               const AliasAnalysis &aa, const MachineConfig &mach)
+    : n_(static_cast<int>(b.instrs.size()))
+{
+    preds_.resize(n_);
+    succs_.resize(n_);
+    heights_.assign(n_, 0);
+
+    PredRelations prel(b);
+
+    auto disjoint = [&](int i, int j) {
+        Reg gi = effectiveGuard(b.instrs[i]);
+        Reg gj = effectiveGuard(b.instrs[j]);
+        if (gi == kPrTrue || gj == kPrTrue)
+            return false;
+        return prel.disjointAt(i, gi, gj) && prel.disjointAt(j, gi, gj);
+    };
+
+    std::vector<Reg> defs_i, uses_i, defs_j, uses_j;
+    int last_branch = -1;
+
+    for (int i = 0; i < n_; ++i) {
+        const Instruction &ii = b.instrs[i];
+        instrDefs(ii, defs_i);
+        instrUses(ii, uses_i);
+
+        for (int j = i - 1; j >= 0; --j) {
+            const Instruction &ij = b.instrs[j];
+            instrDefs(ij, defs_j);
+            instrUses(ij, uses_j);
+            bool dj = disjoint(i, j);
+
+            // Register RAW: j defines something i reads.
+            for (const Reg &d : defs_j) {
+                bool reads = false;
+                bool guard_read = false;
+                for (const Reg &u : uses_i) {
+                    if (u == d) {
+                        reads = true;
+                        if (u == ii.guard && u.cls == RegClass::Pr)
+                            guard_read = true;
+                    }
+                }
+                if (!reads)
+                    continue;
+                // Flow is impossible between disjointly-guarded ops, but
+                // only when the *producer* is guarded (a squashed
+                // producer leaves the old value).
+                if (dj && effectiveGuard(ij) != kPrTrue)
+                    continue;
+                int lat = opLatency(mach, ij.op);
+                // IA-64 special case: a compare may feed the guard of a
+                // branch in the same issue group.
+                bool guard_only = guard_read;
+                for (const Operand &o : ii.srcs)
+                    if (o.isReg() && o.reg == d)
+                        guard_only = false;
+                if (isCmpOp(ij) && ii.isBranch() && guard_only)
+                    lat = 0;
+                addEdge(j, i, lat, DepKind::RegRaw);
+            }
+
+            // Register WAR: j reads something i writes.
+            for (const Reg &d : defs_i) {
+                for (const Reg &u : uses_j) {
+                    if (u == d) {
+                        if (!dj)
+                            addEdge(j, i, 0, DepKind::RegWar);
+                    }
+                }
+            }
+
+            // Register WAW.
+            for (const Reg &d : defs_i) {
+                for (const Reg &d2 : defs_j) {
+                    if (d == d2 && !dj)
+                        addEdge(j, i, 1, DepKind::RegWaw);
+                }
+            }
+        }
+
+        // Memory dependences: scan prior memory ops / calls.
+        if (ii.isMem() || ii.isCall()) {
+            for (int j = i - 1; j >= 0; --j) {
+                const Instruction &ij = b.instrs[j];
+                bool conflict = false;
+                if (ii.isCall() || ij.isCall()) {
+                    if (ii.isCall() && ij.isCall()) {
+                        conflict = true;
+                    } else {
+                        const Instruction &call = ii.isCall() ? ii : ij;
+                        const Instruction &memop = ii.isCall() ? ij : ii;
+                        if (memop.isMem())
+                            conflict = aa.callMayTouch(call, memop);
+                    }
+                } else if (ii.isMem() && ij.isMem()) {
+                    if (ii.isLoad() && ij.isLoad()) {
+                        conflict = false;
+                    } else {
+                        conflict = aa.mayAlias(f, ii, ij);
+                    }
+                }
+                if (conflict && !disjoint(i, j))
+                    addEdge(j, i, 1, DepKind::Mem);
+            }
+        }
+
+        // Control dependences.
+        if (ii.op == Opcode::ALLOC) {
+            for (int j = 0; j < i; ++j)
+                addEdge(j, i, 1, DepKind::Control);
+        }
+        if (ii.isBranch()) {
+            // Nothing before the branch may sink below it (latency 0
+            // keeps same-group placement legal; the packer orders
+            // non-branches first). Ops before the previous branch are
+            // already transitively ordered through it.
+            int j0 = last_branch >= 0 ? last_branch : 0;
+            for (int j = j0; j < i; ++j)
+                addEdge(j, i, j == last_branch ? 1 : 0, DepKind::Control);
+            last_branch = i;
+        } else if (last_branch >= 0) {
+            // Nothing after a branch may hoist above it.
+            addEdge(last_branch, i, 1, DepKind::Control);
+        }
+        if (last_branch >= 0 && ii.op == Opcode::ALLOC) {
+            addEdge(last_branch, i, 1, DepKind::Control);
+        }
+    }
+
+    // Heights (reverse topological order = reverse index order, since all
+    // edges go forward).
+    for (int i = n_ - 1; i >= 0; --i) {
+        int h = 0;
+        for (int ei : succs_[i])
+            h = std::max(h, edges_[ei].latency + heights_[edges_[ei].to]);
+        heights_[i] = h;
+    }
+}
+
+int
+DepDag::criticalPathLength() const
+{
+    int h = 0;
+    for (int i = 0; i < n_; ++i)
+        h = std::max(h, heights_[i] + 1);
+    return h;
+}
+
+} // namespace epic

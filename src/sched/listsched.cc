@@ -1,0 +1,274 @@
+#include "sched/listsched.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "sched/dag.h"
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+/**
+ * Try to pack `ops` (instruction indices of one issue group, non-branches
+ * first, branches last in source order) into at most `max_bundles`
+ * bundles. Returns the packing with the fewest bundles (then fewest
+ * NOPs), or nullopt when infeasible.
+ */
+std::optional<std::vector<Bundle>>
+packGroup(const BasicBlock &b, const std::vector<int> &ops, int max_bundles)
+{
+    // Greedy in-order matcher for one template sequence.
+    auto try_templates =
+        [&](const std::vector<int> &tmpls)
+        -> std::optional<std::vector<Bundle>> {
+        std::vector<Bundle> result;
+        size_t next_op = 0;
+        for (int t : tmpls) {
+            Bundle bun;
+            bun.tmpl = static_cast<uint8_t>(t);
+            for (int s = 0; s < 3; ++s) {
+                if (next_op < ops.size() &&
+                    fuFitsSlot(b.instrs[ops[next_op]].info().fu,
+                               kTemplates[t].slots[s])) {
+                    bun.slots[s] = static_cast<int16_t>(ops[next_op]);
+                    ++next_op;
+                } else {
+                    bun.slots[s] = kSlotNop;
+                }
+            }
+            result.push_back(bun);
+        }
+        if (next_op != ops.size())
+            return std::nullopt;
+        result.back().stop_after = true;
+        return result;
+    };
+
+    std::optional<std::vector<Bundle>> best;
+    int best_nops = 0;
+    auto consider = [&](const std::vector<int> &tmpls) {
+        auto r = try_templates(tmpls);
+        if (!r)
+            return;
+        int nops = 0;
+        for (const Bundle &bun : *r)
+            for (int16_t s : bun.slots)
+                if (s == kSlotNop)
+                    ++nops;
+        if (!best || r->size() < best->size() ||
+            (r->size() == best->size() && nops < best_nops)) {
+            best = std::move(r);
+            best_nops = nops;
+        }
+    };
+
+    for (int t1 = 0; t1 < kNumTemplates; ++t1)
+        consider({t1});
+    if (max_bundles >= 2 && ops.size() > 1) {
+        for (int t1 = 0; t1 < kNumTemplates; ++t1)
+            for (int t2 = 0; t2 < kNumTemplates; ++t2)
+                consider({t1, t2});
+    }
+    return best;
+}
+
+/** Dispersal counters for group feasibility. */
+struct GroupRes
+{
+    int loads = 0, stores = 0, m_only = 0, i_only = 0, f = 0, br = 0,
+        a = 0, total = 0;
+
+    bool
+    feasible(const MachineConfig &m) const
+    {
+        if (total > m.issue_width || total > m.max_ops_per_group)
+            return false;
+        if (loads > m.max_loads || stores > m.max_stores)
+            return false;
+        if (m_only > m.m_ports || i_only > m.i_ports)
+            return false;
+        if (f > m.f_ports || br > m.b_ports)
+            return false;
+        // A-type ops take leftover I then M ports.
+        int i_free = m.i_ports - i_only;
+        int m_free = m.m_ports - m_only;
+        if (a > i_free + m_free)
+            return false;
+        return true;
+    }
+
+    void
+    add(const Instruction &inst)
+    {
+        ++total;
+        const OpcodeInfo &info = inst.info();
+        if (info.is_load)
+            ++loads;
+        if (info.is_store)
+            ++stores;
+        switch (info.fu) {
+          case FuClass::M: ++m_only; break;
+          case FuClass::I: ++i_only; break;
+          case FuClass::F: ++f; break;
+          case FuClass::B: ++br; break;
+          case FuClass::A: ++a; break;
+        }
+    }
+};
+
+SchedStats
+scheduleBlock(const Function &f, BasicBlock &b, const AliasAnalysis &aa,
+              const MachineConfig &mach)
+{
+    SchedStats stats;
+    stats.blocks = 1;
+    b.bundles.clear();
+    int n = static_cast<int>(b.instrs.size());
+    if (n == 0)
+        return stats;
+
+    DepDag dag(f, b, aa, mach);
+
+    std::vector<int> ready_cycle(n, 0);  ///< earliest legal cycle
+    std::vector<int> unsched_preds(n, 0);
+    for (int i = 0; i < n; ++i)
+        unsched_preds[i] = static_cast<int>(dag.predEdges(i).size());
+
+    std::vector<int> ready;
+    for (int i = 0; i < n; ++i)
+        if (unsched_preds[i] == 0)
+            ready.push_back(i);
+
+    int scheduled = 0;
+    int cycle = 0;
+    std::vector<std::vector<int>> groups;
+
+    while (scheduled < n) {
+        std::vector<int> group;
+        GroupRes res;
+
+        // Fill the group greedily; committing an op can make a zero-
+        // latency successor (e.g. the branch guarded by a just-placed
+        // compare) ready in the same cycle, so iterate to a fixpoint.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            std::vector<int> cands;
+            for (int i : ready)
+                if (ready_cycle[i] <= cycle)
+                    cands.push_back(i);
+            if (mach.source_order_scheduling) {
+                std::sort(cands.begin(), cands.end());
+            } else {
+                std::sort(cands.begin(), cands.end(), [&](int x, int y) {
+                    if (dag.height(x) != dag.height(y))
+                        return dag.height(x) > dag.height(y);
+                    return x < y;
+                });
+            }
+            for (int i : cands) {
+                GroupRes trial = res;
+                trial.add(b.instrs[i]);
+                if (!trial.feasible(mach)) {
+                    if (mach.source_order_scheduling)
+                        break; // strict in-order fill: no skipping ahead
+                    continue;
+                }
+                // Tentative pack check (branch placement, templates).
+                std::vector<int> trial_group = group;
+                trial_group.push_back(i);
+                // Non-branches before branches, both in source order.
+                std::stable_sort(trial_group.begin(), trial_group.end(),
+                                 [&](int x, int y) {
+                                     bool bx = b.instrs[x].isBranch();
+                                     bool by = b.instrs[y].isBranch();
+                                     if (bx != by)
+                                         return !bx;
+                                     return x < y;
+                                 });
+                if (!packGroup(b, trial_group,
+                               mach.max_bundles_per_group)) {
+                    if (mach.source_order_scheduling)
+                        break;
+                    continue;
+                }
+                group = std::move(trial_group);
+                res = trial;
+                // Commit the op so its successors can become ready.
+                b.instrs[i].sched_cycle = cycle;
+                ++scheduled;
+                ready.erase(std::find(ready.begin(), ready.end(), i));
+                for (int ei : dag.succEdges(i)) {
+                    const DagEdge &e = dag.edges()[ei];
+                    ready_cycle[e.to] = std::max(ready_cycle[e.to],
+                                                 cycle + e.latency);
+                    if (--unsched_preds[e.to] == 0)
+                        ready.push_back(e.to);
+                }
+                progress = true;
+                break; // re-gather candidates
+            }
+        }
+
+        if (!group.empty()) {
+            groups.push_back(std::move(group));
+            ++stats.groups;
+        } else {
+            // Nothing issued: latency gap. The gap still costs a planned
+            // cycle (the machine will stall on use), so count it.
+            ++stats.groups;
+        }
+        ++cycle;
+        epic_assert(cycle < 100000, "scheduler livelock in ", f.name);
+    }
+
+    // Emit bundles.
+    for (const std::vector<int> &group : groups) {
+        auto packed = packGroup(b, group, mach.max_bundles_per_group);
+        epic_assert(packed.has_value(), "group unpackable post-hoc");
+        for (Bundle &bun : *packed) {
+            for (int16_t s : bun.slots) {
+                if (s == kSlotNop)
+                    ++stats.nops;
+                else
+                    ++stats.ops;
+            }
+            ++stats.bundles;
+            b.bundles.push_back(bun);
+        }
+    }
+
+    stats.weighted_groups =
+        static_cast<long long>(stats.groups * std::max(b.weight, 0.0));
+    stats.weighted_ops =
+        static_cast<long long>(stats.ops * std::max(b.weight, 0.0));
+    return stats;
+}
+
+} // namespace
+
+SchedStats
+scheduleFunction(Function &f, const AliasAnalysis &aa,
+                 const MachineConfig &mach)
+{
+    SchedStats total;
+    for (auto &bp : f.blocks)
+        if (bp)
+            total += scheduleBlock(f, *bp, aa, mach);
+    return total;
+}
+
+SchedStats
+scheduleProgram(Program &prog, const AliasAnalysis &aa,
+                const MachineConfig &mach)
+{
+    SchedStats total;
+    for (auto &fp : prog.funcs)
+        if (fp)
+            total += scheduleFunction(*fp, aa, mach);
+    return total;
+}
+
+} // namespace epic

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * List scheduler and bundle packer.
+ *
+ * Schedules each block's instructions into issue groups under the
+ * machine's dispersal constraints (port counts, load/store limits, issue
+ * width), then packs each group into IA-64 bundle templates, inserting
+ * explicit NOPs for unfilled slots — the mechanism behind the paper's
+ * Figure 6 observation that better-scheduled code retires *fewer* NOPs
+ * and therefore fetches more efficiently.
+ */
+#ifndef EPIC_SCHED_LISTSCHED_H
+#define EPIC_SCHED_LISTSCHED_H
+
+#include "analysis/alias.h"
+#include "ir/program.h"
+#include "mach/machine.h"
+
+namespace epic {
+
+/** Scheduling statistics (per function or aggregated). */
+struct SchedStats
+{
+    int blocks = 0;
+    int groups = 0;      ///< issue groups emitted (planned cycles/pass)
+    int bundles = 0;
+    int nops = 0;        ///< explicit NOP slots
+    int ops = 0;         ///< real (non-NOP) operations
+    long long weighted_groups = 0;  ///< groups x block profile weight
+    long long weighted_ops = 0;
+
+    SchedStats &
+    operator+=(const SchedStats &o)
+    {
+        blocks += o.blocks;
+        groups += o.groups;
+        bundles += o.bundles;
+        nops += o.nops;
+        ops += o.ops;
+        weighted_groups += o.weighted_groups;
+        weighted_ops += o.weighted_ops;
+        return *this;
+    }
+
+    /** Average planned IPC over profiled execution. */
+    double
+    plannedIpc() const
+    {
+        return weighted_groups > 0
+                   ? static_cast<double>(weighted_ops) /
+                         static_cast<double>(weighted_groups)
+                   : 0.0;
+    }
+};
+
+/** Schedule every block of a function into bundles. */
+SchedStats scheduleFunction(Function &f, const AliasAnalysis &aa,
+                            const MachineConfig &mach);
+
+/** Schedule the whole program. */
+SchedStats scheduleProgram(Program &prog, const AliasAnalysis &aa,
+                           const MachineConfig &mach);
+
+} // namespace epic
+
+#endif // EPIC_SCHED_LISTSCHED_H

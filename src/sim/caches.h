@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Set-associative LRU cache and the Itanium-2-like three-level
+ * hierarchy (16K L1I + 16K L1D, unified 256K L2, unified 3M L3).
+ * Floating-point loads bypass L1D (as on the real machine).
+ */
+#ifndef EPIC_SIM_CACHES_H
+#define EPIC_SIM_CACHES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mach/machine.h"
+
+namespace epic {
+
+/** One set-associative LRU cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access a line; allocates on miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without state change. */
+    bool contains(uint64_t addr) const;
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    int latency() const { return cfg_.latency; }
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    CacheConfig cfg_;
+    int num_sets_;
+    std::vector<Way> ways_; ///< num_sets x assoc
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0, misses_ = 0;
+};
+
+/** Result of a memory-hierarchy access. */
+struct MemAccessResult
+{
+    int latency = 0;    ///< load-use latency in cycles
+    bool l1_hit = false;
+    bool l2_hit = false;
+    bool l3_hit = false;
+};
+
+/** The full data/instruction hierarchy. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MachineConfig &mach);
+
+    /** Integer/FP data load (fp loads bypass L1D). */
+    MemAccessResult load(uint64_t addr, bool fp);
+    /** Data store (write-through, no L1 allocate; allocates in L2). */
+    void store(uint64_t addr);
+    /** Instruction fetch of one 64-byte line. */
+    MemAccessResult fetch(uint64_t addr);
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+
+  private:
+    MachineConfig mach_;
+    Cache l1i_, l1d_, l2_, l3_;
+};
+
+} // namespace epic
+
+#endif // EPIC_SIM_CACHES_H

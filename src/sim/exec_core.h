@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared instruction-execution core.
+ *
+ * Both the functional interpreter (profiling, semantic checks) and the
+ * timing simulator execute instructions through this one implementation,
+ * so architected semantics cannot drift between them. The core implements
+ * IA-64-style NaT (not-a-thing) deferral for control-speculative loads:
+ * a speculative load to the NULL page or an unmapped page writes NaT; NaT
+ * propagates through consumers; compares with NaT inputs clear their
+ * destination predicates; chk.s branches to recovery when it sees NaT;
+ * and any non-speculative consumption of NaT at a memory or control
+ * boundary traps.
+ */
+#ifndef EPIC_SIM_EXEC_CORE_H
+#define EPIC_SIM_EXEC_CORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "sim/memory.h"
+
+namespace epic {
+
+/** General-register value with its NaT bit. */
+struct GrVal
+{
+    int64_t v = 0;
+    bool nat = false;
+};
+
+/** One activation record (IA-64 register stack semantics: registers are
+ *  private to the frame). */
+struct Frame
+{
+    const Function *fn = nullptr;
+    std::vector<GrVal> gr;
+    std::vector<double> fr;
+    std::vector<uint8_t> pr;
+
+    // Caller resume point.
+    int ret_block = -1;
+    int ret_pos = -1; ///< index into the caller's execution order
+    Reg ret_dest;     ///< caller register receiving the return value
+
+    /// Stack pointer for this frame's spill area (also placed in gr12).
+    uint64_t sp = 0;
+
+    /**
+     * @param f The function this frame activates.
+     * @param sp_value Frame stack pointer (spill area base); written to
+     *        the architected SP register (gr12).
+     */
+    Frame(const Function *f, uint64_t sp_value);
+
+    /** Bytes of stack this function's frame occupies (16-aligned). */
+    static uint64_t
+    frameBytes(const Function &f)
+    {
+        return (static_cast<uint64_t>(f.spill_slots) * 8 + 15) & ~15ull;
+    }
+
+    GrVal
+    readGr(Reg r) const
+    {
+        if (r.id == 0)
+            return GrVal{0, false};
+        return gr[r.id];
+    }
+    void
+    writeGr(Reg r, GrVal val)
+    {
+        if (r.id != 0)
+            gr[r.id] = val;
+    }
+    bool
+    readPr(Reg r) const
+    {
+        if (r.id == 0)
+            return true;
+        return pr[r.id] != 0;
+    }
+    void
+    writePr(Reg r, bool val)
+    {
+        if (r.id != 0)
+            pr[r.id] = val ? 1 : 0;
+    }
+};
+
+/** Control/observable effects of executing one instruction. */
+struct Effect
+{
+    enum class Ctl : uint8_t { Next, Branch, Call, Ret };
+
+    Ctl ctl = Ctl::Next;
+    bool executed = false; ///< guard evaluated true
+
+    int branch_target = -1; ///< Ctl::Branch
+    int callee = -1;        ///< Ctl::Call (resolved for indirect calls)
+
+    bool has_ret_val = false;
+    GrVal ret_val;
+
+    // Memory observation (for the timing model and statistics).
+    bool is_mem = false;
+    bool is_load = false;
+    uint64_t addr = 0;
+    int size = 0;
+    bool mem_deferred = false; ///< speculative access got NaT
+    bool mem_null_page = false; ///< access hit the architected NaT page 0
+    bool mem_wild = false;      ///< speculative access to unmapped page
+
+    bool trap = false;
+    std::string trap_msg;
+};
+
+/**
+ * Execute one instruction in `frame` against `mem`.
+ *
+ * @param prog The program (for symbol address and callee resolution).
+ * @param inst The instruction.
+ * @param frame Current activation.
+ * @param mem Program memory.
+ * @return Effects (control transfer, memory observation, trap).
+ */
+Effect execInstr(const Program &prog, const Instruction &inst, Frame &frame,
+                 Memory &mem);
+
+} // namespace epic
+
+#endif // EPIC_SIM_EXEC_CORE_H

@@ -1,0 +1,252 @@
+#include "sim/interp.h"
+
+#include <deque>
+
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+/** Execution-order view of a block (source order or bundle order). */
+std::vector<int>
+execOrder(const BasicBlock &b, bool scheduled_order)
+{
+    std::vector<int> order;
+    if (scheduled_order && b.scheduled()) {
+        order.reserve(b.instrs.size());
+        for (const Bundle &bun : b.bundles)
+            for (int16_t s : bun.slots)
+                if (s != kSlotNop)
+                    order.push_back(s);
+    } else {
+        order.resize(b.instrs.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<int>(i);
+    }
+    return order;
+}
+
+/** Evaluate a call-argument operand (mirrors exec_core's evalGr). */
+GrVal
+evalArgHelper(const Program &prog, const Frame &frame, const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        return frame.readGr(o.reg);
+      case Operand::Kind::Imm:
+        return GrVal{o.imm, false};
+      case Operand::Kind::Sym:
+        return GrVal{
+            static_cast<int64_t>(prog.symbolAddr(o.sym) + o.imm), false};
+      case Operand::Kind::Func:
+        return GrVal{o.func, false};
+      default:
+        epic_panic("bad call argument operand");
+    }
+}
+
+} // namespace
+
+InterpResult
+interpret(Program &prog, Memory &mem, const InterpOptions &opts)
+{
+    InterpResult res;
+    Function *entry_fn = prog.func(prog.entry_func);
+    if (!entry_fn) {
+        res.error = "no entry function";
+        return res;
+    }
+
+    std::deque<Frame> stack;
+    const uint64_t stack_top = Program::kStackTop - 64;
+    stack.emplace_back(entry_fn,
+                       stack_top - Frame::frameBytes(*entry_fn));
+
+    Function *fn = entry_fn;
+    BasicBlock *bb = fn->block(fn->entry);
+    epic_assert(bb, "entry block missing");
+    std::vector<int> order = execOrder(*bb, opts.scheduled_order);
+    size_t pos = 0;
+
+    if (opts.collect_profile) {
+        entry_fn->weight += 1;
+        bb->weight += 1;
+    }
+
+    auto enter_block = [&](int bid) -> bool {
+        bb = fn->block(bid);
+        if (!bb) {
+            res.error = "jump to dead block in " + fn->name;
+            return false;
+        }
+        order = execOrder(*bb, opts.scheduled_order);
+        pos = 0;
+        if (opts.collect_profile)
+            bb->weight += 1;
+        return true;
+    };
+
+    while (true) {
+        if (res.dyn_instrs >= opts.max_instrs) {
+            res.error = "dynamic instruction budget exceeded";
+            return res;
+        }
+
+        // Fall off the end of the block?
+        if (pos >= order.size()) {
+            if (bb->fallthrough < 0) {
+                res.error = "fell off block bb" + std::to_string(bb->id) +
+                            " in " + fn->name;
+                return res;
+            }
+            if (!enter_block(bb->fallthrough))
+                return res;
+            continue;
+        }
+
+        Instruction &inst = bb->instrs[order[pos]];
+        Frame &frame = stack.back();
+        Effect eff = execInstr(prog, inst, frame, mem);
+
+        ++res.dyn_instrs;
+        if (eff.executed)
+            ++res.dyn_executed;
+        else
+            ++res.dyn_squashed;
+
+        if (eff.trap) {
+            res.error = "trap in " + fn->name + " at '" + inst.str() +
+                        "': " + eff.trap_msg;
+            return res;
+        }
+
+        if (eff.is_mem && eff.executed) {
+            if (eff.is_load) {
+                ++res.dyn_loads;
+                if (eff.mem_wild)
+                    ++res.wild_loads;
+                if (eff.mem_null_page)
+                    ++res.null_page_loads;
+                if (eff.mem_deferred)
+                    ++res.deferred_loads;
+            } else {
+                ++res.dyn_stores;
+            }
+        }
+
+        switch (eff.ctl) {
+          case Effect::Ctl::Next:
+            ++pos;
+            break;
+
+          case Effect::Ctl::Branch:
+            ++res.dyn_branches;
+            if (opts.collect_profile && inst.op == Opcode::BR)
+                inst.prof_taken += 1;
+            if (!enter_block(eff.branch_target))
+                return res;
+            break;
+
+          case Effect::Ctl::Call: {
+            ++res.dyn_branches;
+            ++res.dyn_calls;
+            if (opts.collect_profile && inst.op == Opcode::BR_ICALL) {
+                bool found = false;
+                for (auto &[fid, cnt] : inst.prof_callees) {
+                    if (fid == eff.callee) {
+                        cnt += 1;
+                        found = true;
+                    }
+                }
+                if (!found)
+                    inst.prof_callees.push_back({eff.callee, 1.0});
+            }
+            if (static_cast<int>(stack.size()) >= opts.max_depth) {
+                res.error = "call depth limit exceeded in " + fn->name;
+                return res;
+            }
+            Function *callee = prog.func(eff.callee);
+            epic_assert(callee, "call to missing function");
+            // Gather argument values from the caller before pushing.
+            size_t first_arg = inst.op == Opcode::BR_ICALL ? 1 : 0;
+            size_t nargs = inst.srcs.size() - first_arg;
+            if (nargs != callee->params.size()) {
+                res.error = "arity mismatch calling " + callee->name;
+                return res;
+            }
+            std::vector<GrVal> args(nargs);
+            for (size_t i = 0; i < nargs; ++i)
+                args[i] = evalArgHelper(prog, frame, inst.srcs[first_arg + i]);
+
+            stack.emplace_back(callee,
+                               frame.sp - Frame::frameBytes(*callee));
+            Frame &nf = stack.back();
+            nf.ret_block = bb->id;
+            nf.ret_pos = static_cast<int>(pos) + 1;
+            nf.ret_dest = inst.dests.empty() ? Reg() : inst.dests[0];
+            for (size_t i = 0; i < nargs; ++i)
+                nf.writeGr(callee->params[i], args[i]);
+
+            fn = callee;
+            if (opts.collect_profile)
+                fn->weight += 1;
+            if (!enter_block(fn->entry))
+                return res;
+            break;
+          }
+
+          case Effect::Ctl::Ret: {
+            ++res.dyn_branches;
+            Frame done = std::move(stack.back());
+            stack.pop_back();
+            if (stack.empty()) {
+                res.ok = true;
+                res.ret_value = eff.has_ret_val ? eff.ret_val.v : 0;
+                return res;
+            }
+            Frame &caller = stack.back();
+            fn = const_cast<Function *>(caller.fn);
+            if (done.ret_dest.valid() && eff.has_ret_val)
+                caller.writeGr(done.ret_dest, eff.ret_val);
+            else if (done.ret_dest.valid())
+                caller.writeGr(done.ret_dest, GrVal{0, false});
+            bb = fn->block(done.ret_block);
+            epic_assert(bb, "return to dead block");
+            order = execOrder(*bb, opts.scheduled_order);
+            pos = static_cast<size_t>(done.ret_pos);
+            break;
+          }
+        }
+    }
+}
+
+InterpResult
+profileRun(Program &prog, Memory &mem)
+{
+    clearProfile(prog);
+    InterpOptions opts;
+    opts.collect_profile = true;
+    return interpret(prog, mem, opts);
+}
+
+void
+clearProfile(Program &prog)
+{
+    for (auto &f : prog.funcs) {
+        if (!f)
+            continue;
+        f->weight = 0;
+        for (auto &b : f->blocks) {
+            if (!b)
+                continue;
+            b->weight = 0;
+            for (Instruction &inst : b->instrs) {
+                inst.prof_taken = 0;
+                inst.prof_callees.clear();
+            }
+        }
+    }
+}
+
+} // namespace epic

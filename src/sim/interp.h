@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional interpreter.
+ *
+ * Executes an IR program with full architected semantics but no timing.
+ * Used for three purposes:
+ *  1. Control-flow profiling (annotates block weights and branch-taken
+ *     counts into the IR, the compiler's profile feedback).
+ *  2. Semantic validation: every compiled configuration of a program must
+ *     produce the same architected result as the original.
+ *  3. Schedule validation: scheduled code can be executed in bundle order
+ *     (the order the hardware would see), which checks that scheduling
+ *     and speculation preserved program semantics.
+ */
+#ifndef EPIC_SIM_INTERP_H
+#define EPIC_SIM_INTERP_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.h"
+#include "sim/exec_core.h"
+#include "sim/memory.h"
+
+namespace epic {
+
+/** Interpreter options. */
+struct InterpOptions
+{
+    /// Execute in scheduled (bundle) order instead of source order.
+    bool scheduled_order = false;
+    /// Collect profile data into the program (block/branch weights).
+    bool collect_profile = false;
+    /// Dynamic instruction budget (trap beyond it).
+    uint64_t max_instrs = 2'000'000'000ull;
+    /// Call-depth limit.
+    int max_depth = 16384;
+};
+
+/** Outcome of a functional run. */
+struct InterpResult
+{
+    bool ok = false;
+    std::string error;
+    int64_t ret_value = 0;
+
+    uint64_t dyn_instrs = 0;    ///< instructions evaluated (incl. squashed)
+    uint64_t dyn_executed = 0;  ///< guard-true instructions
+    uint64_t dyn_squashed = 0;  ///< guard-false (predicated-off)
+    uint64_t dyn_loads = 0;
+    uint64_t dyn_stores = 0;
+    uint64_t dyn_branches = 0;  ///< executed control transfers
+    uint64_t dyn_calls = 0;
+    uint64_t wild_loads = 0;     ///< speculative loads to unmapped pages
+    uint64_t null_page_loads = 0;
+    uint64_t deferred_loads = 0; ///< all NaT-producing speculative loads
+};
+
+/**
+ * Run a program functionally.
+ *
+ * @param prog Program (mutated only when collect_profile is set).
+ * @param mem  Initialized memory image (initFromProgram + inputs).
+ * @param opts Options.
+ */
+InterpResult interpret(Program &prog, Memory &mem,
+                       const InterpOptions &opts = {});
+
+/**
+ * Profile convenience: clears existing profile annotations, runs with
+ * collect_profile, and returns the result.
+ */
+InterpResult profileRun(Program &prog, Memory &mem);
+
+/** Remove all profile annotations from a program. */
+void clearProfile(Program &prog);
+
+} // namespace epic
+
+#endif // EPIC_SIM_INTERP_H

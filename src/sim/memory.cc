@@ -1,0 +1,111 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+#include "ir/program.h"
+#include "support/logging.h"
+
+namespace epic {
+
+uint8_t *
+Memory::pageFor(uint64_t addr, bool create)
+{
+    uint64_t pn = addr >> kPageBits;
+    auto it = pages_.find(pn);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto page = std::make_unique<uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    uint8_t *raw = page.get();
+    pages_.emplace(pn, std::move(page));
+    return raw;
+}
+
+const uint8_t *
+Memory::pageForRead(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void
+Memory::mapRange(uint64_t addr, uint64_t size)
+{
+    uint64_t first = addr >> kPageBits;
+    uint64_t last = (addr + (size ? size - 1 : 0)) >> kPageBits;
+    for (uint64_t pn = first; pn <= last; ++pn)
+        pageFor(pn << kPageBits, true);
+}
+
+uint64_t
+Memory::read(uint64_t addr, int size) const
+{
+    epic_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size ", size);
+    uint64_t v = 0;
+    if ((addr & kPageMask) + size <= kPageSize) {
+        const uint8_t *p = pageForRead(addr);
+        epic_assert(p, "read from unmapped address 0x", std::hex, addr);
+        std::memcpy(&v, p + (addr & kPageMask), size);
+        return v;
+    }
+    for (int i = 0; i < size; ++i) {
+        const uint8_t *p = pageForRead(addr + i);
+        epic_assert(p, "read from unmapped address");
+        v |= static_cast<uint64_t>(p[(addr + i) & kPageMask]) << (8 * i);
+    }
+    return v;
+}
+
+void
+Memory::write(uint64_t addr, uint64_t value, int size)
+{
+    epic_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size ", size);
+    if ((addr & kPageMask) + size <= kPageSize) {
+        uint8_t *p = pageFor(addr, false);
+        epic_assert(p, "write to unmapped address 0x", std::hex, addr);
+        std::memcpy(p + (addr & kPageMask), &value, size);
+        return;
+    }
+    for (int i = 0; i < size; ++i) {
+        uint8_t *p = pageFor(addr + i, false);
+        epic_assert(p, "write to unmapped address");
+        p[(addr + i) & kPageMask] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBytes(uint64_t addr, const uint8_t *data, uint64_t len)
+{
+    for (uint64_t i = 0; i < len; ++i) {
+        uint8_t *p = pageFor(addr + i, true);
+        p[(addr + i) & kPageMask] = data[i];
+    }
+}
+
+void
+Memory::readBytes(uint64_t addr, uint8_t *out, uint64_t len) const
+{
+    for (uint64_t i = 0; i < len; ++i) {
+        const uint8_t *p = pageForRead(addr + i);
+        epic_assert(p, "readBytes from unmapped address");
+        out[i] = p[(addr + i) & kPageMask];
+    }
+}
+
+void
+Memory::initFromProgram(const Program &prog)
+{
+    for (const DataSymbol &s : prog.symbols) {
+        mapRange(s.addr, std::max<uint64_t>(s.size, 1));
+        if (!s.init.empty())
+            writeBytes(s.addr, s.init.data(), s.init.size());
+    }
+    mapRange(Program::kStackTop - Program::kStackSize, Program::kStackSize);
+}
+
+} // namespace epic

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse paged memory for simulated programs.
+ *
+ * Pages are 16 KB (the Linux/ia64 default the paper's system used).
+ * Accesses to unmapped pages are *not* errors at this level — the
+ * interpreter decides whether an unmapped access is a program fault
+ * (non-speculative access) or a deferred NaT result (speculative access),
+ * and the timing model charges the corresponding TLB/OS walk costs.
+ */
+#ifndef EPIC_SIM_MEMORY_H
+#define EPIC_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace epic {
+
+class Program;
+
+/** Sparse byte-addressable memory with 16 KB pages. */
+class Memory
+{
+  public:
+    static constexpr uint64_t kPageBits = 14;
+    static constexpr uint64_t kPageSize = 1ull << kPageBits;
+    static constexpr uint64_t kPageMask = kPageSize - 1;
+
+    /** Map (zero-fill) every page covering [addr, addr+size). */
+    void mapRange(uint64_t addr, uint64_t size);
+
+    /** True if the page containing addr is mapped. */
+    bool
+    isMapped(uint64_t addr) const
+    {
+        return pages_.count(addr >> kPageBits) != 0;
+    }
+
+    /** Page-number accessor (for TLB modelling). */
+    static uint64_t
+    pageOf(uint64_t addr)
+    {
+        return addr >> kPageBits;
+    }
+
+    /**
+     * Read `size` (1/2/4/8) bytes, little-endian, zero-extended.
+     * All covered pages must be mapped.
+     */
+    uint64_t read(uint64_t addr, int size) const;
+
+    /** Write the low `size` bytes of value. Pages must be mapped. */
+    void write(uint64_t addr, uint64_t value, int size);
+
+    /** Bulk host-side accessors (map pages on demand for writes). */
+    void writeBytes(uint64_t addr, const uint8_t *data, uint64_t len);
+    void readBytes(uint64_t addr, uint8_t *out, uint64_t len) const;
+
+    /** Build the initial image for a program: data symbols + stack. */
+    void initFromProgram(const Program &prog);
+
+    /** Number of mapped pages (footprint diagnostics). */
+    size_t mappedPages() const { return pages_.size(); }
+
+  private:
+    uint8_t *pageFor(uint64_t addr, bool create);
+    const uint8_t *pageForRead(uint64_t addr) const;
+
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+} // namespace epic
+
+#endif // EPIC_SIM_MEMORY_H

@@ -1,0 +1,647 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/caches.h"
+#include "sim/exec_core.h"
+#include "sim/predictor.h"
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+/** One issue group of a block: instruction indices in slot order. */
+struct GroupInfo
+{
+    std::vector<int> ops;        ///< instruction indices, slot order
+    std::vector<uint64_t> addrs; ///< per-op code address (bundle+slot)
+    std::vector<uint64_t> lines; ///< distinct 64B I-cache lines
+    int nops = 0;
+    uint32_t attr_union = 0;     ///< OR of member provenance attrs
+};
+
+/** Issue groups of a scheduled block. */
+std::vector<GroupInfo>
+buildGroups(const BasicBlock &b)
+{
+    std::vector<GroupInfo> groups;
+    GroupInfo cur;
+    for (const Bundle &bun : b.bundles) {
+        uint64_t line = bun.addr & ~63ull;
+        if (std::find(cur.lines.begin(), cur.lines.end(), line) ==
+            cur.lines.end()) {
+            cur.lines.push_back(line);
+        }
+        for (int slot = 0; slot < 3; ++slot) {
+            int16_t s = bun.slots[slot];
+            if (s == kSlotNop) {
+                ++cur.nops;
+            } else {
+                cur.ops.push_back(s);
+                cur.addrs.push_back(bun.addr +
+                                    static_cast<uint64_t>(slot));
+                cur.attr_union |= b.instrs[s].attr;
+            }
+        }
+        if (bun.stop_after) {
+            groups.push_back(std::move(cur));
+            cur = GroupInfo{};
+        }
+    }
+    if (!cur.ops.empty() || cur.nops > 0)
+        groups.push_back(std::move(cur));
+    return groups;
+}
+
+/** Per-frame timing state: register ready times and producer class. */
+struct TFrame
+{
+    // Indexed like the architectural frame's register files.
+    std::vector<int64_t> ready_gr, ready_fr, ready_pr;
+    std::vector<int64_t> planned_gr, planned_fr;
+    std::vector<uint8_t> f_unit_gr, f_unit_fr; ///< producer was F-unit
+    std::vector<uint8_t> load_gr, load_fr;     ///< producer was a load
+
+    TFrame(size_t ngr, size_t nfr, size_t npr)
+        : ready_gr(ngr, 0), ready_fr(nfr, 0), ready_pr(npr, 0),
+          planned_gr(ngr, 0), planned_fr(nfr, 0), f_unit_gr(ngr, 0),
+          f_unit_fr(nfr, 0), load_gr(ngr, 0), load_fr(nfr, 0)
+    {
+    }
+};
+
+/** Fully-associative LRU DTLB. */
+class Dtlb
+{
+  public:
+    explicit Dtlb(int entries) : entries_(entries) {}
+
+    bool
+    access(uint64_t page)
+    {
+        ++tick_;
+        auto it = map_.find(page);
+        if (it != map_.end()) {
+            it->second = tick_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    insert(uint64_t page)
+    {
+        if (static_cast<int>(map_.size()) >= entries_) {
+            auto victim = map_.begin();
+            for (auto it = map_.begin(); it != map_.end(); ++it)
+                if (it->second < victim->second)
+                    victim = it;
+            map_.erase(victim);
+        }
+        map_[page] = ++tick_;
+    }
+
+  private:
+    int entries_;
+    uint64_t tick_ = 0;
+    std::map<uint64_t, uint64_t> map_;
+};
+
+} // namespace
+
+TimingResult
+simulate(Program &prog, Memory &mem, const TimingOptions &opts)
+{
+    TimingResult res;
+    const MachineConfig &mach = opts.mach;
+
+    Function *entry_fn = prog.func(prog.entry_func);
+    if (!entry_fn) {
+        res.error = "no entry function";
+        return res;
+    }
+
+    // Execution state (architected + timing), parallel stacks.
+    std::deque<Frame> frames;
+    std::deque<TFrame> tframes;
+    std::deque<int> frame_stacked; ///< register-stack frame sizes
+
+    const uint64_t stack_top = Program::kStackTop - 64;
+    frames.emplace_back(entry_fn,
+                        stack_top - Frame::frameBytes(*entry_fn));
+    auto push_tframe = [&](const Frame &f) {
+        tframes.emplace_back(f.gr.size(), f.fr.size(), f.pr.size());
+    };
+    push_tframe(frames.back());
+    frame_stacked.push_back(entry_fn->stacked_regs);
+
+    // Machine structures.
+    MemHierarchy hier(mach);
+    BranchPredictor pred(mach.predictor_bits);
+    Dtlb dtlb(mach.dtlb_entries);
+    Perfmon &pm = res.pm;
+
+    // Register-stack engine state.
+    int64_t rse_logical = entry_fn->stacked_regs;
+    int64_t rse_spilled = 0;
+
+    // Store ring for micropipe (cycle, address).
+    std::deque<std::pair<int64_t, uint64_t>> store_ring;
+
+    // Group caches per block (per function, block id).
+    std::map<std::pair<int, int>, std::vector<GroupInfo>> group_cache;
+    auto groups_of = [&](const Function &f,
+                         const BasicBlock &b)
+        -> const std::vector<GroupInfo> & {
+        auto key = std::make_pair(f.id, b.id);
+        auto it = group_cache.find(key);
+        if (it == group_cache.end())
+            it = group_cache.emplace(key, buildGroups(b)).first;
+        return it->second;
+    };
+
+    Function *fn = entry_fn;
+    BasicBlock *bb = fn->block(fn->entry);
+    if (!bb) {
+        res.error = "entry block missing";
+        return res;
+    }
+    size_t gi = 0; ///< group index within bb
+
+    int64_t t_prev = -1;   ///< issue time of the previous group
+    int64_t fe_time = 0;   ///< fetch-pipeline clock
+    std::deque<int64_t> issue_hist; ///< recent group issue times (IB)
+    const size_t ib_groups =
+        std::max<size_t>(1, mach.instr_buffer_ops / mach.issue_width);
+
+    uint64_t safety = 0;
+
+    auto charge = [&](CycleCat c, int64_t n) {
+        if (n <= 0)
+            return;
+        pm.addCycles(c, static_cast<uint64_t>(n));
+        pm.func_cycles[fn->id] += static_cast<uint64_t>(n);
+    };
+
+    // Resume positions for returns: group index in caller's block.
+    struct RetPos
+    {
+        int block;
+        size_t group;
+    };
+    std::deque<RetPos> ret_stack;
+
+    while (true) {
+        if (pm.total() > opts.max_cycles || ++safety > (1ull << 34)) {
+            res.error = "cycle budget exceeded";
+            return res;
+        }
+
+        // End of block: fall through.
+        const std::vector<GroupInfo> &groups = groups_of(*fn, *bb);
+        if (gi >= groups.size()) {
+            if (bb->fallthrough < 0) {
+                res.error = "fell off block bb" + std::to_string(bb->id) +
+                            " in " + fn->name;
+                return res;
+            }
+            bb = fn->block(bb->fallthrough);
+            if (!bb) {
+                res.error = "fallthrough to dead block";
+                return res;
+            }
+            gi = 0;
+            continue;
+        }
+        const GroupInfo &group = groups[gi];
+        Frame &frame = frames.back();
+        TFrame &tf = tframes.back();
+
+        // ---- Front end: fetch this group's lines ----
+        int64_t fetch_floor =
+            issue_hist.size() >= ib_groups ? issue_hist.front() : 0;
+        fe_time = std::max(fe_time, fetch_floor);
+        int fe_cost = 1;
+        for (uint64_t line : group.lines) {
+            MemAccessResult fr2 = hier.fetch(line);
+            ++pm.l1i_accesses;
+            if (!fr2.l1_hit) {
+                ++pm.l1i_misses;
+                if (group.attr_union & kAttrTailDup)
+                    ++pm.l1i_miss_taildup;
+                if (group.attr_union & (kAttrPeelCopy | kAttrRemainder))
+                    ++pm.l1i_miss_peel_remainder;
+                if (!fr2.l2_hit) {
+                    ++pm.l2i_misses;
+                    if (group.attr_union & kAttrTailDup)
+                        ++pm.l2i_miss_taildup;
+                    if (group.attr_union &
+                        (kAttrPeelCopy | kAttrRemainder))
+                        ++pm.l2i_miss_peel_remainder;
+                }
+            }
+            fe_cost = std::max(fe_cost, fr2.latency);
+        }
+        fe_time += fe_cost;
+
+        // ---- Scoreboard: earliest issue ----
+        int64_t base = t_prev + 1;
+        int64_t src_ready = base;
+        int64_t src_planned = base;
+        bool binding_is_f = false, binding_is_load = false;
+        auto consider = [&](int64_t ready, int64_t planned, bool is_f,
+                            bool is_load) {
+            if (ready > src_ready) {
+                src_ready = ready;
+                src_planned = planned;
+                binding_is_f = is_f;
+                binding_is_load = is_load;
+            }
+        };
+        for (int oi : group.ops) {
+            const Instruction &inst = bb->instrs[oi];
+            if (inst.guard.id != 0)
+                consider(tf.ready_pr[inst.guard.id], base, false, false);
+            bool guard_true = frame.readPr(inst.guard);
+            if (!guard_true)
+                continue; // squashed ops do not stall on operands
+            for (const Operand &o : inst.srcs) {
+                if (!o.isReg())
+                    continue;
+                const Reg &r = o.reg;
+                if (r.cls == RegClass::Gr && r.id != 0) {
+                    consider(tf.ready_gr[r.id], tf.planned_gr[r.id],
+                             tf.f_unit_gr[r.id], tf.load_gr[r.id]);
+                } else if (r.cls == RegClass::Fr) {
+                    consider(tf.ready_fr[r.id], tf.planned_fr[r.id],
+                             tf.f_unit_fr[r.id], tf.load_fr[r.id]);
+                } else if (r.cls == RegClass::Pr && r.id != 0) {
+                    consider(tf.ready_pr[r.id], base, false, false);
+                }
+            }
+        }
+
+        int64_t issue = std::max({base, fe_time, src_ready});
+
+        // ---- Stall attribution ----
+        int64_t src_stall = std::max<int64_t>(0, src_ready - base);
+        int64_t fe_stall =
+            std::max<int64_t>(0, std::min(issue, fe_time) - base -
+                                     src_stall);
+        if (src_stall > 0) {
+            int64_t planned_part = std::clamp<int64_t>(
+                src_planned - base, 0, src_stall);
+            int64_t dynamic_part = src_stall - planned_part;
+            charge(binding_is_f ? CycleCat::FloatScoreboard
+                                : CycleCat::MiscScoreboard,
+                   planned_part);
+            charge(binding_is_load ? CycleCat::IntLoadBubble
+                                   : CycleCat::MiscScoreboard,
+                   dynamic_part);
+        }
+        charge(CycleCat::FrontEndBubble, fe_stall);
+        charge(CycleCat::Unstalled, 1);
+        pm.nop_ops += group.nops;
+
+        issue_hist.push_back(issue);
+        if (issue_hist.size() > ib_groups)
+            issue_hist.pop_front();
+
+        int64_t post_penalty = 0; ///< serializing penalties after issue
+
+        // ---- Execute ops in slot order ----
+        enum class Ctl { None, Branch, Call, Ret } ctl = Ctl::None;
+        int ctl_target = -1, ctl_callee = -1;
+        const Instruction *ctl_inst = nullptr;
+        Effect ctl_eff;
+
+        for (size_t op_i = 0; op_i < group.ops.size(); ++op_i) {
+            int oi = group.ops[op_i];
+            uint64_t paddr = group.addrs[op_i];
+            Instruction &inst = bb->instrs[oi];
+            Effect eff = execInstr(prog, inst, frame, mem);
+            if (eff.trap) {
+                res.error = "trap in " + fn->name + " at '" + inst.str() +
+                            "': " + eff.trap_msg;
+                return res;
+            }
+            if (eff.executed)
+                ++pm.useful_ops;
+            else
+                ++pm.squashed_ops;
+
+            const OpcodeInfo &info = inst.info();
+
+            // Result timing for executed, non-memory ops.
+            int actual_lat = info.latency;
+            int planned_lat = info.latency;
+
+            // ---- Memory behaviour ----
+            if (eff.executed && eff.is_mem) {
+                if (eff.is_load) {
+                    ++pm.loads;
+                    uint64_t page = Memory::pageOf(eff.addr);
+                    int tlb_extra = 0;
+                    if (eff.mem_deferred) {
+                        // Speculative load that deferred to NaT.
+                        if (eff.mem_null_page) {
+                            ++pm.null_page_loads;
+                            post_penalty += mach.nat_page_cycles;
+                            charge(CycleCat::IntLoadBubble,
+                                   mach.nat_page_cycles);
+                        } else {
+                            ++pm.wild_loads;
+                            if (opts.spec_model == SpecModel::General) {
+                                // Kernel walks the page hierarchy and
+                                // does not cache the (absent) result.
+                                post_penalty += mach.os_walk_cycles;
+                                charge(CycleCat::Kernel,
+                                       mach.os_walk_cycles);
+                                pm.kernel_ops +=
+                                    static_cast<uint64_t>(
+                                        mach.os_walk_cycles);
+                            } else {
+                                // Sentinel: defer cheaply at the DTLB;
+                                // recovery cost is charged at chk.s.
+                                post_penalty += mach.nat_page_cycles;
+                                charge(CycleCat::IntLoadBubble,
+                                       mach.nat_page_cycles);
+                            }
+                        }
+                    } else {
+                        if (!dtlb.access(page)) {
+                            ++pm.dtlb_misses;
+                            ++pm.vhpt_walks;
+                            tlb_extra = mach.vhpt_walk_cycles;
+                            dtlb.insert(page);
+                        }
+                        bool fp = inst.op == Opcode::LDF;
+                        MemAccessResult mr = hier.load(eff.addr, fp);
+                        ++pm.l1d_accesses;
+                        if (!mr.l1_hit && !fp)
+                            ++pm.l1d_misses;
+                        actual_lat =
+                            std::max(planned_lat, mr.latency + tlb_extra);
+
+                        // Micropipe: spurious store-to-load forwarding.
+                        for (auto &[sc, sa] : store_ring) {
+                            if (issue - sc > mach.stlf_window)
+                                continue;
+                            bool index_match = ((sa >> 3) & 0x7f) ==
+                                               ((eff.addr >> 3) & 0x7f);
+                            bool same_word =
+                                (sa & ~7ull) == (eff.addr & ~7ull);
+                            if (index_match && !same_word) {
+                                ++pm.stlf_conflicts;
+                                post_penalty += mach.stlf_penalty;
+                                charge(CycleCat::Micropipe,
+                                       mach.stlf_penalty);
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    ++pm.stores;
+                    uint64_t page = Memory::pageOf(eff.addr);
+                    if (!dtlb.access(page)) {
+                        ++pm.dtlb_misses;
+                        ++pm.vhpt_walks;
+                        post_penalty += mach.vhpt_walk_cycles / 2;
+                        charge(CycleCat::Micropipe,
+                               mach.vhpt_walk_cycles / 2);
+                        dtlb.insert(page);
+                    }
+                    hier.store(eff.addr);
+                    store_ring.push_back({issue, eff.addr});
+                    if (store_ring.size() > 16)
+                        store_ring.pop_front();
+                }
+            }
+
+            // ---- Result ready times ----
+            if (eff.executed) {
+                bool is_f = info.fu == FuClass::F;
+                bool is_ld = info.is_load;
+                for (const Reg &d : inst.dests) {
+                    if (d.cls == RegClass::Gr && d.id != 0) {
+                        tf.ready_gr[d.id] = issue + actual_lat;
+                        tf.planned_gr[d.id] = issue + planned_lat;
+                        tf.f_unit_gr[d.id] = is_f;
+                        tf.load_gr[d.id] = is_ld;
+                    } else if (d.cls == RegClass::Fr) {
+                        tf.ready_fr[d.id] = issue + actual_lat;
+                        tf.planned_fr[d.id] = issue + planned_lat;
+                        tf.f_unit_fr[d.id] = is_f;
+                        tf.load_fr[d.id] = is_ld;
+                    } else if (d.cls == RegClass::Pr && d.id != 0) {
+                        // Available to same-group branches and to all
+                        // next-group consumers.
+                        tf.ready_pr[d.id] = issue;
+                    }
+                }
+            } else {
+                // unc compares clear their destinations even when
+                // squashed; the predicates are ready at issue.
+                if ((inst.op == Opcode::CMP || inst.op == Opcode::CMPI) &&
+                    inst.ctype == CmpType::Unc) {
+                    for (const Reg &d : inst.dests)
+                        if (d.cls == RegClass::Pr && d.id != 0)
+                            tf.ready_pr[d.id] = issue;
+                }
+            }
+
+            // ---- Control ----
+            if (inst.op == Opcode::BR && inst.hasGuard()) {
+                // Conditional branch: predict direction.
+                bool taken = eff.executed;
+                ++pm.branch_predictions;
+                bool predicted = pred.predict(paddr);
+                pred.update(paddr, taken);
+                if (predicted != taken) {
+                    ++pm.mispredictions;
+                    post_penalty += mach.mispredict_penalty;
+                    charge(CycleCat::BrMispredFlush,
+                           mach.mispredict_penalty);
+                }
+            } else if (inst.op == Opcode::CHK_S &&
+                       eff.ctl == Effect::Ctl::Branch) {
+                // Speculation check fired: flush + recovery cost.
+                post_penalty += mach.mispredict_penalty +
+                                opts.sentinel_recovery_cycles;
+                charge(CycleCat::BrMispredFlush, mach.mispredict_penalty);
+                charge(CycleCat::Kernel, opts.sentinel_recovery_cycles);
+            } else if (inst.op == Opcode::BR_ICALL && eff.executed) {
+                ++pm.branch_predictions;
+                int ptarget = pred.predictTarget(paddr);
+                pred.updateTarget(paddr, eff.callee);
+                if (ptarget != eff.callee) {
+                    ++pm.mispredictions;
+                    post_penalty += mach.mispredict_penalty;
+                    charge(CycleCat::BrMispredFlush,
+                           mach.mispredict_penalty);
+                }
+            }
+
+            if (eff.ctl != Effect::Ctl::Next && eff.executed) {
+                ++pm.branches;
+                if (inst.isCall() || inst.isRet()) {
+                    post_penalty += mach.call_redirect_cycles;
+                    charge(CycleCat::FrontEndBubble,
+                           mach.call_redirect_cycles);
+                }
+                ctl = eff.ctl == Effect::Ctl::Branch ? Ctl::Branch
+                      : eff.ctl == Effect::Ctl::Call ? Ctl::Call
+                                                     : Ctl::Ret;
+                ctl_target = eff.branch_target;
+                ctl_callee = eff.callee;
+                ctl_inst = &inst;
+                ctl_eff = eff;
+                break; // a taken transfer ends the group
+            }
+        }
+
+        t_prev = issue + post_penalty;
+
+        // ---- Apply control transfer ----
+        switch (ctl) {
+          case Ctl::None:
+            ++gi;
+            break;
+
+          case Ctl::Branch: {
+            BasicBlock *nb = fn->block(ctl_target);
+            if (!nb) {
+                res.error = "branch to dead block";
+                return res;
+            }
+            bb = nb;
+            gi = 0;
+            break;
+          }
+
+          case Ctl::Call: {
+            if (static_cast<int>(frames.size()) >= opts.max_depth) {
+                res.error = "call depth limit exceeded";
+                return res;
+            }
+            Function *callee = prog.func(ctl_callee);
+            epic_assert(callee, "call to missing function");
+            size_t first_arg =
+                ctl_inst->op == Opcode::BR_ICALL ? 1 : 0;
+            size_t nargs = ctl_inst->srcs.size() - first_arg;
+            if (nargs != callee->params.size()) {
+                res.error = "arity mismatch calling " + callee->name;
+                return res;
+            }
+            std::vector<GrVal> args(nargs);
+            for (size_t i = 0; i < nargs; ++i) {
+                const Operand &o = ctl_inst->srcs[first_arg + i];
+                if (o.isReg())
+                    args[i] = frame.readGr(o.reg);
+                else if (o.kind == Operand::Kind::Imm)
+                    args[i] = GrVal{o.imm, false};
+                else if (o.kind == Operand::Kind::Sym)
+                    args[i] = GrVal{static_cast<int64_t>(
+                                        prog.symbolAddr(o.sym) + o.imm),
+                                    false};
+                else if (o.kind == Operand::Kind::Func)
+                    args[i] = GrVal{o.func, false};
+            }
+
+            ret_stack.push_back(RetPos{bb->id, gi + 1});
+            frames.emplace_back(callee,
+                                frame.sp - Frame::frameBytes(*callee));
+            Frame &nf = frames.back();
+            nf.ret_dest =
+                ctl_inst->dests.empty() ? Reg() : ctl_inst->dests[0];
+            for (size_t i = 0; i < nargs; ++i)
+                nf.writeGr(callee->params[i], args[i]);
+            push_tframe(nf);
+            TFrame &ntf = tframes.back();
+            for (const Reg &p : callee->params)
+                if (p.cls == RegClass::Gr && p.id != 0)
+                    ntf.ready_gr[p.id] = issue + 1;
+
+            // Register stack engine.
+            frame_stacked.push_back(callee->stacked_regs);
+            rse_logical += callee->stacked_regs;
+            int64_t resident = rse_logical - rse_spilled;
+            int64_t over = resident - mach.stacked_phys_regs;
+            if (over > 0) {
+                rse_spilled += over;
+                pm.rse_spill_regs += static_cast<uint64_t>(over);
+                int64_t cost = (over + mach.rse_regs_per_cycle - 1) / mach.rse_regs_per_cycle;
+                t_prev += cost;
+                charge(CycleCat::Rse, cost);
+            }
+
+            fn = callee;
+            bb = fn->block(fn->entry);
+            if (!bb) {
+                res.error = "callee without entry block";
+                return res;
+            }
+            gi = 0;
+            break;
+          }
+
+          case Ctl::Ret: {
+            Frame done = std::move(frames.back());
+            frames.pop_back();
+            tframes.pop_back();
+            int my_stacked = frame_stacked.back();
+            frame_stacked.pop_back();
+
+            rse_logical -= my_stacked;
+            if (frames.empty()) {
+                res.ok = true;
+                res.ret_value =
+                    ctl_eff.has_ret_val ? ctl_eff.ret_val.v : 0;
+                return res;
+            }
+            // RSE fill: the caller's frame must be resident again.
+            int64_t caller_frame = frame_stacked.back();
+            int64_t resident = rse_logical - rse_spilled;
+            if (resident < caller_frame && rse_spilled > 0) {
+                int64_t fill = std::min<int64_t>(
+                    caller_frame - resident, rse_spilled);
+                rse_spilled -= fill;
+                pm.rse_fill_regs += static_cast<uint64_t>(fill);
+                int64_t cost = (fill + mach.rse_regs_per_cycle - 1) / mach.rse_regs_per_cycle;
+                t_prev += cost;
+                charge(CycleCat::Rse, cost);
+            }
+
+            RetPos rp = ret_stack.back();
+            ret_stack.pop_back();
+            Frame &caller = frames.back();
+            fn = const_cast<Function *>(caller.fn);
+            if (done.ret_dest.valid()) {
+                caller.writeGr(done.ret_dest,
+                               ctl_eff.has_ret_val ? ctl_eff.ret_val
+                                                   : GrVal{0, false});
+                TFrame &ctf = tframes.back();
+                if (done.ret_dest.id != 0) {
+                    ctf.ready_gr[done.ret_dest.id] = t_prev + 1;
+                    ctf.planned_gr[done.ret_dest.id] = t_prev + 1;
+                    ctf.f_unit_gr[done.ret_dest.id] = 0;
+                    ctf.load_gr[done.ret_dest.id] = 0;
+                }
+            }
+            bb = fn->block(rp.block);
+            if (!bb) {
+                res.error = "return to dead block";
+                return res;
+            }
+            gi = rp.group;
+            break;
+          }
+        }
+    }
+}
+
+} // namespace epic

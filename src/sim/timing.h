@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Execution-driven timing simulator of the Itanium-2-class machine.
+ *
+ * Walks scheduled code bundle-by-bundle (issue groups delimited by stop
+ * bits), executing architected semantics through the shared exec core
+ * while modelling: in-order issue with scoreboard stall-at-use, the
+ * decoupled front end (L1I + 48-op instruction buffer), the gshare
+ * branch predictor with misprediction flushes, the L1D/L2/L3 data
+ * hierarchy, DTLB with hardware (VHPT) walker and OS-level walks for
+ * wild speculative loads, spurious store-to-load-forwarding (micropipe)
+ * stalls, and the register stack engine. Every cycle is attributed to
+ * one of the paper's Figure 5 categories in the Perfmon structure.
+ *
+ * Control-speculation OS models (paper §4.3 / Figure 9):
+ *  - General: a wild speculative load walks the page hierarchy in the
+ *    kernel without caching the result — expensive, charged to Kernel.
+ *  - Sentinel (early deferral): the load defers as NaT at the DTLB and
+ *    pays only a small deferral cost; the chk.s/recovery overhead is
+ *    charged when deferred values require recovery.
+ */
+#ifndef EPIC_SIM_TIMING_H
+#define EPIC_SIM_TIMING_H
+
+#include <string>
+
+#include "ir/program.h"
+#include "mach/machine.h"
+#include "sim/memory.h"
+#include "sim/perfmon.h"
+
+namespace epic {
+
+/** OS support model for control speculation. */
+enum class SpecModel { General, Sentinel };
+
+/** Timing-simulation options. */
+struct TimingOptions
+{
+    MachineConfig mach;
+    SpecModel spec_model = SpecModel::General;
+    uint64_t max_cycles = 20'000'000'000ull;
+    int max_depth = 16384;
+    /// Extra cost charged per recovered (NaT-deferred) load under the
+    /// sentinel model (recovery block execution).
+    int sentinel_recovery_cycles = 40;
+};
+
+/** Result of a timing run. */
+struct TimingResult
+{
+    bool ok = false;
+    std::string error;
+    int64_t ret_value = 0;
+    Perfmon pm;
+};
+
+/**
+ * Simulate a fully compiled (scheduled + allocated) program.
+ * @param prog Compiled program (bundles + layout addresses required).
+ * @param mem  Initialized memory image.
+ */
+TimingResult simulate(Program &prog, Memory &mem,
+                      const TimingOptions &opts = {});
+
+} // namespace epic
+
+#endif // EPIC_SIM_TIMING_H

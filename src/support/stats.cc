@@ -1,0 +1,109 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace epic {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        epic_assert(v > 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    epic_assert(!rows_.empty(), "cell() before row()");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < r.size() ? r[c] : std::string();
+            os << (c == 0 ? "" : "  ");
+            // Left-justify the first column, right-justify the rest
+            // (first column is typically a benchmark name).
+            if (c == 0) {
+                os << text << std::string(widths[c] - text.size(), ' ');
+            } else {
+                os << std::string(widths[c] - text.size(), ' ') << text;
+            }
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows_)
+        emit_row(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace epic

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * 256.bzip2 stand-in: counting/ranking passes over a byte stream.
+ *
+ * Signature (paper Figure 5 note 7): two per-symbol tables exactly 1 KB
+ * apart are written and read back-to-back, so the L1D micropipe sees
+ * (spurious) store-to-load-forwarding candidates. When ILP optimization
+ * tightens the loop, the store and the conflicting load land closer
+ * together and micropipe stalls *grow* with optimization — the paper's
+ * bzip2 anomaly.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int kStream = 192 * 1024;
+constexpr int kSteps = 160 * 1024;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int data = p.addSymbol("bz_data", kStream);
+    int freq = p.addSymbol("bz_freq", 128 * 8); // 1 KB
+    int rank = p.addSymbol("bz_rank", 128 * 8); // next KB: index-collides
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *swap_bb = b.newBlock();
+    BasicBlock *cont = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg dbase = b.mova(data);
+    Reg fbase = b.mova(freq);
+    Reg rbase = b.mova(rank);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg da = b.add(dbase, i);
+    Reg c = b.ld(da, 1, MemHint{data, -1});
+    Reg c7 = b.andi(c, 127);
+    // Loads first, then the stores: within one iteration there is no
+    // store-to-load hazard. The rank table sits exactly 1 KB after
+    // freq (same micropipe index), so when optimization tightens the
+    // loop, iteration i's stores collide with iteration i+1's loads
+    // whenever consecutive symbols repeat — the paper's "spurious
+    // store-to-load forwarding detections become more costly" effect.
+    Reg fa = wl::indexAddr(b, fbase, c7, 3);
+    Reg ra = wl::indexAddr(b, rbase, c7, 3);
+    Reg fv = b.ld(fa, 8, MemHint{freq, -1});
+    Reg rv = b.ld(ra, 8, MemHint{rank, -1});
+    Reg fv1 = b.addi(fv, 1);
+    Reg rv2 = b.add(rv, fv1);
+    b.st(fa, fv1, 8, MemHint{freq, -1});
+    b.st(ra, rv2, 8, MemHint{rank, -1});
+    // Sort-flavoured biased branch (move-to-front hit?).
+    auto [phit, pmiss] = b.cmpi(CmpCond::LT, fv, 96);
+    (void)phit;
+    b.br(pmiss, swap_bb);
+    b.fallthrough(cont);
+
+    b.setBlock(swap_bb);
+    Reg folded = b.xor_(acc, rv2);
+    b.movTo(acc, folded);
+    b.fallthrough(cont);
+
+    b.setBlock(cont);
+    Reg mix = b.add(acc, b.shri(rv2, 3));
+    b.movTo(acc, b.andi(mix, 0xffffffffll));
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kSteps);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int data = -1;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "bz_data")
+            data = s.id;
+    wl::fillSym8(p, mem, data, kStream, wl::seedFor(kind, 256),
+                 [](uint64_t, Rng &rng) -> uint8_t {
+                     // Skewed symbol distribution (post-BWT-like runs).
+                     if (rng.chance(3, 8))
+                         return 0;
+                     return static_cast<uint8_t>(rng.nextBelow(120));
+                 });
+}
+
+} // namespace
+
+Workload
+makeBzip2()
+{
+    Workload w;
+    w.name = "256.bzip2";
+    w.signature = "count/rank passes: STLF micropipe grows with ILP";
+    w.ref_time = 1500;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared helpers for the workload generators: deterministic input
+ * filling and small IR idioms used across benchmarks.
+ */
+#ifndef EPIC_WORKLOADS_COMMON_H
+#define EPIC_WORKLOADS_COMMON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/memory.h"
+#include "support/rng.h"
+#include "workloads/workload.h"
+
+namespace epic {
+namespace wl {
+
+/** Seeds per input kind (ref differs from train). */
+inline uint64_t
+seedFor(InputKind kind, uint64_t salt)
+{
+    return (kind == InputKind::Train ? 0x7261696eull : 0x52454621ull) ^
+           (salt * 0x9e3779b97f4a7c15ull);
+}
+
+/** Fill a symbol with 64-bit values produced by `gen(i, rng)`. */
+template <typename Gen>
+void
+fillSym64(const Program &p, Memory &mem, int sym, uint64_t count,
+          uint64_t seed, Gen gen)
+{
+    Rng rng(seed);
+    uint64_t addr = p.symbolAddr(sym);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t v = gen(i, rng);
+        mem.writeBytes(addr + i * 8,
+                       reinterpret_cast<const uint8_t *>(&v), 8);
+    }
+}
+
+/** Fill a symbol with bytes from `gen(i, rng)`. */
+template <typename Gen>
+void
+fillSym8(const Program &p, Memory &mem, int sym, uint64_t count,
+         uint64_t seed, Gen gen)
+{
+    Rng rng(seed);
+    uint64_t addr = p.symbolAddr(sym);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t v = gen(i, rng);
+        mem.writeBytes(addr + i, &v, 1);
+    }
+}
+
+/** Emit `addr = base + (idx << shift)`. */
+inline Reg
+indexAddr(IRBuilder &b, Reg base, Reg idx, int shift)
+{
+    return shift ? b.add(base, b.shli(idx, shift)) : b.add(base, idx);
+}
+
+/**
+ * Emit `chains` independent serial dependence chains (2 ops per step,
+ * `len` steps each) seeded from `seed`, reduced to one value. This is
+ * the suite's standard "feature computation" idiom: it carries real
+ * instruction-level parallelism (up to `chains`-wide) that a good
+ * scheduler can exploit and a narrow one cannot.
+ */
+inline Reg
+parallelChains(IRBuilder &b, Reg seed, int chains, int len, int salt)
+{
+    std::vector<Reg> c;
+    for (int k = 0; k < chains; ++k)
+        c.push_back(b.xori(b.shri(seed, k + 1), salt * 17 + k));
+    for (int step = 0; step < len; ++step) {
+        for (int k = 0; k < chains; ++k) {
+            Reg t = b.shri(c[k], (step + k) % 7 + 1);
+            c[k] = b.xor_(b.addi(c[k], salt + step), t);
+        }
+    }
+    Reg sum = c[0];
+    for (int k = 1; k < chains; ++k)
+        sum = b.add(sum, c[k]);
+    return sum;
+}
+
+/**
+ * Emit a standard counted-loop skeleton:
+ *   for (i = 0; i < limit; ++i) body(i)
+ * The caller provides the body via callback; `i` is pre-created.
+ * Returns the loop and exit blocks for further wiring.
+ */
+struct CountedLoop
+{
+    BasicBlock *head = nullptr;
+    BasicBlock *exit = nullptr;
+    Reg i;
+};
+
+template <typename Body>
+CountedLoop
+countedLoop(IRBuilder &b, int64_t limit, Body body)
+{
+    CountedLoop cl;
+    cl.i = b.gr();
+    cl.head = b.newBlock();
+    cl.exit = b.newBlock();
+    b.moviTo(cl.i, 0);
+    b.fallthrough(cl.head);
+    b.setBlock(cl.head);
+    body(cl.i);
+    b.addiTo(cl.i, cl.i, 1);
+    auto [plt, pge] = b.cmpi(CmpCond::LT, cl.i, limit);
+    (void)pge;
+    b.br(plt, cl.head);
+    b.fallthrough(cl.exit);
+    b.setBlock(cl.exit);
+    return cl;
+}
+
+} // namespace wl
+} // namespace epic
+
+#endif // EPIC_WORKLOADS_COMMON_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * 186.crafty stand-in: chess position evaluation.
+ *
+ * Signature (paper §2.4, Figure 3): Evaluate() contains several
+ * *sequential low-trip while loops* (bitboard scans that typically run
+ * exactly once — "each side has a single queen") separated by branchy
+ * feature code. Peel-and-merge is the intended transformation. The
+ * benchmark also carries a large instruction footprint (eight evaluator
+ * functions + inlining) so ILP code growth pressures the 16 KB L1I, and
+ * one evaluator holds many simultaneously-live values (register
+ * pressure -> RSE, §4.4).
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kPositions = 2200;
+constexpr int kWordsPerPos = 8;
+
+/**
+ * Emit: while (bb != 0) { acc ^= mix(bb); bb &= bb-1 } — the classic
+ * bitboard scan; with 1-2 bits set it runs 1-2 iterations.
+ */
+void
+emitBitScan(IRBuilder &b, Reg bb, Reg acc, int salt)
+{
+    BasicBlock *head = b.newBlock();
+    BasicBlock *exit = b.newBlock();
+    auto [pnz0, pz0] = b.cmpi(CmpCond::NE, bb, 0);
+    (void)pz0;
+    b.br(pnz0, head);
+    b.fallthrough(exit);
+
+    b.setBlock(head);
+    Reg bbm1 = b.subi(bb, 1);
+    Reg low = b.xor_(bb, b.and_(bb, bbm1)); // lowest set bit
+    Reg mix = b.xori(b.shri(low, salt & 7), salt * 37);
+    Reg folded = b.xor_(acc, mix);
+    b.movTo(acc, folded);
+    b.movTo(bb, b.and_(bb, bbm1));
+    auto [pnz, pz] = b.cmpi(CmpCond::NE, bb, 0);
+    (void)pz;
+    b.br(pnz, head);
+    b.fallthrough(exit);
+
+    b.setBlock(exit);
+}
+
+/** One evaluator: feature arithmetic + two sequential bit scans. */
+Function *
+emitEvaluator(IRBuilder &b, const char *name, int salt, int filler_ops,
+              int live_values)
+{
+    Function *f = b.beginFunction(name, 2); // (white_bb, black_bb)
+    Reg wq = b.mov(b.param(0));
+    Reg bq = b.mov(b.param(1));
+    Reg acc = b.movi(salt);
+
+    // Feature computation with configurable register pressure: build
+    // `live_values` independent temps, then reduce.
+    std::vector<Reg> live;
+    Reg seed = b.xor_(wq, bq);
+    for (int i = 0; i < live_values; ++i) {
+        Reg t = b.xori(b.shri(seed, (i % 13) + 1), (salt + i) * 11);
+        live.push_back(t);
+    }
+    // Feature computation: independent chains (real ILP) sized by
+    // filler_ops, kept live to the end of the function.
+    Reg feat = wl::parallelChains(b, seed, 4, filler_ops / 4, salt);
+
+    // The Figure 3 shape: two sequential low-trip scans.
+    emitBitScan(b, wq, acc, salt + 1);
+    emitBitScan(b, bq, acc, salt + 2);
+
+    Reg sum = acc;
+    for (Reg t : live)
+        sum = b.add(sum, t);
+    sum = b.add(sum, feat);
+    b.ret(b.andi(sum, 0xffffffffll));
+    return f;
+}
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int boards =
+        p.addSymbol("cr_boards", kPositions * kWordsPerPos * 8);
+
+    IRBuilder b(p);
+
+    // Eight evaluators with varied size: a realistic code footprint.
+    std::vector<Function *> evals;
+    evals.push_back(emitEvaluator(b, "EvaluatePawns", 3, 26, 6));
+    evals.push_back(emitEvaluator(b, "EvaluateKnights", 5, 22, 6));
+    evals.push_back(emitEvaluator(b, "EvaluateBishops", 7, 24, 6));
+    evals.push_back(emitEvaluator(b, "EvaluateRooks", 11, 20, 8));
+    evals.push_back(emitEvaluator(b, "EvaluateQueens", 13, 12, 8));
+    evals.push_back(emitEvaluator(b, "EvaluateKingSafety", 17, 30, 20));
+    evals.push_back(emitEvaluator(b, "EvaluatePassedPawns", 19, 24, 6));
+    evals.push_back(emitEvaluator(b, "EvaluateMobility", 23, 28, 14));
+
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg base = b.mova(boards);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg pa = b.add(base, b.shli(i, 6)); // 8 words x 8 bytes
+    std::vector<Reg> words;
+    for (int k = 0; k < kWordsPerPos; ++k) {
+        Reg wa = b.addi(pa, k * 8);
+        words.push_back(b.ld(wa, 8, MemHint{boards, -1}));
+    }
+    for (size_t e = 0; e < evals.size(); ++e) {
+        Reg v = b.call(evals[e], {words[e % 4], words[4 + e % 4]});
+        b.addTo(acc, acc, v);
+    }
+    Reg mix = b.andi(acc, 0xffffffffll);
+    b.movTo(acc, mix);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kPositions);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int boards = -1;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "cr_boards")
+            boards = s.id;
+    // Bitboards with 1-2 bits set (the "single queen" pattern), with a
+    // slightly different sparsity for train vs ref (inlining/region
+    // decisions become profile-sensitive -> §4.6's crafty +5%).
+    bool train = kind == InputKind::Train;
+    wl::fillSym64(p, mem, boards, kPositions * kWordsPerPos,
+                  wl::seedFor(kind, 186),
+                  [train](uint64_t, Rng &rng) -> uint64_t {
+                      uint64_t v = 1ull << rng.nextBelow(64);
+                      unsigned extra_num = train ? 1 : 2;
+                      if (rng.chance(extra_num, 8))
+                          v |= 1ull << rng.nextBelow(64);
+                      if (rng.chance(1, 16))
+                          v = 0; // empty board: loop runs zero times
+                      return v;
+                  });
+}
+
+} // namespace
+
+Workload
+makeCrafty()
+{
+    Workload w;
+    w.name = "186.crafty";
+    w.signature =
+        "serial low-trip bitboard loops (Fig.3), big I-footprint, "
+        "register pressure";
+    w.ref_time = 1000;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

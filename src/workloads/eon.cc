@@ -1,0 +1,134 @@
+/**
+ * @file
+ * 252.eon stand-in: ray-tracer style virtual dispatch.
+ *
+ * Signature (paper §3.1): "extensive and often very biased use of
+ * indirect calls (monomorphic virtual invocations)". A shader table is
+ * invoked through a function token per object; ~85 % of objects share
+ * one shader, so indirect-call promotion + inlining carries the ILP
+ * gain. Pointer analysis is disabled for the whole benchmark (the
+ * paper's C++ limitation), so memory disambiguation is conservative.
+ * Shader math leans on the F-unit (integer multiply = xma).
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kObjects = 20 * 1024;
+constexpr int kShaders = 5;
+
+Function *
+emitShader(IRBuilder &b, int idx)
+{
+    std::string name = "shade_" + std::to_string(idx);
+    Function *f =
+        b.beginFunction(name, 2, kFuncNoPointerAnalysis); // (u, v)
+    Reg u = b.param(0);
+    Reg v = b.param(1);
+    // Lighting-ish arithmetic: multiplies (F-unit) + masks.
+    Reg m1 = b.mul(u, v);
+    Reg m2 = b.mul(b.addi(u, idx + 3), b.xori(v, idx * 5));
+    Reg s = b.add(b.shri(m1, 7), b.shri(m2, 9));
+    Reg feat = wl::parallelChains(b, s, 3, 2 + idx, idx * 17);
+    s = b.add(s, feat);
+    b.ret(b.andi(s, 0xffffffll));
+    return f;
+}
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    // object[i] = { shader_id: u64, u: u64, v: u64, pad } (32 bytes)
+    int objs = p.addSymbol("eon_objs", kObjects * 32);
+
+    IRBuilder b(p);
+    std::vector<Function *> shaders;
+    for (int i = 0; i < kShaders; ++i)
+        shaders.push_back(emitShader(b, i));
+
+    Function *f = b.beginFunction("main", 0, kFuncNoPointerAnalysis);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg base = b.mova(objs);
+    // Function-token table in registers.
+    std::vector<Reg> toks;
+    for (Function *s : shaders)
+        toks.push_back(b.movfn(s));
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg oa = b.add(base, b.shli(i, 5));
+    Reg sid = b.ld(oa, 8, MemHint{objs, -1});
+    Reg u = b.ld(b.addi(oa, 8), 8, MemHint{objs, -1});
+    Reg v = b.ld(b.addi(oa, 16), 8, MemHint{objs, -1});
+    // Select the token: tok = toks[sid] via a compare chain (the vtable
+    // load in the original; here a token select keeps the icall honest).
+    Reg tok = b.gr();
+    b.movTo(tok, toks[0]);
+    for (int s = 1; s < kShaders; ++s) {
+        auto [ps, pns] = b.cmpi(CmpCond::EQ, sid, s);
+        (void)pns;
+        b.movTo(tok, toks[s], ps);
+    }
+    Reg r = b.icall(tok, {u, v});
+    b.addTo(acc, acc, r);
+    Reg mix = b.andi(acc, 0xffffffffll);
+    b.movTo(acc, mix);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kObjects);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int objs = -1;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "eon_objs")
+            objs = s.id;
+    uint64_t base = p.symbolAddr(objs);
+    Rng rng(wl::seedFor(kind, 252));
+    for (int64_t i = 0; i < kObjects; ++i) {
+        // 85% monomorphic dispatch to shader 0.
+        uint64_t sid =
+            rng.chance(85, 100) ? 0 : 1 + rng.nextBelow(kShaders - 1);
+        uint64_t u = rng.nextBelow(1 << 20);
+        uint64_t v = rng.nextBelow(1 << 20);
+        uint64_t a = base + static_cast<uint64_t>(i) * 32;
+        mem.writeBytes(a, reinterpret_cast<const uint8_t *>(&sid), 8);
+        mem.writeBytes(a + 8, reinterpret_cast<const uint8_t *>(&u), 8);
+        mem.writeBytes(a + 16, reinterpret_cast<const uint8_t *>(&v), 8);
+    }
+}
+
+} // namespace
+
+Workload
+makeEon()
+{
+    Workload w;
+    w.name = "252.eon";
+    w.signature =
+        "biased virtual dispatch (icall promotion); pointer analysis "
+        "disabled";
+    w.ref_time = 1300;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * 254.gap stand-in: computer-algebra vector kernels with *spurious*
+ * memory dependences.
+ *
+ * Signature (paper §2): "pointer analysis is unable to resolve critical
+ * spurious dependences in otherwise highly-parallel loops" — the main
+ * kernels access disjoint arrays through hint-less references that all
+ * land in one alias class, so the scheduler must serialize them (the
+ * data-speculation opportunity the paper measures at 5%+). A smaller
+ * hinted kernel keeps some ILP gain, and one tagged-union site adds
+ * minor wild loads.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kVec = 12 * 1024;
+constexpr int64_t kRounds = 24;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int va = p.addSymbol("gap_a", kVec * 8);
+    int vb = p.addSymbol("gap_b", kVec * 8);
+    int vc = p.addSymbol("gap_c", kVec * 8);
+    int tags = p.addSymbol("gap_tags", kVec * 16);
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *round = b.newBlock();
+    BasicBlock *loop1 = b.newBlock();
+    BasicBlock *loop2 = b.newBlock();
+    BasicBlock *loop3 = b.newBlock();
+    BasicBlock *next = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg r = b.gr(), acc = b.gr(), i = b.gr();
+    b.moviTo(r, 0);
+    b.moviTo(acc, 0);
+    Reg a = b.mova(va);
+    Reg bb_ = b.mova(vb);
+    Reg c = b.mova(vc);
+    Reg tg = b.mova(tags);
+    b.fallthrough(round);
+
+    b.setBlock(round);
+    b.moviTo(i, 0);
+    b.fallthrough(loop1);
+
+    // Kernel 1 (the paper's story): a[i] = b[i] + c[i] through
+    // hint-less references — every access shares alias group 7, so the
+    // loads and the store serialize although they never overlap.
+    b.setBlock(loop1);
+    {
+        Reg off = b.shli(i, 3);
+        Reg ba = b.add(bb_, off);
+        Reg ca = b.add(c, off);
+        Reg aa = b.add(a, off);
+        Reg x = b.ld(ba, 8, MemHint{-1, 7});
+        Reg y = b.ld(ca, 8, MemHint{-1, 7});
+        Reg s = b.add(x, y);
+        b.st(aa, s, 8, MemHint{-1, 7});
+        b.addiTo(i, i, 1);
+        auto [pl, pge] = b.cmpi(CmpCond::LT, i, kVec / 2);
+        (void)pge;
+        b.br(pl, loop1);
+        b.fallthrough(loop2);
+    }
+
+    // Kernel 2: the same shape with precise hints — fully parallel.
+    b.setBlock(loop2);
+    b.moviTo(i, 0);
+    BasicBlock *l2body = b.newBlock();
+    b.fallthrough(l2body);
+    b.setBlock(l2body);
+    {
+        Reg off = b.shli(i, 3);
+        Reg ba = b.add(bb_, off);
+        Reg ca = b.add(c, off);
+        Reg aa = b.add(a, off);
+        Reg x = b.ld(ba, 8, MemHint{vb, -1});
+        Reg y = b.ld(ca, 8, MemHint{vc, -1});
+        Reg s = b.xor_(x, b.shri(y, 1));
+        b.st(aa, s, 8, MemHint{va, -1});
+        Reg f2 = b.add(acc, s);
+        b.movTo(acc, b.andi(f2, 0xffffffffll));
+        b.addiTo(i, i, 1);
+        auto [pl, pge] = b.cmpi(CmpCond::LT, i, kVec / 2);
+        (void)pge;
+        b.br(pl, l2body);
+        b.fallthrough(loop3);
+    }
+
+    // Kernel 3: tagged handles -> minor wild loads under promotion.
+    b.setBlock(loop3);
+    b.moviTo(i, 0);
+    BasicBlock *l3body = b.newBlock();
+    b.fallthrough(l3body);
+    b.setBlock(l3body);
+    {
+        Reg ta = b.add(tg, b.shli(i, 4));
+        Reg tag = b.ld(ta, 8, MemHint{tags, -1});
+        Reg hv = b.ld(b.addi(ta, 8), 8, MemHint{tags, -1});
+        auto [pptr, pint] = b.cmpi(CmpCond::EQ, tag, 1);
+        Reg uv = b.gr();
+        b.ldTo(uv, hv, 8, MemHint{-1, -1}, pptr);
+        b.addTo(acc, acc, uv, pptr);
+        b.addTo(acc, acc, tag, pint);
+        b.addiTo(i, i, 8); // stride: only 1/8 of the handles
+        auto [pl, pge] = b.cmpi(CmpCond::LT, i, kVec);
+        (void)pge;
+        b.br(pl, l3body);
+        b.fallthrough(next);
+    }
+
+    b.setBlock(next);
+    Reg sample = b.ld(b.addi(a, 128), 8, MemHint{va, -1});
+    Reg f3 = b.add(acc, sample);
+    b.movTo(acc, b.andi(f3, 0xffffffffll));
+    b.addiTo(r, r, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, r, kRounds);
+    (void)pge;
+    b.br(pl, round);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int vb = -1, vc = -1, tags = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "gap_b")
+            vb = s.id;
+        if (s.name == "gap_c")
+            vc = s.id;
+        if (s.name == "gap_tags")
+            tags = s.id;
+    }
+    wl::fillSym64(p, mem, vb, kVec, wl::seedFor(kind, 254),
+                  [](uint64_t, Rng &r) { return r.nextBelow(1 << 24); });
+    wl::fillSym64(p, mem, vc, kVec, wl::seedFor(kind, 2540),
+                  [](uint64_t, Rng &r) { return r.nextBelow(1 << 24); });
+
+    uint64_t vb_base = p.symbolAddr(vb);
+    uint64_t tag_base = p.symbolAddr(tags);
+    Rng rng(wl::seedFor(kind, 2541));
+    for (int64_t i = 0; i < kVec; ++i) {
+        // Overwhelmingly valid handles; a thin junk tail gives the
+        // paper's *minor* gap wild loads under promotion.
+        bool is_ptr = !rng.chance(1, 300);
+        uint64_t tag = is_ptr ? 1 : 0;
+        uint64_t hv = is_ptr
+                          ? vb_base + rng.nextBelow(kVec) * 8
+                          : 0x580000000ull + rng.nextBelow(1 << 27) * 8;
+        uint64_t a = tag_base + static_cast<uint64_t>(i) * 16;
+        mem.writeBytes(a, reinterpret_cast<const uint8_t *>(&tag), 8);
+        mem.writeBytes(a + 8, reinterpret_cast<const uint8_t *>(&hv), 8);
+    }
+}
+
+} // namespace
+
+Workload
+makeGap()
+{
+    Workload w;
+    w.name = "254.gap";
+    w.signature =
+        "parallel vector kernels blocked by spurious alias classes; "
+        "minor wild loads";
+    w.ref_time = 1900;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

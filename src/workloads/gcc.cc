@@ -1,0 +1,205 @@
+/**
+ * @file
+ * 176.gcc stand-in: many compiler "passes" over an insn stream.
+ *
+ * Signature (paper §4.3): a very large instruction footprint (thirty
+ * distinct pass functions rotated every round thrash the 16 KB L1I),
+ * branchy code, and — crucially — pointer/integer *union* operands. A
+ * subset of passes dereferences the union under a tag guard; predicate
+ * promotion under ILP-CS turns those into speculative loads whose
+ * address is junk whenever the tag said "integer": the paper's wild
+ * loads, which under the general speculation model walk the kernel's
+ * page tables without caching and give gcc its ~20 % kernel time.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int kPasses = 30;
+constexpr int kInsns = 512;      ///< insn records (16 bytes each)
+constexpr int kSlice = 16;       ///< insns per pass invocation
+constexpr int kRounds = 110;
+constexpr int kPoolBytes = 64 * 1024;
+// Passes containing the promotable union-dereference pattern.
+constexpr int kUnionPasses = 4;
+
+/**
+ * One pass function: walks a 16-insn slice; per insn, branches on the
+ * tag; union passes deref the operand under the tag guard (promotable);
+ * plain passes consume the value on both paths (not promotable).
+ * Distinct filler features give each pass its own footprint.
+ */
+Function *
+emitPass(IRBuilder &b, int idx, int insns_sym, bool union_pass)
+{
+    std::string name = "pass_" + std::to_string(idx);
+    Function *f = b.beginFunction(name, 1); // arg: first insn index
+    Reg first = b.param(0);
+    Reg insns = b.mova(insns_sym);
+
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *ptr_bb = union_pass ? nullptr : b.newBlock();
+    BasicBlock *int_bb = union_pass ? nullptr : b.newBlock();
+    BasicBlock *cont = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg k = b.gr(), acc = b.gr();
+    b.moviTo(k, 0);
+    b.moviTo(acc, idx * 101);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg ii = b.add(first, k);
+    Reg ia = b.add(insns, b.shli(ii, 4));
+    Reg tag = b.ld(ia, 8, MemHint{insns_sym, -1});
+    Reg oa = b.addi(ia, 8);
+    Reg operand = b.ld(oa, 8, MemHint{insns_sym, -1});
+    auto [p_ptr, p_int] = b.cmpi(CmpCond::EQ, tag, 1);
+
+    if (union_pass) {
+        // Promotable guarded dereference: the loaded value is consumed
+        // only under the same predicate and dies in this block.
+        Reg v = b.gr();
+        b.ldTo(v, operand, 8, MemHint{-1, -1}, p_ptr);
+        b.addTo(acc, acc, v, p_ptr);
+        Reg low = b.andi(operand, 0xffff);
+        b.addTo(acc, acc, low, p_int);
+        b.fallthrough(cont);
+    } else {
+        // Proper diamond computing `v` on both paths: if-convertible
+        // (the paper's branch-removal fodder) but NOT promotable — the
+        // converted load's destination is consumed unguarded at the
+        // join, so its guard cannot be weakened and no wild loads
+        // appear in these passes.
+        (void)p_int;
+        Reg v = b.gr();
+        b.br(p_ptr, ptr_bb);
+        b.fallthrough(int_bb);
+
+        b.setBlock(int_bb);
+        Reg low = b.andi(operand, 0xffff);
+        b.movTo(v, low);
+        b.fallthrough(cont);
+
+        b.setBlock(ptr_bb);
+        b.ldTo(v, operand, 8, MemHint{-1, -1});
+        {
+            Instruction jmp;
+            jmp.op = Opcode::BR;
+            jmp.target = cont->id;
+            b.emit(jmp);
+        }
+        b.setBlock(cont);
+        b.addTo(acc, acc, v);
+    }
+
+    b.setBlock(cont);
+    // Pass-specific feature computation: four independent chains whose
+    // parallelism only a capable scheduler exploits (footprint + ILP).
+    Reg feat = wl::parallelChains(b, acc, 4, 3 + idx % 3, idx * 7 + 3);
+    b.addTo(acc, acc, b.andi(feat, 0xffff));
+    b.addiTo(k, k, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, k, kSlice);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(b.andi(acc, 0xffffffffll));
+    return f;
+}
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int insns = p.addSymbol("gcc_insns", kInsns * 16);
+    p.addSymbol("gcc_pool", kPoolBytes);
+
+    IRBuilder b(p);
+    std::vector<Function *> passes;
+    for (int i = 0; i < kPasses; ++i)
+        passes.push_back(emitPass(b, i, insns, i < kUnionPasses));
+
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg r = b.gr(), acc = b.gr();
+    b.moviTo(r, 0);
+    b.moviTo(acc, 0);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    // Rotate every pass over a sliding insn window each round.
+    Reg base_idx = b.andi(b.mul(r, b.movi(7)), kInsns - kSlice - 1);
+    for (Function *pass : passes) {
+        Reg v = b.call(pass, {base_idx});
+        Reg a2 = b.add(acc, v);
+        b.movTo(acc, b.andi(a2, 0xffffffffll));
+    }
+    b.addiTo(r, r, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, r, kRounds);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int insns = -1, pool = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "gcc_insns")
+            insns = s.id;
+        if (s.name == "gcc_pool")
+            pool = s.id;
+    }
+    uint64_t pool_base = p.symbolAddr(pool);
+    uint64_t insn_base = p.symbolAddr(insns);
+    Rng rng(wl::seedFor(kind, 176));
+    for (int i = 0; i < kInsns; ++i) {
+        // Mostly pointer-tagged; ~6% carry junk integers that look
+        // like addresses into unmapped space (the pointer/int union).
+        bool is_ptr = rng.chance(94, 100);
+        uint64_t tag = is_ptr ? 1 : 0;
+        uint64_t operand;
+        if (is_ptr) {
+            operand = pool_base + (rng.nextBelow(kPoolBytes / 8) * 8);
+        } else {
+            operand = 0x500000000ull + rng.nextBelow(1 << 30) * 8;
+        }
+        mem.writeBytes(insn_base + static_cast<uint64_t>(i) * 16,
+                       reinterpret_cast<const uint8_t *>(&tag), 8);
+        mem.writeBytes(insn_base + static_cast<uint64_t>(i) * 16 + 8,
+                       reinterpret_cast<const uint8_t *>(&operand), 8);
+    }
+    // Pool contents.
+    wl::fillSym64(p, mem, pool, kPoolBytes / 8, wl::seedFor(kind, 1760),
+                  [](uint64_t, Rng &r2) { return r2.nextBelow(4096); });
+}
+
+} // namespace
+
+Workload
+makeGcc()
+{
+    Workload w;
+    w.name = "176.gcc";
+    w.signature =
+        "30 rotating passes (L1I thrash) + pointer/int unions -> wild "
+        "loads under ILP-CS";
+    w.ref_time = 1100;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

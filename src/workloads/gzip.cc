@@ -1,0 +1,157 @@
+/**
+ * @file
+ * 164.gzip stand-in: LZ-style match finding.
+ *
+ * Signature (paper): compression loops with bit manipulation, strongly
+ * biased branches, small-ish working set, very high planned IPC after
+ * region formation (the paper reports gzip among the >3.0 planned-IPC
+ * benchmarks). The hash-probe hit path and the short match-length inner
+ * loop are prime superblock/peeling material.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int kDataBytes = 96 * 1024;
+constexpr int kHashEntries = 4096;
+constexpr int kPositions = 48 * 1024;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int data = p.addSymbol("gz_data", kDataBytes + 64);
+    int hashtab = p.addSymbol("gz_hash", kHashEntries * 8);
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *probe = b.newBlock();
+    BasicBlock *match = b.newBlock();
+    BasicBlock *mloop = b.newBlock();
+    BasicBlock *mdone = b.newBlock();
+    BasicBlock *next = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg dbase = b.mova(data);
+    Reg hbase = b.mova(hashtab);
+    b.fallthrough(loop);
+
+    // loop: w = *(u32*)(data+i); h = hash(w); cand = hashtab[h];
+    //       hashtab[h] = i;
+    b.setBlock(loop);
+    Reg pa = b.add(dbase, i);
+    Reg w = b.ld(pa, 4, MemHint{data, -1});
+    Reg h1 = b.xor_(w, b.shri(w, 7));
+    Reg h2 = b.xor_(h1, b.shri(w, 13));
+    Reg h = b.andi(h2, kHashEntries - 1);
+    Reg ha = wl::indexAddr(b, hbase, h, 3);
+    Reg cand = b.ld(ha, 8, MemHint{hashtab, -1});
+    Reg ip1 = b.addi(i, 1);
+    b.st(ha, ip1, 8, MemHint{hashtab, -1}); // store i+1 (0 = empty)
+    auto [pc, pnc] = b.cmpi(CmpCond::NE, cand, 0);
+    (void)pnc;
+    b.br(pc, probe);
+    b.fallthrough(next);
+
+    // probe: compare the candidate word (biased: usually a mismatch).
+    b.setBlock(probe);
+    Reg cm1 = b.subi(cand, 1);
+    Reg ca = b.add(dbase, cm1);
+    Reg cw = b.ld(ca, 4, MemHint{data, -1});
+    auto [peq, pne] = b.cmp(CmpCond::EQ, cw, w);
+    (void)pne;
+    b.br(peq, match);
+    b.fallthrough(next);
+
+    // match: extend the match byte-by-byte (low trip count).
+    Reg len = b.gr();
+    b.setBlock(match);
+    b.moviTo(len, 4);
+    b.fallthrough(mloop);
+
+    b.setBlock(mloop);
+    Reg ma = b.add(b.add(dbase, i), len);
+    Reg mb = b.add(b.add(dbase, cm1), len);
+    Reg x1 = b.ld(ma, 1, MemHint{data, -1});
+    Reg x2 = b.ld(mb, 1, MemHint{data, -1});
+    b.addiTo(len, len, 1);
+    // Continue while the bytes match and len < 12: two side exits.
+    auto [psame, pdiff] = b.cmp(CmpCond::EQ, x1, x2);
+    (void)psame;
+    b.br(pdiff, mdone);
+    auto [pcap, pnocap] = b.cmpi(CmpCond::GE, len, 12);
+    (void)pnocap;
+    b.br(pcap, mdone);
+    b.jump(mloop);
+
+    b.setBlock(mdone);
+    b.addTo(acc, acc, len);
+    b.fallthrough(next);
+
+    // next: fold the word into the checksum; advance.
+    b.setBlock(next);
+    Reg mix = b.xor_(acc, b.shri(w, 3));
+    b.movTo(acc, b.andi(mix, 0xffffffffll));
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kPositions);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    // Text-like bytes: a small alphabet with run structure so hash
+    // probes hit occasionally and matches stay short.
+    int data = 0, hashtab = 0;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "gz_data")
+            data = s.id;
+        if (s.name == "gz_hash")
+            hashtab = s.id;
+    }
+    // Buckets start at 1 (pointing at position 0): candidate addresses
+    // are always valid, as in real gzip, whose window pointers always
+    // reference the allocated window.
+    wl::fillSym64(p, mem, hashtab, kHashEntries, 1,
+                  [](uint64_t, Rng &) { return 1; });
+    wl::fillSym8(p, mem, data, kDataBytes + 64, wl::seedFor(kind, 164),
+                 [](uint64_t i, Rng &rng) -> uint8_t {
+                     if (rng.chance(1, 4))
+                         return 'e';
+                     if (rng.chance(1, 5))
+                         return static_cast<uint8_t>('a' + (i % 4));
+                     return static_cast<uint8_t>(
+                         'a' + rng.nextBelow(19));
+                 });
+}
+
+} // namespace
+
+Workload
+makeGzip()
+{
+    Workload w;
+    w.name = "164.gzip";
+    w.signature = "LZ match loop: bit ops, biased branches, high ILP";
+    w.ref_time = 1400;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

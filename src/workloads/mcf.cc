@@ -1,0 +1,117 @@
+/**
+ * @file
+ * 181.mcf stand-in: network-simplex pointer chasing.
+ *
+ * Signature (paper): working set far beyond the 3 MB L3, serial
+ * dependent loads; data-cache stall dominates and ILP transformation is
+ * essentially neutral (Table 1: 332 -> 330 -> 341). The traversal is a
+ * random-permutation cycle so hardware locality cannot help.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+// 512K nodes x 16 bytes = 8 MB: comfortably past the 3 MB L3.
+constexpr int64_t kNodes = 512 * 1024;
+constexpr int64_t kVisits = 220 * 1024;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    // node[i] = { next_byte_offset: u64, cost: u64 }
+    int nodes = p.addSymbol("mcf_nodes", kNodes * 16);
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *neg = b.newBlock();
+    BasicBlock *cont = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), acc = b.gr(), cur = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    b.moviTo(cur, 0);
+    Reg base = b.mova(nodes);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg na = b.add(base, cur);
+    Reg next = b.ld(na, 8, MemHint{nodes, -1});
+    Reg ca = b.addi(na, 8);
+    Reg cost = b.ld(ca, 8, MemHint{nodes, -1});
+    // Reduced-cost style update with a (mildly biased) branch.
+    auto [pneg, ppos] = b.cmpi(CmpCond::LT, cost, 12);
+    (void)ppos;
+    b.br(pneg, neg);
+    b.fallthrough(cont);
+
+    b.setBlock(neg);
+    b.addTo(acc, acc, cost);
+    b.fallthrough(cont);
+
+    b.setBlock(cont);
+    Reg mixed = b.xor_(acc, b.shri(cost, 2));
+    b.movTo(acc, b.andi(mixed, 0xffffffffll));
+    b.movTo(cur, next); // the serial dependence: cannot be hidden
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kVisits);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int nodes = -1;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "mcf_nodes")
+            nodes = s.id;
+
+    // A single random cycle over all nodes (Sattolo's algorithm), plus
+    // per-node costs. Written as {next_offset, cost} pairs.
+    Rng rng(wl::seedFor(kind, 181));
+    std::vector<uint32_t> perm(kNodes);
+    for (int64_t i = 0; i < kNodes; ++i)
+        perm[i] = static_cast<uint32_t>(i);
+    for (int64_t i = kNodes - 1; i > 0; --i) {
+        int64_t j = static_cast<int64_t>(rng.nextBelow(
+            static_cast<uint64_t>(i))); // Sattolo: j < i
+        std::swap(perm[i], perm[j]);
+    }
+    uint64_t addr = p.symbolAddr(nodes);
+    for (int64_t i = 0; i < kNodes; ++i) {
+        uint64_t next_off = static_cast<uint64_t>(perm[i]) * 16;
+        uint64_t cost = rng.nextBelow(24);
+        mem.writeBytes(addr + static_cast<uint64_t>(i) * 16,
+                       reinterpret_cast<const uint8_t *>(&next_off), 8);
+        mem.writeBytes(addr + static_cast<uint64_t>(i) * 16 + 8,
+                       reinterpret_cast<const uint8_t *>(&cost), 8);
+    }
+}
+
+} // namespace
+
+Workload
+makeMcf()
+{
+    Workload w;
+    w.name = "181.mcf";
+    w.signature = "8 MB pointer chase: data-cache bound, ILP-neutral";
+    w.ref_time = 1800;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

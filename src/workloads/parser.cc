@@ -1,0 +1,236 @@
+/**
+ * @file
+ * 197.parser stand-in: recursive-descent parsing + dictionary probes.
+ *
+ * Signature: recursion over a nested token stream (call-stack depth ->
+ * register-stack traffic, §4.4), hash-chain dictionary lookups (pointer
+ * chasing with short chains), branchy alternatives, and a small
+ * pointer/int union site that yields minor wild loads under ILP-CS
+ * (the paper lists parser among the lesser wild-load benchmarks).
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kTokens = 48 * 1024;
+constexpr int kDictBuckets = 1024;
+constexpr int kDictNodes = 4096;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    // token[i] = { kind: u64, value: u64 } (16 bytes)
+    //   kind: 0 = word, 1 = open, 2 = close, 3 = tagged union (value is
+    //   a pointer into dict_nodes when value&1 == 0, junk otherwise)
+    int toks = p.addSymbol("pa_tokens", kTokens * 16);
+    // dict buckets: head node index; nodes: {key, next} (16 bytes)
+    int buckets = p.addSymbol("pa_buckets", kDictBuckets * 8);
+    int dnodes = p.addSymbol("pa_nodes", kDictNodes * 16);
+
+    IRBuilder b(p);
+
+    // ---- dict_lookup(key): hash-chain probe ----
+    Function *lookup = b.beginFunction("dict_lookup", 1);
+    {
+        Reg key = b.param(0);
+        Reg bb_ = b.mova(buckets);
+        Reg nb = b.mova(dnodes);
+        BasicBlock *walk = b.newBlock();
+        BasicBlock *found = b.newBlock();
+        BasicBlock *miss = b.newBlock();
+        Reg h = b.andi(b.xor_(key, b.shri(key, 7)), kDictBuckets - 1);
+        Reg ha = wl::indexAddr(b, bb_, h, 3);
+        Reg cur = b.gr();
+        b.ldTo(cur, ha, 8, MemHint{buckets, -1});
+        b.fallthrough(walk);
+
+        b.setBlock(walk);
+        auto [pnil, pok] = b.cmpi(CmpCond::EQ, cur, 0);
+        (void)pok;
+        b.br(pnil, miss);
+        Reg na = b.add(nb, b.shli(b.subi(cur, 1), 4));
+        Reg nkey = b.ld(na, 8, MemHint{dnodes, -1});
+        auto [phit, pmissk] = b.cmp(CmpCond::EQ, nkey, key);
+        (void)pmissk;
+        b.br(phit, found);
+        Reg nxa = b.addi(na, 8);
+        b.ldTo(cur, nxa, 8, MemHint{dnodes, -1});
+        b.jump(walk);
+
+        b.setBlock(found);
+        b.ret(cur);
+        b.setBlock(miss);
+        b.ret(b.movi(0));
+    }
+
+    // ---- parse(pos_addr, depth): recursive descent ----
+    // Reads tokens from *pos_addr, advancing it; returns subtree value.
+    int posv = p.addSymbol("pa_pos", 8);
+    Function *parse = b.beginFunction("parse", 1); // (depth)
+    {
+        Reg depth = b.param(0);
+        Reg tbase = b.mova(toks);
+        Reg pos_a = b.mova(posv);
+        BasicBlock *loop = b.newBlock();
+        BasicBlock *word = b.newBlock();
+        BasicBlock *open = b.newBlock();
+        BasicBlock *uni = b.newBlock();
+        BasicBlock *next = b.newBlock();
+        BasicBlock *out = b.newBlock();
+        Reg acc = b.movi(0);
+        b.fallthrough(loop);
+
+        b.setBlock(loop);
+        Reg pos = b.ld(pos_a, 8, MemHint{posv, -1});
+        auto [pend, pmore] = b.cmpi(CmpCond::GE, pos, kTokens);
+        (void)pmore;
+        b.br(pend, out);
+        Reg ta = b.add(tbase, b.shli(pos, 4));
+        Reg kind = b.ld(ta, 8, MemHint{toks, -1});
+        Reg val = b.ld(b.addi(ta, 8), 8, MemHint{toks, -1});
+        // consume the token
+        Reg pos1 = b.addi(pos, 1);
+        b.st(pos_a, pos1, 8, MemHint{posv, -1});
+        auto [pw, d1] = b.cmpi(CmpCond::EQ, kind, 0);
+        (void)d1;
+        b.br(pw, word);
+        auto [po, d2] = b.cmpi(CmpCond::EQ, kind, 1);
+        (void)d2;
+        b.br(po, open);
+        auto [pu, d3] = b.cmpi(CmpCond::EQ, kind, 3);
+        (void)d3;
+        b.br(pu, uni);
+        // kind == 2 (close): end this level.
+        b.jump(out);
+
+        b.setBlock(word);
+        Reg dv = b.call(lookup, {val});
+        b.addTo(acc, acc, dv);
+        b.jump(next);
+
+        b.setBlock(open);
+        // Depth guard keeps recursion bounded on any input.
+        auto [pdeep, pok2] = b.cmpi(CmpCond::GE, depth, 200);
+        (void)pok2;
+        b.br(pdeep, next);
+        Reg d1r = b.addi(depth, 1);
+        Reg sub = b.call(parse, {d1r});
+        b.addTo(acc, acc, sub);
+        b.jump(next);
+
+        b.setBlock(uni);
+        // Union: even values are valid node pointers, odd are ints.
+        Reg low = b.andi(val, 1);
+        auto [pint, pptr] = b.cmpi(CmpCond::EQ, low, 1);
+        b.addTo(acc, acc, val, pint);
+        Reg uv = b.gr();
+        b.ldTo(uv, val, 8, MemHint{-1, -1}, pptr);
+        b.addTo(acc, acc, uv, pptr);
+        b.fallthrough(next);
+
+        b.setBlock(next);
+        Reg mix = b.andi(acc, 0xffffffffll);
+        b.movTo(acc, mix);
+        b.jump(loop);
+
+        b.setBlock(out);
+        b.ret(acc);
+    }
+
+    Function *f = b.beginFunction("main", 0);
+    {
+        Reg zero = b.movi(0);
+        Reg v = b.call(parse, {zero});
+        b.ret(v);
+    }
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int toks = -1, buckets = -1, dnodes = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "pa_tokens")
+            toks = s.id;
+        if (s.name == "pa_buckets")
+            buckets = s.id;
+        if (s.name == "pa_nodes")
+            dnodes = s.id;
+    }
+    Rng rng(wl::seedFor(kind, 197));
+
+    // Dictionary: nodes chained into buckets (1-based node indices).
+    uint64_t nb = p.symbolAddr(dnodes);
+    uint64_t bkt = p.symbolAddr(buckets);
+    std::vector<uint64_t> heads(kDictBuckets, 0);
+    for (int n = 0; n < kDictNodes; ++n) {
+        uint64_t key = rng.nextBelow(1 << 16);
+        uint64_t h = (key ^ (key >> 7)) & (kDictBuckets - 1);
+        uint64_t next = heads[h];
+        heads[h] = static_cast<uint64_t>(n + 1);
+        uint64_t a = nb + static_cast<uint64_t>(n) * 16;
+        mem.writeBytes(a, reinterpret_cast<const uint8_t *>(&key), 8);
+        mem.writeBytes(a + 8, reinterpret_cast<const uint8_t *>(&next),
+                       8);
+    }
+    for (int h = 0; h < kDictBuckets; ++h) {
+        mem.writeBytes(bkt + static_cast<uint64_t>(h) * 8,
+                       reinterpret_cast<const uint8_t *>(&heads[h]), 8);
+    }
+
+    // Token stream: words, balanced-ish parens, occasional unions.
+    uint64_t tb = p.symbolAddr(toks);
+    int depth = 0;
+    for (int64_t i = 0; i < kTokens; ++i) {
+        uint64_t kind_v, val;
+        uint64_t roll = rng.nextBelow(100);
+        if (roll < 64) {
+            kind_v = 0;
+            val = rng.nextBelow(1 << 16);
+        } else if (roll < 81 && depth < 60) {
+            kind_v = 1;
+            val = 0;
+            ++depth;
+        } else if (roll < 97 && depth > 0) {
+            kind_v = 2;
+            val = 0;
+            --depth;
+        } else {
+            kind_v = 3;
+            if (rng.chance(1, 10)) {
+                // odd junk integer (looks like a bad pointer)
+                val = (0x540000000ull + rng.nextBelow(1 << 28) * 8) | 1;
+            } else {
+                // valid (even) pointer into the node pool
+                val = nb + rng.nextBelow(kDictNodes) * 16;
+            }
+        }
+        uint64_t a = tb + static_cast<uint64_t>(i) * 16;
+        mem.writeBytes(a, reinterpret_cast<const uint8_t *>(&kind_v), 8);
+        mem.writeBytes(a + 8, reinterpret_cast<const uint8_t *>(&val), 8);
+    }
+}
+
+} // namespace
+
+Workload
+makeParser()
+{
+    Workload w;
+    w.name = "197.parser";
+    w.signature =
+        "recursive descent + dict chains; recursion -> RSE; minor wild "
+        "loads";
+    w.ref_time = 1800;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * 253.perlbmk stand-in: bytecode interpreter.
+ *
+ * Signature: an opcode-dispatch loop indirect-calling twelve handlers
+ * with a heavily skewed opcode mix; pointer analysis disabled (the
+ * paper disables it for perlbmk); a moderate-to-large code footprint;
+ * and strong profile sensitivity — the *ref* opcode distribution is
+ * deliberately shifted from *train*, which is what makes training on
+ * ref worth +10 % in the paper's §4.6 experiment.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int kHandlers = 12;
+constexpr int64_t kProgLen = 4096;
+constexpr int64_t kSteps = 60 * 1024;
+constexpr int kVmRegs = 64;
+
+Function *
+emitHandler(IRBuilder &b, int idx, int vm_sym, int handles_sym)
+{
+    std::string name = "op_" + std::to_string(idx);
+    Function *f =
+        b.beginFunction(name, 2, kFuncNoPointerAnalysis); // (a, b)
+    Reg x = b.param(0);
+    Reg y = b.param(1);
+    Reg vm = b.mova(vm_sym);
+    // Each handler reads and rewrites one VM slot plus handler-specific
+    // arithmetic of varying size.
+    Reg slot = b.andi(b.add(x, y), kVmRegs - 1);
+    Reg sa = wl::indexAddr(b, vm, slot, 3);
+    Reg old = b.ld(sa, 8, MemHint{vm_sym, -1});
+    Reg val = old;
+    switch (idx % 4) {
+      case 0:
+        val = b.add(old, b.xori(x, idx * 3));
+        break;
+      case 1:
+        val = b.xor_(old, b.shli(y, (idx % 5) + 1));
+        break;
+      case 2:
+        val = b.sub(b.add(old, x), b.shri(y, 2));
+        break;
+      default:
+        val = b.or_(b.andi(old, 0xffffff), b.shli(x, 3));
+        break;
+    }
+    Reg feat = wl::parallelChains(b, val, 3, 2 + idx / 2, idx * 31);
+    val = b.xor_(val, feat);
+    if (idx == 3) {
+        // Tagged scalar/reference handle (perl SV flavour): dereference
+        // under the tag guard — the paper's minor perlbmk wild loads
+        // once ILP-CS promotes the guarded load.
+        Reg hb2 = b.mova(handles_sym);
+        Reg hi = b.andi(b.add(x, y), 255);
+        Reg ha = b.add(hb2, b.shli(hi, 4));
+        Reg htag = b.ld(ha, 8, MemHint{handles_sym, -1});
+        Reg hv = b.ld(b.addi(ha, 8), 8, MemHint{handles_sym, -1});
+        auto [pp, pi] = b.cmpi(CmpCond::EQ, htag, 1);
+        Reg uv = b.gr();
+        b.ldTo(uv, hv, 8, MemHint{-1, -1}, pp);
+        Instruction addu;
+        addu.op = Opcode::ADD;
+        addu.guard = pp;
+        addu.dests = {val};
+        addu.srcs = {Operand::makeReg(val), Operand::makeReg(uv)};
+        b.emit(addu);
+        Instruction addi2;
+        addi2.op = Opcode::ADD;
+        addi2.guard = pi;
+        addi2.dests = {val};
+        addi2.srcs = {Operand::makeReg(val), Operand::makeReg(htag)};
+        b.emit(addi2);
+    }
+    b.st(sa, val, 8, MemHint{vm_sym, -1});
+    b.ret(b.andi(val, 0xffffll));
+    return f;
+}
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    // bytecode[i] = { op: u8 }, operands derived from pc.
+    int code = p.addSymbol("pl_code", kProgLen);
+    int vm = p.addSymbol("pl_vm", kVmRegs * 8);
+    int handles = p.addSymbol("pl_handles", 256 * 16);
+
+    IRBuilder b(p);
+    std::vector<Function *> handlers;
+    for (int i = 0; i < kHandlers; ++i)
+        handlers.push_back(emitHandler(b, i, vm, handles));
+
+    Function *f = b.beginFunction("main", 0, kFuncNoPointerAnalysis);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), pc = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(pc, 0);
+    b.moviTo(acc, 0);
+    Reg cbase = b.mova(code);
+    std::vector<Reg> toks;
+    for (Function *h : handlers)
+        toks.push_back(b.movfn(h));
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg ca = b.add(cbase, pc);
+    Reg op = b.ld(ca, 1, MemHint{code, -1});
+    Reg tok = b.gr();
+    b.movTo(tok, toks[0]);
+    for (int h = 1; h < kHandlers; ++h) {
+        auto [ph, pnh] = b.cmpi(CmpCond::EQ, op, h);
+        (void)pnh;
+        b.movTo(tok, toks[h], ph);
+    }
+    Reg r = b.icall(tok, {pc, acc});
+    b.addTo(acc, acc, r);
+    Reg mix = b.andi(acc, 0xffffffffll);
+    b.movTo(acc, mix);
+    // pc advances pseudo-randomly but deterministically.
+    Reg step = b.addi(b.andi(r, 7), 1);
+    Reg npc = b.andi(b.add(pc, step), kProgLen - 1);
+    b.movTo(pc, npc);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kSteps);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int code = -1, handles = -1, vm = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "pl_code")
+            code = s.id;
+        if (s.name == "pl_handles")
+            handles = s.id;
+        if (s.name == "pl_vm")
+            vm = s.id;
+    }
+    // Tagged handles: mostly valid references into the VM slots, ~5%
+    // junk integers (wild under promotion).
+    {
+        uint64_t vb = p.symbolAddr(vm);
+        uint64_t hb2 = p.symbolAddr(handles);
+        Rng hr(wl::seedFor(kind, 2530));
+        for (int i = 0; i < 256; ++i) {
+            bool junk = hr.chance(1, 20);
+            uint64_t tag = junk ? 0 : 1;
+            uint64_t hv = junk ? 0x5c0000000ull + hr.nextBelow(1 << 26) * 8
+                               : vb + hr.nextBelow(kVmRegs) * 8;
+            if (junk)
+                hv |= 0; // keep 8-aligned junk: still unmapped
+            mem.writeBytes(hb2 + static_cast<uint64_t>(i) * 16,
+                           reinterpret_cast<const uint8_t *>(&tag), 8);
+            mem.writeBytes(hb2 + static_cast<uint64_t>(i) * 16 + 8,
+                           reinterpret_cast<const uint8_t *>(&hv), 8);
+        }
+    }
+    // Train: op 0 dominates (60%). Ref: the hot set shifts toward ops
+    // 1-2 — region formation trained on the wrong mix loses ~10%.
+    bool train = kind == InputKind::Train;
+    wl::fillSym8(p, mem, code, kProgLen, wl::seedFor(kind, 253),
+                 [train](uint64_t, Rng &rng) -> uint8_t {
+                     if (train) {
+                         if (rng.chance(75, 100))
+                             return 0;
+                         if (rng.chance(50, 100))
+                             return 1;
+                         return static_cast<uint8_t>(
+                             2 + rng.nextBelow(kHandlers - 2));
+                     }
+                     if (rng.chance(40, 100))
+                         return 1;
+                     if (rng.chance(45, 100))
+                         return 2;
+                     if (rng.chance(30, 100))
+                         return 0;
+                     return static_cast<uint8_t>(
+                         3 + rng.nextBelow(kHandlers - 3));
+                 });
+}
+
+} // namespace
+
+Workload
+makePerlbmk()
+{
+    Workload w;
+    w.name = "253.perlbmk";
+    w.signature =
+        "bytecode dispatch: skewed icalls, profile-sensitive mix, "
+        "pointer analysis disabled";
+    w.ref_time = 1800;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * 300.twolf stand-in: standard-cell placement cost evaluation.
+ *
+ * Signature (paper §4.1): a *lukewarm* low-trip inner loop (net-span
+ * walk) inside each of six rotating move-evaluation routines whose
+ * combined hot footprint sits near the 16 KB L1I capacity. Peeling
+ * splits the inner loop into a peel copy plus a specialized remainder
+ * that is itself lukewarm — two warm copies where there was one — and
+ * ILP code growth pushes the loop footprint past L1I: I-cache stalls
+ * *increase* ~35 % even though the benchmark still speeds up (1.38).
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kMoves = 5000;
+constexpr int kEvals = 8;
+constexpr int64_t kCells = 4096;
+
+Function *
+emitEval(IRBuilder &b, int idx, int cells_sym)
+{
+    std::string name = "eval_move_" + std::to_string(idx);
+    Function *f = b.beginFunction(name, 2); // (cell, temperature)
+    Reg cell = b.param(0);
+    Reg temp = b.param(1);
+    Reg cbase = b.mova(cells_sym);
+
+    // Wide feature preamble (hot straight-line footprint).
+    Reg ca = b.add(cbase, b.shli(b.andi(cell, kCells - 1), 3));
+    Reg w = b.ld(ca, 8, MemHint{cells_sym, -1});
+    Reg cost = b.movi(idx * 7);
+    {
+        Reg feat = wl::parallelChains(b, w, 4, 10 + idx * 2, idx * 29);
+        cost = b.add(cost, b.andi(feat, 0xffff));
+    }
+
+    // The lukewarm low-trip loop: span walk, trip in {1, 2, 3}.
+    BasicBlock *span = b.newBlock();
+    BasicBlock *after = b.newBlock();
+    Reg trips = b.addi(b.andi(w, 3), 1); // 1..4, skewed small
+    Reg k = b.gr();
+    b.moviTo(k, 0);
+    b.fallthrough(span);
+
+    b.setBlock(span);
+    Reg sa = b.add(cbase, b.shli(b.andi(b.add(cell, k), kCells - 1), 3));
+    Reg sv = b.ld(sa, 8, MemHint{cells_sym, -1});
+    Reg c2 = b.add(cost, b.andi(sv, 0xffff));
+    b.movTo(cost, c2);
+    b.addiTo(k, k, 1);
+    auto [pmore, pdone] = b.cmp(CmpCond::LT, k, trips);
+    (void)pdone;
+    b.br(pmore, span);
+    b.fallthrough(after);
+
+    // Accept/reject tail with temperature bias: a joinable diamond
+    // (if-conversion fodder).
+    b.setBlock(after);
+    BasicBlock *acc_bb = b.newBlock();
+    BasicBlock *rej = b.newBlock();
+    BasicBlock *join = b.newBlock();
+    Reg result = b.gr();
+    Reg thresh = b.add(temp, b.movi(900 + idx * 40));
+    auto [pacc2, prej2] = b.cmp(CmpCond::LT, b.andi(cost, 0x7ff),
+                                thresh);
+    (void)pacc2;
+    b.br(prej2, rej);
+    b.fallthrough(acc_bb);
+
+    b.setBlock(acc_bb);
+    b.movTo(result, b.xori(cost, 0x2a));
+    b.jump(join);
+
+    b.setBlock(rej);
+    b.movTo(result, b.shri(cost, 1));
+    b.fallthrough(join);
+
+    b.setBlock(join);
+    b.ret(b.andi(result, 0xffffffll));
+    return f;
+}
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int cells = p.addSymbol("tw_cells", kCells * 8);
+    int moves = p.addSymbol("tw_moves", kMoves * 8);
+
+    IRBuilder b(p);
+    std::vector<Function *> evals;
+    for (int i = 0; i < kEvals; ++i)
+        evals.push_back(emitEval(b, i, cells));
+
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg mbase = b.mova(moves);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg ma = wl::indexAddr(b, mbase, i, 3);
+    Reg mv = b.ld(ma, 8, MemHint{moves, -1});
+    Reg cell = b.andi(mv, 0xffff);
+    Reg temp = b.andi(b.shri(mv, 16), 0x3ff);
+    // Rotate across the eight evaluators (keeps the whole eval
+    // footprint warm). Dispatch through a branch tree with unguarded
+    // calls, so the inliner can absorb the hot evaluators — growing the
+    // loop footprint, as real twolf's move loop does.
+    Reg sel = b.andi(i, kEvals - 1);
+    Reg v = b.gr();
+    BasicBlock *cont_bb = b.newBlock();
+    std::vector<BasicBlock *> disp;
+    for (int e = 0; e < kEvals; ++e)
+        disp.push_back(b.newBlock());
+    for (int e = 0; e + 1 < kEvals; ++e) {
+        auto [pe, pne] = b.cmpi(CmpCond::EQ, sel, e);
+        (void)pne;
+        b.br(pe, disp[e]);
+    }
+    b.fallthrough(disp[kEvals - 1]);
+    for (int e = 0; e < kEvals; ++e) {
+        b.setBlock(disp[e]);
+        Reg r = b.call(evals[e], {cell, temp});
+        b.movTo(v, r);
+        if (e + 1 < kEvals) {
+            Instruction jmp;
+            jmp.op = Opcode::BR;
+            jmp.target = cont_bb->id;
+            b.emit(jmp);
+        } else {
+            b.fallthrough(cont_bb);
+        }
+    }
+    b.setBlock(cont_bb);
+    b.addTo(acc, acc, v);
+    Reg mix = b.andi(acc, 0xffffffffll);
+    b.movTo(acc, mix);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kMoves);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int cells = -1, moves = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "tw_cells")
+            cells = s.id;
+        if (s.name == "tw_moves")
+            moves = s.id;
+    }
+    wl::fillSym64(p, mem, cells, kCells, wl::seedFor(kind, 300),
+                  [](uint64_t, Rng &r) -> uint64_t {
+                      uint64_t v = r.next() >> 16;
+                      // Skew the span-walk trip count toward 1.
+                      if (r.chance(5, 8))
+                          v &= ~3ull; // trips = 1
+                      else if (r.chance(2, 3))
+                          v = (v & ~3ull) | 1; // trips = 2
+                      return v;
+                  });
+    wl::fillSym64(p, mem, moves, kMoves, wl::seedFor(kind, 3000),
+                  [](uint64_t, Rng &r) { return r.next() >> 8; });
+}
+
+} // namespace
+
+Workload
+makeTwolf()
+{
+    Workload w;
+    w.name = "300.twolf";
+    w.signature =
+        "rotating move evals near L1I capacity; peeled lukewarm loop "
+        "thrashes I-cache";
+    w.ref_time = 1900;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * 255.vortex stand-in: object-oriented database transactions.
+ *
+ * Signature (paper Figure 10): the biggest structural-ILP winner — its
+ * field pack/unpack and validation code is branch-poor and wide — but a
+ * fixed slice of its time sits in gcc-compiled *library* functions
+ * (chunk_alloc, chunk_free, memcpy) that no configuration improves.
+ * Those are kFuncLibrary here: always compiled classically with
+ * one-bundle groups, reproducing the flat bars of Figure 10.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kOps = 7000;
+constexpr int kRecWords = 8;
+constexpr int kHeapRecs = 2048;
+constexpr int kHashBuckets = 512;
+constexpr int64_t kInputRecs = 1024; ///< 64 KB payload window
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    int heap = p.addSymbol("vx_heap", kHeapRecs * kRecWords * 8);
+    int freelist = p.addSymbol("vx_free", 8); // bump index
+    int hash = p.addSymbol("vx_hash", kHashBuckets * 8);
+    // Transactions cycle over a cache-friendly window of payloads.
+    int input = p.addSymbol("vx_input", kInputRecs * kRecWords * 8);
+
+    IRBuilder b(p);
+
+    // ---- library: chunk_alloc() -> record index (bump + wrap) ----
+    Function *chunk_alloc =
+        b.beginFunction("chunk_alloc", 0, kFuncLibrary);
+    {
+        Reg fa = b.mova(freelist);
+        Reg idx = b.ld(fa, 8);
+        Reg nxt = b.addi(idx, 1);
+        Reg wrapped = b.andi(nxt, kHeapRecs - 1);
+        b.st(fa, wrapped, 8);
+        // Touch the allocator metadata (free-list maintenance flavour).
+        Reg scan = b.mov(idx);
+        for (int i = 0; i < 6; ++i)
+            scan = b.xori(b.shri(scan, 1), i * 3);
+        b.ret(b.add(idx, b.andi(scan, 0)));
+    }
+
+    // ---- library: chunk_free(idx) ----
+    Function *chunk_free = b.beginFunction("chunk_free", 1, kFuncLibrary);
+    {
+        Reg idx = b.param(0);
+        Reg scan = b.mov(idx);
+        for (int i = 0; i < 5; ++i)
+            scan = b.addi(b.shri(scan, 1), i);
+        b.ret(scan);
+    }
+
+    // ---- library: memcpyish(dst_rec, src_addr): copy 8 words ----
+    Function *memcpyish = b.beginFunction("memcpyish", 2, kFuncLibrary);
+    {
+        BasicBlock *loop = b.newBlock();
+        BasicBlock *done = b.newBlock();
+        Reg k = b.gr();
+        b.moviTo(k, 0);
+        b.fallthrough(loop);
+        b.setBlock(loop);
+        // Hand-unrolled two words per iteration, like real memcpy.
+        Reg off = b.shli(k, 3);
+        Reg sa = b.add(b.param(1), off);
+        Reg da = b.add(b.param(0), off);
+        Reg v = b.ld(sa, 8);
+        b.st(da, v, 8);
+        Reg sa2 = b.addi(sa, 8);
+        Reg da2 = b.addi(da, 8);
+        Reg v2 = b.ld(sa2, 8);
+        b.st(da2, v2, 8);
+        b.addiTo(k, k, 2);
+        auto [pl, pge] = b.cmpi(CmpCond::LT, k, kRecWords);
+        (void)pge;
+        b.br(pl, loop);
+        b.fallthrough(done);
+        b.setBlock(done);
+        b.ret(k);
+    }
+
+    // ---- Mem_GetWord-style small helpers (inlining fodder) ----
+    Function *get_field = b.beginFunction("Mem_GetField", 2);
+    {
+        // (word, field): extract a 16-bit field.
+        Reg sh = b.shli(b.andi(b.param(1), 3), 4);
+        Reg v = b.shr(b.param(0), sh);
+        b.ret(b.andi(v, 0xffff));
+    }
+    Function *put_field = b.beginFunction("Mem_PutField", 3);
+    {
+        // (word, field, val) -> new word
+        Reg sh = b.shli(b.andi(b.param(1), 3), 4);
+        Reg mask = b.shl(b.movi(0xffff), sh);
+        Reg cleared = b.and_(b.param(0), b.xori(mask, -1));
+        Reg nv = b.shl(b.andi(b.param(2), 0xffff), sh);
+        b.ret(b.or_(cleared, nv));
+    }
+
+    // ---- Validate: wide, branch-poor field checks (the ILP winner) ----
+    Function *validate = b.beginFunction("BMT_Validate", 1); // rec addr
+    {
+        Reg ra = b.param(0);
+        std::vector<Reg> words;
+        for (int k = 0; k < kRecWords; ++k)
+            words.push_back(
+                b.ld(b.addi(ra, k * 8), 8, MemHint{-1, 3}));
+        // Independent field extractions: lots of parallel work.
+        Reg sum = b.movi(0);
+        for (int k = 0; k < kRecWords; ++k) {
+            Reg f0 = b.andi(words[k], 0xffff);
+            Reg f1 = b.andi(b.shri(words[k], 16), 0xffff);
+            Reg f2 = b.andi(b.shri(words[k], 32), 0xffff);
+            Reg f3 = b.andi(b.shri(words[k], 48), 0xffff);
+            Reg s1 = b.add(f0, f2);
+            Reg s2 = b.add(f1, f3);
+            Reg s3 = b.xor_(s1, b.shli(s2, 1));
+            sum = b.add(sum, s3);
+        }
+        b.ret(b.andi(sum, 0xffffffffll));
+    }
+
+    // ---- main transaction loop ----
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *del = b.newBlock();
+    BasicBlock *cont = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg hbase = b.mova(heap);
+    Reg ibase = b.mova(input);
+    Reg hashb = b.mova(hash);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    // Allocate a record, copy the payload in, validate, index it.
+    Reg rec = b.call(chunk_alloc, {});
+    Reg ra = b.add(hbase, b.shli(rec, 6));
+    Reg sa = b.add(ibase, b.shli(b.andi(i, kInputRecs - 1), 6));
+    b.callv(memcpyish, {ra, sa});
+    Reg chk = b.call(validate, {ra});
+    b.addTo(acc, acc, chk);
+    // Pack a header field and hash-index the record.
+    Reg w0 = b.ld(ra, 8, MemHint{heap, -1});
+    Reg fld = b.call(get_field, {w0, b.movi(1)});
+    Reg w0b = b.call(put_field, {w0, b.movi(2), fld});
+    b.st(ra, w0b, 8, MemHint{heap, -1});
+    Reg hh = b.andi(b.xor_(chk, b.shri(chk, 5)), kHashBuckets - 1);
+    Reg ha = wl::indexAddr(b, hashb, hh, 3);
+    Reg old = b.ld(ha, 8, MemHint{hash, -1});
+    b.st(ha, b.add(old, rec), 8, MemHint{hash, -1});
+    // Occasionally delete (frees go through the library).
+    Reg lowbits = b.andi(chk, 7);
+    auto [pdel, pkeep] = b.cmpi(CmpCond::EQ, lowbits, 3);
+    (void)pkeep;
+    b.br(pdel, del);
+    b.fallthrough(cont);
+
+    b.setBlock(del);
+    Reg fr = b.call(chunk_free, {rec});
+    b.addTo(acc, acc, fr);
+    b.fallthrough(cont);
+
+    b.setBlock(cont);
+    Reg mix = b.andi(b.add(acc, old), 0xffffffffll);
+    b.movTo(acc, mix);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, kOps);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int input = -1;
+    for (const DataSymbol &s : p.symbols)
+        if (s.name == "vx_input")
+            input = s.id;
+    wl::fillSym64(p, mem, input, kInputRecs * kRecWords,
+                  wl::seedFor(kind, 255),
+                  [](uint64_t, Rng &r) { return r.next() >> 8; });
+}
+
+} // namespace
+
+Workload
+makeVortex()
+{
+    Workload w;
+    w.name = "255.vortex";
+    w.signature =
+        "OO-db transactions: widest ILP winner + flat gcc-compiled "
+        "library slice (Fig.10)";
+    w.ref_time = 2500;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

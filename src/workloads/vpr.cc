@@ -1,0 +1,137 @@
+/**
+ * @file
+ * 175.vpr stand-in: placement cost evaluation.
+ *
+ * Signature: per-net bounding-box computation — min/max reductions over
+ * four pins implemented with compare + guarded moves (classic
+ * if-conversion fodder), a moderately large working set, and an
+ * accept/reject branch of middling bias.
+ */
+#include "workloads/common.h"
+
+namespace epic {
+
+namespace {
+
+constexpr int64_t kNets = 4 * 1024;
+constexpr int64_t kPins = 4;
+constexpr int64_t kMoves = 72 * 1024;
+
+std::unique_ptr<Program>
+build()
+{
+    auto pp = std::make_unique<Program>();
+    Program &p = *pp;
+    // Pin coordinates, one 8-byte (x<<16|y) word per pin.
+    int pins = p.addSymbol("vpr_pins", kNets * kPins * 8);
+    int order = p.addSymbol("vpr_order", kMoves * 8);
+
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *accept = b.newBlock();
+    BasicBlock *cont = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg m = b.gr(), cost = b.gr();
+    b.moviTo(m, 0);
+    b.moviTo(cost, 0);
+    Reg pbase = b.mova(pins);
+    Reg obase = b.mova(order);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg oa = wl::indexAddr(b, obase, m, 3);
+    Reg net = b.ld(oa, 8, MemHint{order, -1});
+    Reg na = b.add(pbase, b.shli(net, 5)); // net * 4 pins * 8 bytes
+
+    // Bounding box over the 4 pins: min/max via guarded moves.
+    Reg xmin = b.gr(), xmax = b.gr(), ymin = b.gr(), ymax = b.gr();
+    b.moviTo(xmin, 1 << 20);
+    b.moviTo(xmax, 0);
+    b.moviTo(ymin, 1 << 20);
+    b.moviTo(ymax, 0);
+    for (int k = 0; k < kPins; ++k) {
+        Reg pa = b.addi(na, k * 8);
+        Reg xy = b.ld(pa, 8, MemHint{pins, -1});
+        Reg x = b.shri(xy, 16);
+        Reg y = b.andi(xy, 0xffff);
+        auto [pxl, d1] = b.cmp(CmpCond::LT, x, xmin);
+        (void)d1;
+        b.movTo(xmin, x, pxl);
+        auto [pxg, d2] = b.cmp(CmpCond::GT, x, xmax);
+        (void)d2;
+        b.movTo(xmax, x, pxg);
+        auto [pyl, d3] = b.cmp(CmpCond::LT, y, ymin);
+        (void)d3;
+        b.movTo(ymin, y, pyl);
+        auto [pyg, d4] = b.cmp(CmpCond::GT, y, ymax);
+        (void)d4;
+        b.movTo(ymax, y, pyg);
+    }
+    Reg dx = b.sub(xmax, xmin);
+    Reg dy = b.sub(ymax, ymin);
+    Reg bbox = b.add(dx, dy);
+
+    // Accept the move if the box is tight (input-dependent bias ~60%).
+    auto [pacc, prej] = b.cmpi(CmpCond::LT, bbox, 9000);
+    (void)prej;
+    b.br(pacc, accept);
+    b.fallthrough(cont);
+
+    b.setBlock(accept);
+    b.addTo(cost, cost, bbox);
+    b.fallthrough(cont);
+
+    b.setBlock(cont);
+    Reg mix = b.xor_(cost, b.shri(bbox, 1));
+    b.movTo(cost, b.andi(mix, 0xffffffffll));
+    b.addiTo(m, m, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, m, kMoves);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(cost);
+    p.entry_func = f->id;
+    return pp;
+}
+
+void
+writeInput(const Program &p, Memory &mem, InputKind kind)
+{
+    int pins = -1, order = -1;
+    for (const DataSymbol &s : p.symbols) {
+        if (s.name == "vpr_pins")
+            pins = s.id;
+        if (s.name == "vpr_order")
+            order = s.id;
+    }
+    wl::fillSym64(p, mem, pins, kNets * kPins, wl::seedFor(kind, 175),
+                  [](uint64_t, Rng &rng) {
+                      uint64_t x = rng.nextBelow(8192);
+                      uint64_t y = rng.nextBelow(8192);
+                      return (x << 16) | y;
+                  });
+    wl::fillSym64(p, mem, order, kMoves, wl::seedFor(kind, 1750),
+                  [](uint64_t, Rng &rng) {
+                      return rng.nextBelow(kNets);
+                  });
+}
+
+} // namespace
+
+Workload
+makeVpr()
+{
+    Workload w;
+    w.name = "175.vpr";
+    w.signature = "bounding-box min/max: if-conversion fodder";
+    w.ref_time = 1400;
+    w.build = build;
+    w.write_input = writeInput;
+    return w;
+}
+
+} // namespace epic

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Functional-interpreter tests: arithmetic, memory, predication,
+ * control flow, calls/recursion, NaT/speculation semantics, profiling.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sim/interp.h"
+
+namespace epic {
+namespace {
+
+/** Run main() of a program after laying out data + memory. */
+InterpResult
+runProgram(Program &p, const InterpOptions &opts = {})
+{
+    p.layoutData();
+    Memory mem;
+    mem.initFromProgram(p);
+    return interpret(p, mem, opts);
+}
+
+TEST(InterpTest, ArithmeticChain)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg a = b.movi(6);
+    Reg c = b.movi(7);
+    Reg d = b.mul(a, c);        // 42
+    Reg e = b.addi(d, 100);     // 142
+    Reg g = b.subi(e, 2);       // 140
+    Reg h = b.shri(g, 2);       // 35
+    Reg i = b.xori(h, 0xf);     // 44
+    b.ret(i);
+    p.entry_func = f->id;
+
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, (((6 * 7 + 100 - 2) >> 2) ^ 0xf));
+}
+
+TEST(InterpTest, DivRemAndTrapOnZero)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg a = b.movi(-17);
+    Reg c = b.movi(5);
+    Reg q = b.div(a, c);
+    Reg m = b.rem(a, c);
+    Reg s = b.add(q, m);
+    b.ret(s);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, (-17 / 5) + (-17 % 5));
+
+    Program p2;
+    IRBuilder b2(p2);
+    Function *f2 = b2.beginFunction("main", 0);
+    Reg z = b2.movi(0);
+    Reg x = b2.movi(1);
+    b2.ret(b2.div(x, z));
+    p2.entry_func = f2->id;
+    auto r2 = runProgram(p2);
+    EXPECT_FALSE(r2.ok);
+    EXPECT_NE(r2.error.find("divide by zero"), std::string::npos);
+}
+
+TEST(InterpTest, MemoryRoundTrip)
+{
+    Program p;
+    int sym = p.addSymbol("buf", 64);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg base = b.mova(sym);
+    Reg v = b.movi(0x1234567890abcdefll);
+    b.st(base, v, 8);
+    Reg lo = b.ld(base, 4);  // zero-extended low word
+    Reg addr2 = b.addi(base, 4);
+    Reg hi = b.ld(addr2, 4);
+    Reg sum = b.add(lo, hi);
+    b.ret(sum);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value,
+              int64_t(0x90abcdefull) + int64_t(0x12345678ull));
+    EXPECT_EQ(r.dyn_loads, 2u);
+    EXPECT_EQ(r.dyn_stores, 1u);
+}
+
+TEST(InterpTest, SignExtension)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg v = b.movi(0xff);
+    Instruction sxt;
+    sxt.op = Opcode::SXT;
+    sxt.size = 1;
+    Reg d = b.gr();
+    sxt.dests = {d};
+    sxt.srcs = {Operand::makeReg(v)};
+    b.emit(sxt);
+    b.ret(d);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, -1);
+}
+
+TEST(InterpTest, PredicationSquashes)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg x = b.movi(5);
+    auto [pt, pf] = b.cmpi(CmpCond::GT, x, 3); // true
+    Reg out = b.gr();
+    b.moviTo(out, 111, pt);
+    b.moviTo(out, 222, pf); // squashed
+    b.ret(out);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 111);
+    EXPECT_EQ(r.dyn_squashed, 1u);
+}
+
+TEST(InterpTest, ParallelCompareAndOr)
+{
+    // (a > 0) && (b > 0) via and-type compares.
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg a = b.movi(4);
+    Reg c = b.movi(-2);
+    Reg pboth = b.pr();
+    b.movp(pboth, true);
+    Reg dummy = b.pr();
+    // and-type: clear pboth when condition false.
+    Instruction c1;
+    c1.op = Opcode::CMPI;
+    c1.cond = CmpCond::GT;
+    c1.ctype = CmpType::And;
+    c1.dests = {pboth, dummy};
+    c1.srcs = {Operand::makeReg(a), Operand::makeImm(0)};
+    b.emit(c1);
+    Instruction c2 = c1;
+    c2.srcs = {Operand::makeReg(c), Operand::makeImm(0)};
+    b.emit(c2);
+    Reg out = b.gr();
+    b.moviTo(out, 0);
+    b.moviTo(out, 1, pboth);
+    b.ret(out);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 0); // c <= 0, so pboth cleared
+}
+
+TEST(InterpTest, LoopSum)
+{
+    // sum 1..10 via branchy loop.
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg i = b.gr(), sum = b.gr();
+    b.moviTo(i, 1);
+    b.moviTo(sum, 0);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    b.addTo(sum, sum, i);
+    b.addiTo(i, i, 1);
+    auto [ple, pgt] = b.cmpi(CmpCond::LE, i, 10);
+    (void)pgt;
+    b.br(ple, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(sum);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 55);
+    EXPECT_GE(r.dyn_branches, 9u);
+}
+
+TEST(InterpTest, CallsAndRecursion)
+{
+    Program p;
+    IRBuilder b(p);
+    // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+    Function *fib = b.beginFunction("fib", 1);
+    BasicBlock *rec = b.newBlock();
+    Reg n = b.param(0);
+    auto [plt, pge] = b.cmpi(CmpCond::LT, n, 2);
+    (void)pge;
+    BasicBlock *base = b.newBlock();
+    b.br(plt, base);
+    b.fallthrough(rec);
+
+    b.setBlock(base);
+    b.ret(n);
+
+    b.setBlock(rec);
+    Reg n1 = b.subi(n, 1);
+    Reg n2 = b.subi(n, 2);
+    Reg f1 = b.call(fib, {n1});
+    Reg f2 = b.call(fib, {n2});
+    b.ret(b.add(f1, f2));
+
+    Function *mainf = b.beginFunction("main", 0);
+    (void)mainf;
+    Reg ten = b.movi(10);
+    b.ret(b.call(fib, {ten}));
+    p.entry_func = mainf->id;
+
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 55);
+    EXPECT_GT(r.dyn_calls, 100u);
+}
+
+TEST(InterpTest, IndirectCall)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f1 = b.beginFunction("f1", 1);
+    b.ret(b.addi(b.param(0), 100));
+    Function *f2 = b.beginFunction("f2", 1);
+    b.ret(b.addi(b.param(0), 200));
+    Function *mainf = b.beginFunction("main", 0);
+    Reg t1 = b.movfn(f1);
+    Reg t2 = b.movfn(f2);
+    Reg x = b.movi(5);
+    Reg a = b.icall(t1, {x});
+    Reg c = b.icall(t2, {x});
+    b.ret(b.add(a, c));
+    p.entry_func = mainf->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 105 + 205);
+}
+
+TEST(InterpTest, SpeculativeLoadDefersNaT)
+{
+    Program p;
+    int sym = p.addSymbol("x", 8);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    // Speculative load from unmapped address: NaT, no trap.
+    Reg bad = b.movi(0x50000000);
+    Instruction lds;
+    lds.op = Opcode::LD;
+    lds.spec = true;
+    Reg d = b.gr();
+    lds.dests = {d};
+    lds.srcs = {Operand::makeReg(bad)};
+    b.emit(lds);
+    // NaT propagates through arithmetic.
+    Reg d2 = b.addi(d, 1);
+    // cmp with NaT input clears both predicates.
+    auto [pt, pf] = b.cmpi(CmpCond::EQ, d2, 1);
+    Reg out = b.gr();
+    b.moviTo(out, 7);
+    b.moviTo(out, 1, pt);
+    b.moviTo(out, 2, pf);
+    // Store a real value so the good path works too.
+    Reg good = b.mova(sym);
+    Reg v = b.ld(good, 8);
+    b.ret(b.add(out, v));
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 7);
+    EXPECT_EQ(r.wild_loads, 1u);
+}
+
+TEST(InterpTest, NonSpeculativeWildLoadTraps)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg bad = b.movi(0x50000000);
+    b.ret(b.ld(bad, 8));
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unmapped"), std::string::npos);
+}
+
+TEST(InterpTest, ChkSBranchesOnNaT)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *recovery = b.newBlock();
+    BasicBlock *done = b.newBlock();
+
+    Reg bad = b.movi(0x60000000);
+    Instruction lds;
+    lds.op = Opcode::LD;
+    lds.spec = true;
+    Reg d = b.gr();
+    lds.dests = {d};
+    lds.srcs = {Operand::makeReg(bad)};
+    b.emit(lds);
+    Instruction chk;
+    chk.op = Opcode::CHK_S;
+    chk.srcs = {Operand::makeReg(d)};
+    chk.target = recovery->id;
+    b.emit(chk);
+    b.jump(done);
+
+    b.setBlock(recovery);
+    b.moviTo(d, 42);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(d);
+    p.entry_func = f->id;
+    auto r = runProgram(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.ret_value, 42);
+}
+
+TEST(InterpTest, ProfileCollection)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr();
+    b.moviTo(i, 0);
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    b.addiTo(i, i, 1);
+    auto [plt, pge] = b.cmpi(CmpCond::LT, i, 100);
+    (void)pge;
+    b.br(plt, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(i);
+    p.entry_func = f->id;
+
+    p.layoutData();
+    Memory mem;
+    mem.initFromProgram(p);
+    auto r = profileRun(p, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(loop->weight, 100.0);
+    EXPECT_DOUBLE_EQ(done->weight, 1.0);
+    // The back branch was taken 99 times.
+    double taken = 0;
+    for (auto &inst : loop->instrs)
+        if (inst.op == Opcode::BR)
+            taken = inst.prof_taken;
+    EXPECT_DOUBLE_EQ(taken, 99.0);
+    // Profile is cleared on re-run.
+    auto r2 = profileRun(p, mem);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_DOUBLE_EQ(loop->weight, 100.0);
+}
+
+TEST(InterpTest, InstructionBudgetTrips)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    b.jump(loop); // infinite
+    p.entry_func = f->id;
+    InterpOptions opts;
+    opts.max_instrs = 1000;
+    auto r = runProgram(p, opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+} // namespace
+} // namespace epic

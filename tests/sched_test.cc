@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Scheduler and register-allocator tests. The load-bearing invariants:
+ * scheduled (bundle-order) execution must produce the same architected
+ * result as source-order execution, the verifier's bundle checks must
+ * pass, and dispersal limits must be respected.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "sched/listsched.h"
+#include "sched/regalloc.h"
+#include "sim/interp.h"
+
+namespace epic {
+namespace {
+
+int64_t
+runOrder(Program &p, bool scheduled)
+{
+    p.layoutData();
+    Memory mem;
+    mem.initFromProgram(p);
+    InterpOptions opts;
+    opts.scheduled_order = scheduled;
+    auto r = interpret(p, mem, opts);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.ret_value;
+}
+
+/** Full low-level pipeline on a program: allocate + schedule. */
+SchedStats
+compileLowLevel(Program &p, const MachineConfig &mach = {})
+{
+    AliasAnalysis aa(p, AliasLevel::Inter);
+    allocateProgram(p);
+    auto s = scheduleProgram(p, aa, mach);
+    auto errs = verifyProgram(p);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+    return s;
+}
+
+/** A block with abundant ILP: 8 independent adds, then a reduction. */
+Program
+wideProgram()
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    std::vector<Reg> vals;
+    for (int i = 0; i < 8; ++i)
+        vals.push_back(b.movi(i + 1));
+    std::vector<Reg> sums;
+    for (int i = 0; i < 4; ++i)
+        sums.push_back(b.add(vals[2 * i], vals[2 * i + 1]));
+    Reg s01 = b.add(sums[0], sums[1]);
+    Reg s23 = b.add(sums[2], sums[3]);
+    b.ret(b.add(s01, s23));
+    p.entry_func = f->id;
+    return p;
+}
+
+TEST(SchedTest, WideBlockExploitsIssueWidth)
+{
+    Program p = wideProgram();
+    int64_t before = runOrder(p, false);
+    SchedStats s = compileLowLevel(p);
+    // 15 real ops (8 movi + 7 add + ret + alloc = 17) over >= 4 cycles;
+    // a serial schedule would need 17 groups.
+    EXPECT_LT(s.groups, 10);
+    EXPECT_GT(s.ops, 15);
+    EXPECT_EQ(runOrder(p, true), before);
+}
+
+TEST(SchedTest, SerialChainSchedulesSerially)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg x = b.movi(1);
+    for (int i = 0; i < 10; ++i)
+        x = b.addi(x, 1);
+    b.ret(x);
+    p.entry_func = f->id;
+    SchedStats s = compileLowLevel(p);
+    // A 11-op dependence chain cannot take fewer than 11 groups.
+    EXPECT_GE(s.groups, 11);
+}
+
+TEST(SchedTest, CompareAndBranchShareAGroup)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *t = b.newBlock();
+    auto [pt, pf] = b.cmpi(CmpCond::GT, b.movi(5), 3);
+    (void)pf;
+    b.br(pt, t);
+    b.fallthrough(t);
+    b.setBlock(t);
+    b.ret(b.movi(0));
+    p.entry_func = f->id;
+    compileLowLevel(p);
+
+    const BasicBlock *entry = f->block(f->entry);
+    int cmp_cycle = -1, br_cycle = -1;
+    for (const Instruction &inst : entry->instrs) {
+        if (inst.op == Opcode::CMPI)
+            cmp_cycle = inst.sched_cycle;
+        if (inst.op == Opcode::BR)
+            br_cycle = inst.sched_cycle;
+    }
+    EXPECT_GE(cmp_cycle, 0);
+    EXPECT_EQ(cmp_cycle, br_cycle); // IA-64 same-group cmp->br
+}
+
+TEST(SchedTest, LoadLimitPerGroup)
+{
+    Program p;
+    int sym = p.addSymbol("arr", 256);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg base = b.mova(sym);
+    std::vector<Reg> vals;
+    for (int i = 0; i < 6; ++i) {
+        Reg a = b.addi(base, i * 8);
+        vals.push_back(b.ld(a, 8, MemHint{sym, -1}));
+    }
+    Reg s = vals[0];
+    for (int i = 1; i < 6; ++i)
+        s = b.add(s, vals[i]);
+    b.ret(s);
+    p.entry_func = f->id;
+    compileLowLevel(p);
+
+    // No issue group may contain more than two loads.
+    for (const auto &bp : f->blocks) {
+        if (!bp)
+            continue;
+        std::map<int, int> loads_per_cycle;
+        for (const Instruction &inst : bp->instrs)
+            if (inst.isLoad() && !(inst.attr & kAttrSpill))
+                loads_per_cycle[inst.sched_cycle]++;
+        for (auto &[cyc, cnt] : loads_per_cycle)
+            EXPECT_LE(cnt, 2) << "cycle " << cyc;
+    }
+}
+
+TEST(SchedTest, GccStyleSingleBundleGroups)
+{
+    Program p1 = wideProgram();
+    Program *p2p;
+    auto clone = p1.clone();
+    p2p = clone.get();
+
+    SchedStats wide = compileLowLevel(p1, MachineConfig{});
+    SchedStats narrow = compileLowLevel(*p2p, MachineConfig::gccStyle());
+    // One-bundle groups need at least as many groups (usually more).
+    EXPECT_GT(narrow.groups, wide.groups);
+}
+
+TEST(SchedTest, NopsAccounted)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    Reg x = b.movi(1);
+    b.ret(b.addi(x, 1));
+    p.entry_func = f->id;
+    SchedStats s = compileLowLevel(p);
+    EXPECT_GT(s.nops, 0); // tiny serial block cannot fill its slots
+    EXPECT_EQ(s.ops + s.nops, s.bundles * 3);
+}
+
+TEST(SchedTest, ScheduledOrderSemanticsForBranchyLoop)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *odd = b.newBlock();
+    BasicBlock *next = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg bit = b.andi(i, 1);
+    auto [podd, peven] = b.cmpi(CmpCond::NE, bit, 0);
+    (void)peven;
+    b.br(podd, odd);
+    b.fallthrough(next);
+
+    b.setBlock(odd);
+    b.addTo(acc, acc, i);
+    b.fallthrough(next);
+
+    b.setBlock(next);
+    b.addiTo(i, i, 1);
+    auto [plt, pge] = b.cmpi(CmpCond::LT, i, 20);
+    (void)pge;
+    b.br(plt, loop);
+    b.fallthrough(done);
+
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+
+    int64_t before = runOrder(p, false);
+    compileLowLevel(p);
+    EXPECT_EQ(runOrder(p, true), before);
+    EXPECT_EQ(before, 1 + 3 + 5 + 7 + 9 + 11 + 13 + 15 + 17 + 19);
+}
+
+TEST(RegAllocTest, MapsVirtualsAndCountsStacked)
+{
+    Program p = wideProgram();
+    Function *f = p.func(0);
+    RegAllocStats s = allocateProgram(p);
+    EXPECT_TRUE(f->reg_allocated);
+    // A call-free function keeps everything in scratch registers.
+    EXPECT_EQ(s.gr_used, 0);
+    EXPECT_EQ(f->stacked_regs, s.gr_used);
+    EXPECT_EQ(s.spilled, 0);
+    // First instruction is the alloc.
+    EXPECT_EQ(f->block(f->entry)->instrs[0].op, Opcode::ALLOC);
+    auto errs = verifyProgram(p);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+    EXPECT_EQ(runOrder(p, false), 36);
+}
+
+TEST(RegAllocTest, HighPressureSpills)
+{
+    // 140 simultaneously-live values exceed scratch (25) + stacked (96).
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    std::vector<Reg> vals;
+    const int kN = 140;
+    for (int i = 0; i < kN; ++i)
+        vals.push_back(b.movi(i));
+    Reg s = vals[0];
+    for (int i = 1; i < kN; ++i)
+        s = b.add(s, vals[i]);
+    b.ret(s);
+    p.entry_func = f->id;
+
+    int64_t expect = 0;
+    for (int i = 0; i < kN; ++i)
+        expect += i;
+
+    RegAllocStats st = allocateProgram(p);
+    EXPECT_GT(st.spilled, 0);
+    EXPECT_GT(f->spill_slots, 0);
+    auto errs = verifyProgram(p);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+    EXPECT_EQ(runOrder(p, false), expect);
+}
+
+TEST(RegAllocTest, SpilledCodeStillSchedulesAndRuns)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    std::vector<Reg> vals;
+    const int kN = 110;
+    for (int i = 0; i < kN; ++i)
+        vals.push_back(b.movi(i * 3));
+    Reg s = vals[0];
+    for (int i = 1; i < kN; ++i)
+        s = b.add(s, vals[i]);
+    b.ret(s);
+    p.entry_func = f->id;
+    int64_t before = runOrder(p, false);
+    compileLowLevel(p);
+    EXPECT_EQ(runOrder(p, true), before);
+    (void)f;
+}
+
+TEST(RegAllocTest, GuardedDefSpillPreservesOldValue)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    // Create pressure so that some register spills.
+    std::vector<Reg> vals;
+    const int kN = 100;
+    for (int i = 0; i < kN; ++i)
+        vals.push_back(b.movi(i));
+    // x = 7; if (false) x = 9; use all vals + x.
+    Reg x = b.movi(7);
+    auto [pt, pf] = b.cmpi(CmpCond::GT, vals[0], 100); // false
+    (void)pf;
+    b.moviTo(x, 9, pt); // squashed guarded def
+    Reg s = x;
+    for (int i = 0; i < kN; ++i)
+        s = b.add(s, vals[i]);
+    b.ret(s);
+    p.entry_func = f->id;
+    int64_t before = runOrder(p, false);
+    EXPECT_EQ(before % 10000, (7 + 99 * 100 / 2) % 10000);
+    allocateProgram(p);
+    EXPECT_EQ(runOrder(p, false), before);
+}
+
+TEST(RegAllocTest, CallsPreserveFramePrivacy)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *callee = b.beginFunction("callee", 1);
+    // Touch many registers in the callee.
+    Reg acc = b.param(0);
+    for (int i = 0; i < 40; ++i)
+        acc = b.addi(acc, 1);
+    b.ret(acc);
+    Function *mainf = b.beginFunction("main", 0);
+    Reg a = b.movi(100);
+    Reg c = b.call(callee, {a});
+    Reg d = b.add(a, c); // `a` must survive the call
+    b.ret(d);
+    p.entry_func = mainf->id;
+    int64_t before = runOrder(p, false);
+    EXPECT_EQ(before, 100 + 140);
+    compileLowLevel(p);
+    EXPECT_EQ(runOrder(p, true), before);
+}
+
+} // namespace
+} // namespace epic

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Timing-simulator tests: cycle-accounting consistency, cache and
+ * predictor behaviour, wild-load OS models, micropipe, RSE.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/timing.h"
+
+namespace epic {
+namespace {
+
+/** Profile on its own memory image, compile, simulate. */
+TimingResult
+compileAndSim(Program &src, Config cfg, SpecModel model = SpecModel::General)
+{
+    src.layoutData();
+    Memory pmem;
+    pmem.initFromProgram(src);
+    auto prof = profileRun(src, pmem);
+    EXPECT_TRUE(prof.ok) << prof.error;
+
+    Compiled c = compileProgram(src, cfg);
+    Memory mem;
+    mem.initFromProgram(*c.prog);
+    TimingOptions topts;
+    topts.spec_model = model;
+    auto r = simulate(*c.prog, mem, topts);
+    EXPECT_TRUE(r.ok) << r.error;
+    return r;
+}
+
+/**
+ * Counted loop summing an array of `n` 8-byte elements, repeated
+ * `passes` times (so cache-resident working sets run warm).
+ */
+Program
+arrayLoop(int n, int stride = 1, int passes = 1)
+{
+    Program p;
+    int sym = p.addSymbol("arr", static_cast<uint64_t>(n) * 8);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *pass = b.newBlock();
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *next = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr(), rep = b.gr();
+    b.moviTo(rep, 0);
+    b.moviTo(acc, 0);
+    Reg base = b.mova(sym);
+    b.fallthrough(pass);
+    b.setBlock(pass);
+    b.moviTo(i, 0);
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    Reg ea = b.add(base, b.shli(i, 3));
+    Reg v = b.ld(ea, 8, MemHint{sym, -1});
+    b.addTo(acc, acc, v);
+    b.addiTo(i, i, stride);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, n);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(next);
+    b.setBlock(next);
+    b.addiTo(rep, rep, 1);
+    auto [pr, prge] = b.cmpi(CmpCond::LT, rep, passes);
+    (void)prge;
+    b.br(pr, pass);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+    return p;
+}
+
+TEST(TimingTest, BasicRunMatchesFunctionalResult)
+{
+    Program p = arrayLoop(1000);
+    p.layoutData();
+    Memory m0;
+    m0.initFromProgram(p);
+    auto fr = interpret(p, m0);
+    ASSERT_TRUE(fr.ok) << fr.error;
+
+    auto r = compileAndSim(p, Config::ONS);
+    EXPECT_EQ(r.ret_value, fr.ret_value);
+    EXPECT_GT(r.pm.total(), 0u);
+    EXPECT_GT(r.pm.get(CycleCat::Unstalled), 0u);
+    EXPECT_GT(r.pm.useful_ops, 0u);
+}
+
+TEST(TimingTest, PlannedCyclesAreSubsetOfTotal)
+{
+    Program p = arrayLoop(2000);
+    auto r = compileAndSim(p, Config::IlpCs);
+    EXPECT_LE(r.pm.planned(), r.pm.total());
+    EXPECT_GE(r.pm.plannedIpc(), r.pm.usefulIpc());
+}
+
+TEST(TimingTest, LargeWorkingSetCausesLoadBubbles)
+{
+    Program small = arrayLoop(512, 1, 10);    // 4 KB: L1-resident
+    Program big = arrayLoop(1 << 19, 8, 2);   // 4 MB, striding: misses
+    auto rs = compileAndSim(small, Config::ONS);
+    auto rb = compileAndSim(big, Config::ONS);
+    double small_frac =
+        static_cast<double>(rs.pm.get(CycleCat::IntLoadBubble)) /
+        rs.pm.total();
+    double big_frac =
+        static_cast<double>(rb.pm.get(CycleCat::IntLoadBubble)) /
+        rb.pm.total();
+    EXPECT_GT(big_frac, small_frac + 0.1);
+    EXPECT_GT(rb.pm.l1d_misses, rs.pm.l1d_misses * 10);
+}
+
+TEST(TimingTest, CycleCategoriesArePopulatedSanely)
+{
+    Program p = arrayLoop(512, 1, 20); // 4 KB x 20 passes: runs warm
+    auto r = compileAndSim(p, Config::ONS);
+    uint64_t sum = 0;
+    for (int c = 0; c < Perfmon::kNumCats; ++c)
+        sum += r.pm.cycles[c];
+    EXPECT_EQ(sum, r.pm.total());
+    // A tight hitting loop: most cycles unstalled.
+    EXPECT_GT(r.pm.get(CycleCat::Unstalled), r.pm.total() / 3);
+}
+
+TEST(TimingTest, BiasedBranchesPredictWell)
+{
+    // i % 64 == 0 pattern: strongly biased.
+    Program p;
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *rare = b.newBlock();
+    BasicBlock *latch = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    Reg m = b.andi(i, 63);
+    auto [pz, pnz] = b.cmpi(CmpCond::EQ, m, 0);
+    (void)pnz;
+    b.br(pz, rare);
+    b.fallthrough(latch);
+    b.setBlock(rare);
+    b.addiTo(acc, acc, 100);
+    b.fallthrough(latch);
+    b.setBlock(latch);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, 20000);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+
+    auto r = compileAndSim(p, Config::ONS);
+    EXPECT_GT(r.pm.predictionRate(), 0.95);
+}
+
+TEST(TimingTest, WildLoadsGeneralVsSentinel)
+{
+    // A pointer/int union dereference promoted under ILP-CS: in the
+    // general model every wild execution walks the kernel page tables;
+    // sentinel defers cheaply.
+    Program p;
+    int sym = p.addSymbol("nodes", 16 * 256);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg base = b.mova(sym);
+    // nodes[i] = {tag=0, val=junk} for all i (tag 0 => integer union).
+    BasicBlock *fill = b.newBlock();
+    b.jump(fill);
+    b.setBlock(fill);
+    Reg fa = b.add(base, b.shli(i, 4));
+    b.st(fa, b.movi(0), 8, MemHint{sym, -1});
+    Reg fa2 = b.addi(fa, 8);
+    Reg junk = b.ori(b.shli(i, 20), 0x600000001ll);
+    b.st(fa2, junk, 8, MemHint{sym, -1});
+    b.addiTo(i, i, 1);
+    auto [pfl, pfge] = b.cmpi(CmpCond::LT, i, 256);
+    (void)pfge;
+    b.br(pfl, fill);
+    BasicBlock *reset = b.newBlock();
+    b.fallthrough(reset);
+    b.setBlock(reset);
+    b.moviTo(i, 0);
+    b.fallthrough(loop);
+
+    b.setBlock(loop);
+    Reg ea = b.add(base, b.shli(i, 4));
+    Reg tag = b.ld(ea, 8, MemHint{sym, -1});
+    Reg ea2 = b.addi(ea, 8);
+    Reg pv = b.ld(ea2, 8, MemHint{sym, -1});
+    auto [pp, pint] = b.cmpi(CmpCond::NE, tag, 0);
+    (void)pint;
+    Reg v = b.gr();
+    b.ldTo(v, pv, 8, MemHint{-1, -1}, pp); // deref only when pointer
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.guard = pp;
+    add.dests = {acc};
+    add.srcs = {Operand::makeReg(acc), Operand::makeReg(v)};
+    b.emit(add);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, 256);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+
+    auto rg = compileAndSim(p, Config::IlpCs, SpecModel::General);
+    auto rst = compileAndSim(p, Config::IlpCs, SpecModel::Sentinel);
+    EXPECT_EQ(rg.ret_value, rst.ret_value);
+    if (rg.pm.wild_loads > 0) {
+        EXPECT_GT(rg.pm.get(CycleCat::Kernel),
+                  rst.pm.get(CycleCat::Kernel));
+        EXPECT_GT(rg.pm.get(CycleCat::Kernel), 0u);
+    }
+    // The ILP-NS compilation must not produce wild loads at all.
+    auto rns = compileAndSim(p, Config::IlpNs);
+    EXPECT_EQ(rns.pm.wild_loads, 0u);
+    EXPECT_EQ(rns.ret_value, rg.ret_value);
+}
+
+TEST(TimingTest, StoreToLoadForwardingConflicts)
+{
+    // Alternating store/load to addresses that share the micropipe
+    // index (multiples of 1024 collide in ((addr>>3)&0x7f)).
+    Program p;
+    int s1 = p.addSymbol("a", 16);
+    p.addSymbol("pad", 1008); // keep b exactly 1 KB after a
+    int s2 = p.addSymbol("b", 16);
+    IRBuilder b(p);
+    Function *f = b.beginFunction("main", 0);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    Reg a1 = b.mova(s1);
+    Reg a2 = b.mova(s2);
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    // Both addresses swing with i so no pass can hoist the load; the
+    // store/load pair stays exactly 1 KB apart (micropipe index match).
+    Reg off = b.shli(b.andi(i, 1), 3);
+    Reg sa = b.add(a1, off);
+    Reg la = b.add(a2, off);
+    b.st(sa, i, 8, MemHint{s1, -1});
+    Reg v = b.ld(la, 8, MemHint{s2, -1}); // collides with the store
+    b.addTo(acc, acc, v);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmpi(CmpCond::LT, i, 2000);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(acc);
+    p.entry_func = f->id;
+
+    auto r = compileAndSim(p, Config::ONS);
+    EXPECT_GT(r.pm.stlf_conflicts, 100u);
+    EXPECT_GT(r.pm.get(CycleCat::Micropipe), 0u);
+}
+
+TEST(TimingTest, DeepCallChainDrivesRse)
+{
+    // A recursive function with a fat register frame.
+    Program p;
+    IRBuilder b(p);
+    Function *rec = b.beginFunction("rec", 1);
+    BasicBlock *base_bb = b.newBlock();
+    Reg n = b.param(0);
+    // Consume ~30 registers of frame.
+    std::vector<Reg> keep;
+    for (int i = 0; i < 30; ++i)
+        keep.push_back(b.addi(n, i));
+    auto [pz, pnz] = b.cmpi(CmpCond::LE, n, 0);
+    (void)pnz;
+    b.br(pz, base_bb);
+    Reg n1 = b.subi(n, 1);
+    Reg sub = b.call(rec, {n1});
+    Reg s = sub;
+    for (Reg k : keep)
+        s = b.add(s, k);
+    b.ret(s);
+    b.setBlock(base_bb);
+    b.ret(b.movi(0));
+
+    Function *mainf = b.beginFunction("main", 0);
+    Reg depth = b.movi(40);
+    b.ret(b.call(rec, {depth}));
+    p.entry_func = mainf->id;
+
+    auto r = compileAndSim(p, Config::ONS);
+    EXPECT_GT(r.pm.rse_spill_regs, 0u);
+    EXPECT_GT(r.pm.rse_fill_regs, 0u);
+    EXPECT_GT(r.pm.get(CycleCat::Rse), 0u);
+}
+
+TEST(TimingTest, FunctionCycleAttribution)
+{
+    Program p;
+    IRBuilder b(p);
+    Function *worker = b.beginFunction("worker", 1);
+    BasicBlock *loop = b.newBlock();
+    BasicBlock *done = b.newBlock();
+    Reg i = b.gr(), acc = b.gr();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    b.fallthrough(loop);
+    b.setBlock(loop);
+    b.addTo(acc, acc, i);
+    b.addiTo(i, i, 1);
+    auto [pl, pge] = b.cmp(CmpCond::LT, i, worker->params[0]);
+    (void)pge;
+    b.br(pl, loop);
+    b.fallthrough(done);
+    b.setBlock(done);
+    b.ret(acc);
+
+    Function *mainf = b.beginFunction("main", 0);
+    Reg k = b.movi(5000);
+    b.ret(b.call(worker, {k}));
+    p.entry_func = mainf->id;
+
+    auto r = compileAndSim(p, Config::ONS);
+    uint64_t worker_cycles = r.pm.func_cycles[worker->id];
+    uint64_t main_cycles = r.pm.func_cycles[mainf->id];
+    EXPECT_GT(worker_cycles, main_cycles * 10);
+}
+
+TEST(TimingTest, NopsAreRetiredAndCounted)
+{
+    Program p = arrayLoop(100);
+    auto r = compileAndSim(p, Config::Gcc);
+    EXPECT_GT(r.pm.nop_ops, 0u);
+    // GCC-style single-bundle groups waste most slots.
+    EXPECT_GT(r.pm.nop_ops, r.pm.useful_ops / 3);
+}
+
+} // namespace
+} // namespace epic

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Workload-suite tests, parameterized over all twelve benchmarks:
+ * structural verification, functional execution on both inputs, input
+ * sensitivity, and end-to-end compile+simulate semantic preservation at
+ * the most aggressive configuration.
+ */
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "ir/verifier.h"
+#include "sim/interp.h"
+#include "workloads/workload.h"
+
+namespace epic {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        const Workload *w = findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(WorkloadSuite, BuildsAndVerifies)
+{
+    const Workload &w = workload();
+    auto prog = w.build();
+    ASSERT_NE(prog, nullptr);
+    auto errs = verifyProgram(*prog);
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0]);
+    EXPECT_GT(prog->staticInstrCount(), 15);
+    EXPECT_GE(prog->entry_func, 0);
+}
+
+TEST_P(WorkloadSuite, RunsFunctionallyOnBothInputs)
+{
+    const Workload &w = workload();
+    auto prog = w.build();
+    prog->layoutData();
+
+    int64_t sums[2];
+    uint64_t instrs[2];
+    int k = 0;
+    for (InputKind kind : {InputKind::Train, InputKind::Ref}) {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w.write_input(*prog, mem, kind);
+        auto r = interpret(*prog, mem);
+        ASSERT_TRUE(r.ok) << w.name << ": " << r.error;
+        sums[k] = r.ret_value;
+        instrs[k] = r.dyn_instrs;
+        ++k;
+    }
+    // Train and ref must actually be different inputs.
+    EXPECT_TRUE(sums[0] != sums[1] || instrs[0] != instrs[1])
+        << w.name << ": train and ref inputs look identical";
+}
+
+TEST_P(WorkloadSuite, DynamicSizeIsReasonable)
+{
+    const Workload &w = workload();
+    auto prog = w.build();
+    prog->layoutData();
+    Memory mem;
+    mem.initFromProgram(*prog);
+    w.write_input(*prog, mem, InputKind::Ref);
+    auto r = interpret(*prog, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    // Big enough to be a benchmark, small enough to iterate quickly.
+    EXPECT_GT(r.dyn_instrs, 100'000u) << w.name;
+    EXPECT_LT(r.dyn_instrs, 30'000'000u) << w.name;
+}
+
+TEST_P(WorkloadSuite, MostAggressiveConfigPreservesChecksum)
+{
+    const Workload &w = workload();
+    WorkloadRuns runs = runWorkload(w, {Config::IlpCs});
+    EXPECT_TRUE(runs.all_match) << w.name;
+    ASSERT_TRUE(runs.by_config.at(Config::IlpCs).ok);
+    EXPECT_EQ(runs.by_config.at(Config::IlpCs).checksum,
+              runs.source_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec2000, WorkloadSuite,
+    ::testing::Values("164.gzip", "175.vpr", "176.gcc", "181.mcf",
+                      "186.crafty", "197.parser", "252.eon",
+                      "253.perlbmk", "254.gap", "255.vortex",
+                      "256.bzip2", "300.twolf"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+TEST(WorkloadRegistryTest, TwelveBenchmarksInSpecOrder)
+{
+    const auto &suite = allWorkloads();
+    ASSERT_EQ(suite.size(), 12u);
+    EXPECT_EQ(suite.front().name, "164.gzip");
+    EXPECT_EQ(suite.back().name, "300.twolf");
+    EXPECT_EQ(findWorkload("181.mcf")->name, "181.mcf");
+    EXPECT_EQ(findWorkload("nonesuch"), nullptr);
+}
+
+} // namespace
+} // namespace epic
