@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_peeling.dir/ablation_peeling.cc.o"
+  "CMakeFiles/ablation_peeling.dir/ablation_peeling.cc.o.d"
+  "ablation_peeling"
+  "ablation_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

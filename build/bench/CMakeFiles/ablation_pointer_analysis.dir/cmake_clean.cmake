@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pointer_analysis.dir/ablation_pointer_analysis.cc.o"
+  "CMakeFiles/ablation_pointer_analysis.dir/ablation_pointer_analysis.cc.o.d"
+  "ablation_pointer_analysis"
+  "ablation_pointer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pointer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

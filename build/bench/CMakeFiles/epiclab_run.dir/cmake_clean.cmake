@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epiclab_run.dir/epiclab_run.cc.o"
+  "CMakeFiles/epiclab_run.dir/epiclab_run.cc.o.d"
+  "epiclab_run"
+  "epiclab_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epiclab_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cycle_accounting.dir/fig5_cycle_accounting.cc.o"
+  "CMakeFiles/fig5_cycle_accounting.dir/fig5_cycle_accounting.cc.o.d"
+  "fig5_cycle_accounting"
+  "fig5_cycle_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cycle_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

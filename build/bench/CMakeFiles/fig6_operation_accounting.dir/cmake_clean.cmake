@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_operation_accounting.dir/fig6_operation_accounting.cc.o"
+  "CMakeFiles/fig6_operation_accounting.dir/fig6_operation_accounting.cc.o.d"
+  "fig6_operation_accounting"
+  "fig6_operation_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_operation_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_branch_prediction.dir/fig7_branch_prediction.cc.o"
+  "CMakeFiles/fig7_branch_prediction.dir/fig7_branch_prediction.cc.o.d"
+  "fig7_branch_prediction"
+  "fig7_branch_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_branch_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

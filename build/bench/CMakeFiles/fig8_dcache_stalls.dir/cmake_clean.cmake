@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dcache_stalls.dir/fig8_dcache_stalls.cc.o"
+  "CMakeFiles/fig8_dcache_stalls.dir/fig8_dcache_stalls.cc.o.d"
+  "fig8_dcache_stalls"
+  "fig8_dcache_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dcache_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

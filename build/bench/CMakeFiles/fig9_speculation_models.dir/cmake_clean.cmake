@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_speculation_models.dir/fig9_speculation_models.cc.o"
+  "CMakeFiles/fig9_speculation_models.dir/fig9_speculation_models.cc.o.d"
+  "fig9_speculation_models"
+  "fig9_speculation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speculation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

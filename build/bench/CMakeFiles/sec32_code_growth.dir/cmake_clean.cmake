@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_code_growth.dir/sec32_code_growth.cc.o"
+  "CMakeFiles/sec32_code_growth.dir/sec32_code_growth.cc.o.d"
+  "sec32_code_growth"
+  "sec32_code_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_code_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

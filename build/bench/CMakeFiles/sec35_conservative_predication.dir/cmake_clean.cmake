@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec35_conservative_predication.dir/sec35_conservative_predication.cc.o"
+  "CMakeFiles/sec35_conservative_predication.dir/sec35_conservative_predication.cc.o.d"
+  "sec35_conservative_predication"
+  "sec35_conservative_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec35_conservative_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

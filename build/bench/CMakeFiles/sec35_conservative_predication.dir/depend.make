@@ -1,0 +1,2 @@
+# Empty dependencies file for sec35_conservative_predication.
+# This may be replaced when dependencies are built.

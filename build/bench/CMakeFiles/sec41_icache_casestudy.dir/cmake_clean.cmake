@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_icache_casestudy.dir/sec41_icache_casestudy.cc.o"
+  "CMakeFiles/sec41_icache_casestudy.dir/sec41_icache_casestudy.cc.o.d"
+  "sec41_icache_casestudy"
+  "sec41_icache_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_icache_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_register_stack.dir/sec44_register_stack.cc.o"
+  "CMakeFiles/sec44_register_stack.dir/sec44_register_stack.cc.o.d"
+  "sec44_register_stack"
+  "sec44_register_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_register_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

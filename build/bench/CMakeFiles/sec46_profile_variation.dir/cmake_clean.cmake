@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec46_profile_variation.dir/sec46_profile_variation.cc.o"
+  "CMakeFiles/sec46_profile_variation.dir/sec46_profile_variation.cc.o.d"
+  "sec46_profile_variation"
+  "sec46_profile_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_profile_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec46_profile_variation.
+# This may be replaced when dependencies are built.

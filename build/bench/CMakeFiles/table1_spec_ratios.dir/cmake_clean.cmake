@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spec_ratios.dir/table1_spec_ratios.cc.o"
+  "CMakeFiles/table1_spec_ratios.dir/table1_spec_ratios.cc.o.d"
+  "table1_spec_ratios"
+  "table1_spec_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spec_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

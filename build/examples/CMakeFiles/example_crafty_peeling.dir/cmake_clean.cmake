@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crafty_peeling.dir/crafty_peeling.cc.o"
+  "CMakeFiles/example_crafty_peeling.dir/crafty_peeling.cc.o.d"
+  "example_crafty_peeling"
+  "example_crafty_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crafty_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_crafty_peeling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speculation_models.dir/speculation_models.cc.o"
+  "CMakeFiles/example_speculation_models.dir/speculation_models.cc.o.d"
+  "example_speculation_models"
+  "example_speculation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speculation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias.cc" "src/CMakeFiles/epiclab.dir/analysis/alias.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/alias.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/CMakeFiles/epiclab.dir/analysis/cfg.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/cfg.cc.o.d"
+  "/root/repo/src/analysis/dom.cc" "src/CMakeFiles/epiclab.dir/analysis/dom.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/dom.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/CMakeFiles/epiclab.dir/analysis/liveness.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/liveness.cc.o.d"
+  "/root/repo/src/analysis/loops.cc" "src/CMakeFiles/epiclab.dir/analysis/loops.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/loops.cc.o.d"
+  "/root/repo/src/analysis/predrel.cc" "src/CMakeFiles/epiclab.dir/analysis/predrel.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/analysis/predrel.cc.o.d"
+  "/root/repo/src/driver/compiler.cc" "src/CMakeFiles/epiclab.dir/driver/compiler.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/driver/compiler.cc.o.d"
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/epiclab.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/ilp/hyperblock.cc" "src/CMakeFiles/epiclab.dir/ilp/hyperblock.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ilp/hyperblock.cc.o.d"
+  "/root/repo/src/ilp/layout.cc" "src/CMakeFiles/epiclab.dir/ilp/layout.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ilp/layout.cc.o.d"
+  "/root/repo/src/ilp/peel.cc" "src/CMakeFiles/epiclab.dir/ilp/peel.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ilp/peel.cc.o.d"
+  "/root/repo/src/ilp/speculate.cc" "src/CMakeFiles/epiclab.dir/ilp/speculate.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ilp/speculate.cc.o.d"
+  "/root/repo/src/ilp/superblock.cc" "src/CMakeFiles/epiclab.dir/ilp/superblock.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ilp/superblock.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/epiclab.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/CMakeFiles/epiclab.dir/ir/ir.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/ir.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/epiclab.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/epiclab.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/reg.cc" "src/CMakeFiles/epiclab.dir/ir/reg.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/reg.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/epiclab.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/opt/classical.cc" "src/CMakeFiles/epiclab.dir/opt/classical.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/opt/classical.cc.o.d"
+  "/root/repo/src/opt/inline.cc" "src/CMakeFiles/epiclab.dir/opt/inline.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/opt/inline.cc.o.d"
+  "/root/repo/src/sched/dag.cc" "src/CMakeFiles/epiclab.dir/sched/dag.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sched/dag.cc.o.d"
+  "/root/repo/src/sched/listsched.cc" "src/CMakeFiles/epiclab.dir/sched/listsched.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sched/listsched.cc.o.d"
+  "/root/repo/src/sched/regalloc.cc" "src/CMakeFiles/epiclab.dir/sched/regalloc.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sched/regalloc.cc.o.d"
+  "/root/repo/src/sim/caches.cc" "src/CMakeFiles/epiclab.dir/sim/caches.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sim/caches.cc.o.d"
+  "/root/repo/src/sim/exec_core.cc" "src/CMakeFiles/epiclab.dir/sim/exec_core.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sim/exec_core.cc.o.d"
+  "/root/repo/src/sim/interp.cc" "src/CMakeFiles/epiclab.dir/sim/interp.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sim/interp.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/epiclab.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/CMakeFiles/epiclab.dir/sim/timing.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/sim/timing.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/epiclab.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/epiclab.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/support/stats.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/CMakeFiles/epiclab.dir/workloads/bzip2.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/bzip2.cc.o.d"
+  "/root/repo/src/workloads/crafty.cc" "src/CMakeFiles/epiclab.dir/workloads/crafty.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/crafty.cc.o.d"
+  "/root/repo/src/workloads/eon.cc" "src/CMakeFiles/epiclab.dir/workloads/eon.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/eon.cc.o.d"
+  "/root/repo/src/workloads/gap.cc" "src/CMakeFiles/epiclab.dir/workloads/gap.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/gap.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/CMakeFiles/epiclab.dir/workloads/gcc.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/gcc.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/CMakeFiles/epiclab.dir/workloads/gzip.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/gzip.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/CMakeFiles/epiclab.dir/workloads/mcf.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/mcf.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/CMakeFiles/epiclab.dir/workloads/parser.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/parser.cc.o.d"
+  "/root/repo/src/workloads/perlbmk.cc" "src/CMakeFiles/epiclab.dir/workloads/perlbmk.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/perlbmk.cc.o.d"
+  "/root/repo/src/workloads/twolf.cc" "src/CMakeFiles/epiclab.dir/workloads/twolf.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/twolf.cc.o.d"
+  "/root/repo/src/workloads/vortex.cc" "src/CMakeFiles/epiclab.dir/workloads/vortex.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/vortex.cc.o.d"
+  "/root/repo/src/workloads/vpr.cc" "src/CMakeFiles/epiclab.dir/workloads/vpr.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/vpr.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/epiclab.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/epiclab.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/epiclab_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/driver_test.cc" "tests/CMakeFiles/epiclab_tests.dir/driver_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/driver_test.cc.o.d"
+  "/root/repo/tests/ilp_test.cc" "tests/CMakeFiles/epiclab_tests.dir/ilp_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/ilp_test.cc.o.d"
+  "/root/repo/tests/interp_test.cc" "tests/CMakeFiles/epiclab_tests.dir/interp_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/interp_test.cc.o.d"
+  "/root/repo/tests/ir_test.cc" "tests/CMakeFiles/epiclab_tests.dir/ir_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/ir_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/epiclab_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/opt_test.cc" "tests/CMakeFiles/epiclab_tests.dir/opt_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/opt_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/epiclab_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/epiclab_tests.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/regression_test.cc.o.d"
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/epiclab_tests.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/sched_test.cc.o.d"
+  "/root/repo/tests/timing_test.cc" "tests/CMakeFiles/epiclab_tests.dir/timing_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/timing_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/epiclab_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/epiclab_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epiclab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epiclab_tests.dir/analysis_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/analysis_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/driver_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/driver_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/ilp_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/ilp_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/interp_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/interp_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/ir_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/ir_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/machine_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/machine_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/opt_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/opt_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/property_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/regression_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/regression_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/sched_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/sched_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/timing_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/timing_test.cc.o.d"
+  "CMakeFiles/epiclab_tests.dir/workloads_test.cc.o"
+  "CMakeFiles/epiclab_tests.dir/workloads_test.cc.o.d"
+  "epiclab_tests"
+  "epiclab_tests.pdb"
+  "epiclab_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epiclab_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
