@@ -8,12 +8,15 @@
  *   epiclab_run <benchmark> [--config GCC|O-NS|ILP-NS|ILP-CS]
  *               [--spec general|sentinel] [--profile-on-ref]
  *               [--no-peel] [--no-pointer-analysis] [--conservative-hb]
+ *               [--inject <seed>] [--inject-rate <p>]
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "driver/experiment.h"
+#include "support/faultinject.h"
 
 using namespace epic;
 
@@ -28,7 +31,12 @@ usage()
            "  --config <GCC|O-NS|ILP-NS|ILP-CS>   (default ILP-CS)\n"
            "  --spec <general|sentinel>           OS speculation model\n"
            "  --profile-on-ref                    train on the ref input\n"
-           "  --no-peel --no-pointer-analysis --conservative-hb\n");
+           "  --no-peel --no-pointer-analysis --conservative-hb\n"
+           "  --inject <seed>                     corrupt IR at pass\n"
+           "                                      boundaries (firewall "
+           "demo)\n"
+           "  --inject-rate <p>                   fire probability "
+           "(default 1.0)\n");
 }
 
 } // namespace
@@ -50,6 +58,9 @@ main(int argc, char **argv)
     Config cfg = Config::IlpCs;
     RunOptions opts;
     bool no_peel = false, no_ptr = false, cons_hb = false;
+    bool inject = false;
+    uint64_t inject_seed = 0;
+    double inject_rate = 1.0;
 
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
@@ -79,11 +90,18 @@ main(int argc, char **argv)
             no_ptr = true;
         } else if (a == "--conservative-hb") {
             cons_hb = true;
+        } else if (a == "--inject" && i + 1 < argc) {
+            inject = true;
+            inject_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (a == "--inject-rate" && i + 1 < argc) {
+            inject_rate = std::strtod(argv[++i], nullptr);
         } else {
             usage();
             return 1;
         }
     }
+    FaultInjector injector(inject_seed, inject_rate);
+    FaultInjector *inj = inject ? &injector : nullptr;
     opts.tweak = [=](CompileOptions &o) {
         if (no_peel)
             o.enable_peel = false;
@@ -91,6 +109,7 @@ main(int argc, char **argv)
             o.enable_pointer_analysis = false;
         if (cons_hb)
             o.hb_opts.conservative = true;
+        o.firewall.inject = inj;
     };
 
     const Workload *w = findWorkload(bench);
@@ -105,6 +124,18 @@ main(int argc, char **argv)
     }
 
     ConfigRun r = runConfig(*w, cfg, opts);
+    if (!r.fallback.clean())
+        printf("%s\n", r.fallback.str().c_str());
+    if (inj && injector.fired()) {
+        printf("fault injection: %d fired, %d escaped a gate\n",
+               injector.fired(), injector.escaped());
+        for (const FaultRecord &fr : injector.records())
+            printf("  %-10s %s @ %s [%s]: %s\n",
+                   fr.caught ? "caught" : "ESCAPED",
+                   fr.function.c_str(), fr.pass.c_str(), fr.rung.c_str(),
+                   fr.detail.c_str());
+        printf("\n");
+    }
     if (!r.ok) {
         printf("run failed: %s\n", r.error.c_str());
         return 1;

@@ -2,21 +2,11 @@
 
 #include "analysis/cfg.h"
 #include "ir/verifier.h"
+#include "support/error.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
 
 namespace epic {
-
-const char *
-configName(Config c)
-{
-    switch (c) {
-      case Config::Gcc: return "GCC";
-      case Config::ONS: return "O-NS";
-      case Config::IlpNs: return "ILP-NS";
-      case Config::IlpCs: return "ILP-CS";
-    }
-    return "?";
-}
 
 CompileOptions
 CompileOptions::forConfig(Config c)
@@ -38,95 +28,120 @@ CompileOptions::forConfig(Config c)
     return o;
 }
 
-namespace {
-
-/** Schedule one program: library functions always get the GCC machine. */
-SchedStats
-scheduleWithLibraryRule(Program &prog, const AliasAnalysis &aa,
-                        const MachineConfig &mach)
-{
-    MachineConfig gcc_mach = MachineConfig::gccStyle();
-    SchedStats total;
-    for (auto &fp : prog.funcs) {
-        if (!fp)
-            continue;
-        const MachineConfig &m =
-            (fp->attr & kFuncLibrary) ? gcc_mach : mach;
-        total += scheduleFunction(*fp, aa, m);
-    }
-    return total;
-}
-
-} // namespace
-
 Compiled
 compileProgram(const Program &source, const CompileOptions &opts)
 {
     Compiled out;
     out.config = opts.config;
     out.prog = source.clone();
-    Program &prog = *out.prog;
-    out.instrs_source = prog.staticInstrCount();
+    out.instrs_source = out.prog->staticInstrCount();
 
-    const bool ilp = opts.config == Config::IlpNs ||
-                     opts.config == Config::IlpCs;
     const AliasLevel alias_level =
         opts.enable_pointer_analysis && opts.config != Config::Gcc
             ? AliasLevel::Inter
             : AliasLevel::None;
 
     // ---- High-level phase: inlining (profile-guided) ----
-    if (opts.enable_inline && opts.config != Config::Gcc)
-        out.inl = inlineProgram(prog, opts.inline_opts);
+    // Inlining is the one interprocedural transform, so its transaction
+    // is the whole program: run on a clone, commit only if the result
+    // verifies. A rejected inline stage degrades to "no inlining" and
+    // the per-function pipeline proceeds on the original bodies.
+    if (opts.enable_inline && opts.config != Config::Gcc) {
+        auto work = out.prog->clone();
+        std::string fail_err;
+        int fail_count = 0;
+        bool injected_here = false;
+        std::vector<int> live_faults;
+        bool ok = true;
+        InlineStats inl;
+        try {
+            inl = inlineProgram(*work, opts.inline_opts);
+            if (FaultInjector *inj = opts.firewall.inject) {
+                for (auto &fp : work->funcs) {
+                    if (!fp)
+                        continue;
+                    int idx = inj->inject(*fp, "inline",
+                                          configName(opts.config));
+                    if (idx >= 0) {
+                        live_faults.push_back(idx);
+                        injected_here = true;
+                        out.fallback.faults_injected++;
+                    }
+                }
+            }
+            VerifyReport vr = verifyAll(*work, "inline");
+            if (!vr.ok()) {
+                ok = false;
+                fail_err = vr.errors.front();
+                fail_count = static_cast<int>(vr.errors.size());
+            }
+        } catch (const InjectedFault &e) {
+            ok = false;
+            injected_here = true;
+            out.fallback.faults_injected++;
+            out.fallback.faults_caught++;
+            fail_err = e.what();
+            fail_count = 1;
+        } catch (const CompileError &e) {
+            ok = false;
+            fail_err = e.what();
+            fail_count = 1;
+        }
+
+        if (ok) {
+            out.prog = std::move(work);
+            out.inl = inl;
+        } else {
+            if (FaultInjector *inj = opts.firewall.inject) {
+                for (int idx : live_faults) {
+                    inj->markCaught(idx);
+                    out.fallback.faults_caught++;
+                }
+            }
+            if (!opts.firewall.enabled) {
+                epic_panic("IR verification failed after inlining [",
+                           configName(opts.config), "]: ", fail_err, " (",
+                           fail_count, " error(s); firewall disabled)");
+            }
+            FallbackEvent ev;
+            ev.function = "<whole program>";
+            ev.attempted = opts.config;
+            ev.failing_pass = "inline";
+            ev.error = fail_err;
+            ev.error_count = fail_count;
+            ev.fault_injected = injected_here;
+            ev.final_config = opts.config; // pipeline continues un-inlined
+            out.fallback.events.push_back(std::move(ev));
+        }
+    }
+    Program &prog = *out.prog;
     out.instrs_after_inline = prog.staticInstrCount();
 
-    // ---- Interprocedural analysis + classical optimization ----
-    {
-        AliasAnalysis aa(prog, alias_level);
-        out.classical = classicalOptimize(prog, aa);
-    }
-    out.instrs_after_classical = prog.staticInstrCount();
-    verifyOrDie(prog, "classical");
-
-    // ---- Structural ILP transformations ----
-    // Hyperblocks first (if-conversion of compatible paths), then
-    // superblock merging of the straightened traces, then peeling, then
-    // a second round to merge the peeled iterations with their
-    // surroundings (the Figure 3(c) peel-and-merge effect).
-    if (ilp) {
-        out.hb += formHyperblocksProgram(prog, opts.hb_opts);
-        out.sb += formSuperblocksProgram(prog, opts.sb_opts);
-        if (opts.enable_peel) {
-            PeelOptions peel = opts.peel_opts;
-            peel.enable_unroll = opts.enable_unroll;
-            out.peel = peelLoopsProgram(prog, peel);
-        }
-        out.hb += formHyperblocksProgram(prog, opts.hb_opts);
-        out.sb += formSuperblocksProgram(prog, opts.sb_opts);
-        verifyOrDie(prog, "region formation");
-
-        // Region formation exposes new classical opportunities.
-        AliasAnalysis aa(prog, alias_level);
-        out.classical += classicalOptimize(prog, aa, 2);
-        verifyOrDie(prog, "post-region classical");
-    }
-    out.instrs_after_regions = prog.staticInstrCount();
-
-    // ---- Control speculation (ILP-CS only) ----
-    if (opts.config == Config::IlpCs) {
-        out.spec = speculateProgram(prog, opts.spec_opts);
-        verifyOrDie(prog, "speculation");
+    // ---- Interprocedural analysis + per-function firewalled pipeline ----
+    // The alias analysis is hint/attribute-driven, so one post-inline
+    // instance stays valid across every per-function transform (spill
+    // code only references function-private stack slots).
+    AliasAnalysis aa(prog, alias_level);
+    for (size_t fid = 0; fid < prog.funcs.size(); ++fid) {
+        if (!prog.funcs[fid])
+            continue;
+        FunctionOutcome r = compileFunctionFirewalled(
+            prog, static_cast<int>(fid), opts, aa, out.fallback);
+        out.classical += r.classical;
+        out.sb += r.sb;
+        out.hb += r.hb;
+        out.peel += r.peel;
+        out.spec += r.spec;
+        out.ra += r.ra;
+        out.sched += r.sched;
+        out.instrs_after_classical += r.instrs_after_classical;
+        out.instrs_after_regions += r.instrs_after_regions;
     }
 
-    // ---- Low-level: registers, schedule, layout ----
-    out.ra = allocateProgram(prog);
-    {
-        AliasAnalysis aa(prog, alias_level);
-        out.sched = scheduleWithLibraryRule(prog, aa, opts.mach);
-    }
+    // ---- Code layout (program-level, no IR rewriting) ----
     out.layout = layoutProgram(prog, opts.layout_opts);
     out.instrs_final = prog.staticInstrCount();
-    verifyOrDie(prog, "scheduling");
+    verifyOrDie(prog, "firewall pipeline");
 
     return out;
 }

@@ -15,12 +15,21 @@
  *
  * Functions marked kFuncLibrary always get the Gcc treatment (the
  * paper's gcc-compiled system libraries in Figure 10).
+ *
+ * Every function is compiled through the compilation firewall
+ * (driver/firewall.h): passes run on a clone behind per-pass verifier
+ * gates, and a function whose compilation fails at some configuration
+ * degrades down the IlpCs -> IlpNs -> ONS -> Gcc ladder by itself
+ * instead of killing the experiment. Compiled::fallback records what
+ * (if anything) degraded.
  */
 #ifndef EPIC_DRIVER_COMPILER_H
 #define EPIC_DRIVER_COMPILER_H
 
 #include <memory>
 
+#include "driver/config.h"
+#include "driver/firewall.h"
 #include "ilp/hyperblock.h"
 #include "ilp/layout.h"
 #include "ilp/peel.h"
@@ -33,12 +42,6 @@
 #include "sched/regalloc.h"
 
 namespace epic {
-
-/** Code-generation configuration (paper Table 1 key). */
-enum class Config { Gcc, ONS, IlpNs, IlpCs };
-
-/** Printable configuration name. */
-const char *configName(Config c);
 
 /** All knobs, pre-populated per Config but overridable for ablations. */
 struct CompileOptions
@@ -57,6 +60,8 @@ struct CompileOptions
     bool enable_pointer_analysis = true;
     bool enable_peel = true;
     bool enable_unroll = true;
+
+    FirewallOptions firewall;
 
     /** Defaults for a configuration. */
     static CompileOptions forConfig(Config c);
@@ -78,6 +83,9 @@ struct Compiled
     RegAllocStats ra;
     SchedStats sched;
     LayoutStats layout;
+
+    /// What the compilation firewall had to degrade (clean() if nothing).
+    FallbackReport fallback;
 
     int instrs_source = 0;      ///< before anything
     int instrs_after_inline = 0;

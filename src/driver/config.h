@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Code-generation configuration identifiers (paper Table 1 key) and the
+ * firewall's degradation ladder.
+ *
+ * The four configurations double as *robustness rungs*: when the
+ * compilation firewall (driver/firewall.h) rejects a function's code at
+ * a verifier gate, the function alone is retried one rung down,
+ * IlpCs -> IlpNs -> ONS -> Gcc, until a rung produces verifiable code.
+ * Gcc is the floor: classical optimization only, conservative
+ * single-bundle scheduling.
+ */
+#ifndef EPIC_DRIVER_CONFIG_H
+#define EPIC_DRIVER_CONFIG_H
+
+namespace epic {
+
+/** Code-generation configuration (paper Table 1 key). */
+enum class Config { Gcc, ONS, IlpNs, IlpCs };
+
+/** Printable configuration name. */
+const char *configName(Config c);
+
+/**
+ * One step down the degradation ladder. Returns false when `c` is
+ * already the Gcc floor (in which case *lower is left untouched).
+ */
+bool degradeConfig(Config c, Config *lower);
+
+} // namespace epic
+
+#endif // EPIC_DRIVER_CONFIG_H

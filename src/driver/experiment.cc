@@ -52,6 +52,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
         opts.tweak(copts);
     Compiled c = compileProgram(*src, copts);
 
+    out.fallback = c.fallback;
     out.inl = c.inl;
     out.sb = c.sb;
     out.hb = c.hb;
@@ -111,14 +112,20 @@ runWorkload(const Workload &w, const std::vector<Config> &configs,
         mem.initFromProgram(*prog);
         w.write_input(*prog, mem, opts.run_input);
         auto r = interpret(*prog, mem);
-        if (!r.ok)
-            epic_fatal(w.name, ": source program failed: ", r.error);
+        if (!r.ok) {
+            // Recoverable: the harness reports the workload as failed
+            // instead of killing the whole suite.
+            out.error = "source program failed: " + r.error;
+            epic_warn(w.name, ": ", out.error);
+            return out;
+        }
         out.source_checksum = r.ret_value;
     }
 
     out.all_match = true;
     for (Config cfg : configs) {
         ConfigRun r = runConfig(w, cfg, opts);
+        out.fallback.merge(r.fallback);
         if (!r.ok) {
             epic_warn(w.name, " [", configName(cfg), "]: ", r.error);
             out.all_match = false;

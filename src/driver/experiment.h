@@ -39,6 +39,9 @@ struct ConfigRun
     int64_t checksum = 0;
     Perfmon pm;
 
+    /// What the compilation firewall degraded (clean() if nothing).
+    FallbackReport fallback;
+
     // Compilation statistics.
     InlineStats inl;
     SuperblockStats sb;
@@ -62,7 +65,10 @@ struct WorkloadRuns
     std::string name;
     int64_t source_checksum = 0;
     bool all_match = false; ///< every config reproduced the checksum
+    std::string error;      ///< non-empty: the source run itself failed
     std::map<Config, ConfigRun> by_config;
+    /// Firewall fallbacks aggregated across all configurations.
+    FallbackReport fallback;
 };
 
 /** Run one workload under one configuration. */

@@ -1,0 +1,295 @@
+#include "driver/firewall.h"
+
+#include <functional>
+#include <sstream>
+
+#include "driver/compiler.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+#include "support/faultinject.h"
+#include "support/logging.h"
+
+namespace epic {
+
+const char *
+configName(Config c)
+{
+    switch (c) {
+      case Config::Gcc: return "GCC";
+      case Config::ONS: return "O-NS";
+      case Config::IlpNs: return "ILP-NS";
+      case Config::IlpCs: return "ILP-CS";
+    }
+    return "?";
+}
+
+bool
+degradeConfig(Config c, Config *lower)
+{
+    switch (c) {
+      case Config::IlpCs: *lower = Config::IlpNs; return true;
+      case Config::IlpNs: *lower = Config::ONS; return true;
+      case Config::ONS: *lower = Config::Gcc; return true;
+      case Config::Gcc: return false;
+    }
+    return false;
+}
+
+std::string
+FallbackEvent::str() const
+{
+    std::ostringstream os;
+    os << function << ": " << configName(attempted) << " rejected at "
+       << failing_pass;
+    if (error_count > 1)
+        os << " (" << error_count << " errors)";
+    os << ": " << error << " -> landed " << configName(final_config);
+    if (fault_injected)
+        os << " [fault injected]";
+    return os.str();
+}
+
+void
+FallbackReport::merge(const FallbackReport &o)
+{
+    events.insert(events.end(), o.events.begin(), o.events.end());
+    functions_total += o.functions_total;
+    functions_degraded += o.functions_degraded;
+    clean_retries += o.clean_retries;
+    faults_injected += o.faults_injected;
+    faults_caught += o.faults_caught;
+}
+
+std::string
+FallbackReport::str() const
+{
+    if (clean())
+        return "";
+    std::ostringstream os;
+    os << "compilation firewall: " << events.size() << " fallback(s), "
+       << functions_degraded << "/" << functions_total
+       << " function(s) degraded";
+    if (faults_injected) {
+        os << "; " << faults_injected << " fault(s) injected, "
+           << faults_caught << " caught";
+        if (clean_retries)
+            os << ", " << clean_retries << " clean floor retr"
+               << (clean_retries == 1 ? "y" : "ies");
+    }
+    os << "\n";
+    for (const FallbackEvent &e : events)
+        os << "  " << e.str() << "\n";
+    return os.str();
+}
+
+namespace {
+
+/** One gated pipeline stage. */
+struct Pass
+{
+    const char *name;
+    std::function<void(Function &)> run;
+};
+
+/**
+ * The per-function pass list for one configuration rung. All stages are
+ * function-local (inlining, the only interprocedural transform, runs
+ * before the firewall); stats accumulate into the attempt-local
+ * outcome, which is discarded with the clone if any gate rejects.
+ */
+std::vector<Pass>
+buildPipeline(Config rung, const CompileOptions &opts,
+              const AliasAnalysis &aa, FunctionOutcome &r)
+{
+    const bool ilp = rung == Config::IlpNs || rung == Config::IlpCs;
+    std::vector<Pass> passes;
+
+    passes.push_back({"classical", [&opts, &aa, &r](Function &f) {
+        (void)opts;
+        r.classical += classicalOptimizeFunction(f, aa);
+        r.instrs_after_classical = f.staticInstrCount();
+        r.instrs_after_regions = r.instrs_after_classical;
+    }});
+
+    if (ilp) {
+        // Hyperblocks first, then superblock merging, then peeling,
+        // then a second round to merge the peeled iterations with their
+        // surroundings (the Figure 3(c) peel-and-merge effect).
+        passes.push_back({"hyperblock", [&opts, &r](Function &f) {
+            r.hb += formHyperblocks(f, opts.hb_opts);
+        }});
+        passes.push_back({"superblock", [&opts, &r](Function &f) {
+            r.sb += formSuperblocks(f, opts.sb_opts);
+        }});
+        if (opts.enable_peel) {
+            passes.push_back({"peel", [&opts, &r](Function &f) {
+                PeelOptions peel = opts.peel_opts;
+                peel.enable_unroll = opts.enable_unroll;
+                r.peel += peelLoops(f, peel);
+            }});
+        }
+        passes.push_back({"hyperblock-2", [&opts, &r](Function &f) {
+            r.hb += formHyperblocks(f, opts.hb_opts);
+        }});
+        passes.push_back({"superblock-2", [&opts, &r](Function &f) {
+            r.sb += formSuperblocks(f, opts.sb_opts);
+        }});
+        // Region formation exposes new classical opportunities.
+        passes.push_back({"post-region classical",
+                          [&aa, &r](Function &f) {
+            r.classical += classicalOptimizeFunction(f, aa, 2);
+            r.instrs_after_regions = f.staticInstrCount();
+        }});
+    }
+
+    if (rung == Config::IlpCs) {
+        passes.push_back({"speculate", [&opts, &r](Function &f) {
+            r.spec += speculateFunction(f, opts.spec_opts);
+        }});
+    }
+
+    passes.push_back({"regalloc", [&r](Function &f) {
+        r.ra += allocateRegisters(f);
+    }});
+    passes.push_back({"schedule", [rung, &opts, &aa, &r](Function &f) {
+        // Degraded (and library) functions are scheduled like
+        // gcc-compiled code: one-bundle issue groups.
+        const MachineConfig mach = rung == Config::Gcc
+                                       ? MachineConfig::gccStyle()
+                                       : opts.mach;
+        r.sched += scheduleFunction(f, aa, mach);
+    }});
+    return passes;
+}
+
+} // namespace
+
+FunctionOutcome
+compileFunctionFirewalled(Program &prog, int fid,
+                          const CompileOptions &opts,
+                          const AliasAnalysis &aa, FallbackReport &report)
+{
+    Function *orig = prog.func(fid);
+    epic_assert(orig, "firewall: no function with id ", fid);
+    const std::string fname = orig->name;
+    const Config start =
+        (orig->attr & kFuncLibrary) ? Config::Gcc : opts.config;
+    const int budget =
+        std::max(opts.firewall.min_growth_instrs,
+                 static_cast<int>(opts.firewall.growth_budget *
+                                  orig->staticInstrCount()));
+
+    report.functions_total++;
+    const size_t first_event = report.events.size();
+
+    Config rung = start;
+    bool clean_floor = false; ///< final Gcc attempt, injector disarmed
+    while (true) {
+        FaultInjector *inj = clean_floor ? nullptr : opts.firewall.inject;
+        auto work = orig->clone();
+        FunctionOutcome r;
+        std::vector<Pass> passes = buildPipeline(rung, opts, aa, r);
+
+        std::string fail_pass, fail_err;
+        int fail_count = 0;
+        bool injected_here = false;
+        std::vector<int> live_faults; ///< fired, not yet gated
+        bool ok = true;
+        try {
+            for (const Pass &p : passes) {
+                p.run(*work);
+                if (inj) {
+                    int idx = inj->inject(*work, p.name,
+                                          configName(rung));
+                    if (idx >= 0) {
+                        live_faults.push_back(idx);
+                        injected_here = true;
+                        report.faults_injected++;
+                    }
+                }
+                const int sz = work->staticInstrCount();
+                if (sz > budget) {
+                    std::ostringstream os;
+                    os << "growth budget overrun: " << sz << " instrs > "
+                       << budget << " budget";
+                    throw CompileError(p.name, os.str());
+                }
+                auto errs = verifyFunction(*work);
+                if (!errs.empty()) {
+                    ok = false;
+                    fail_pass = p.name;
+                    fail_err = errs.front();
+                    fail_count = static_cast<int>(errs.size());
+                    break;
+                }
+            }
+        } catch (const InjectedFault &e) {
+            ok = false;
+            injected_here = true;
+            report.faults_injected++;
+            report.faults_caught++;
+            fail_pass = e.pass();
+            fail_err = e.what();
+            fail_count = 1;
+        } catch (const CompileError &e) {
+            ok = false;
+            fail_pass = e.pass();
+            fail_err = e.what();
+            fail_count = 1;
+        }
+
+        if (ok) {
+            // Commit: the verified clone replaces the source function.
+            prog.funcs[fid] = std::move(work);
+            for (size_t i = first_event; i < report.events.size(); ++i)
+                report.events[i].final_config = rung;
+            if (rung != start)
+                report.functions_degraded++;
+            r.landed = rung;
+            return r;
+        }
+
+        // Roll back. Faults that fired on this attempt die with the
+        // abandoned clone: absorbed.
+        if (inj) {
+            for (int idx : live_faults) {
+                inj->markCaught(idx);
+                report.faults_caught++;
+            }
+        }
+
+        if (!opts.firewall.enabled) {
+            epic_panic("IR verification failed compiling ", fname, " [",
+                       configName(rung), "] at ", fail_pass, ": ",
+                       fail_err, " (", fail_count,
+                       " error(s); firewall disabled)");
+        }
+
+        FallbackEvent ev;
+        ev.function = fname;
+        ev.attempted = rung;
+        ev.failing_pass = fail_pass;
+        ev.error = fail_err;
+        ev.error_count = fail_count;
+        ev.fault_injected = injected_here;
+        ev.final_config = Config::Gcc; // backfilled on commit
+        report.events.push_back(std::move(ev));
+
+        Config lower;
+        if (degradeConfig(rung, &lower)) {
+            rung = lower;
+        } else if (!clean_floor && opts.firewall.inject) {
+            // Injection corrupted even the Gcc floor; one last attempt
+            // with the injector disarmed. Real compilations (no
+            // injector) never reach this.
+            clean_floor = true;
+            report.clean_retries++;
+        } else {
+            epic_panic("compilation firewall exhausted for ", fname,
+                       ": Gcc floor failed at ", fail_pass, ": ",
+                       fail_err);
+        }
+    }
+}
+
+} // namespace epic

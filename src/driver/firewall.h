@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Compilation firewall: transactional per-function compilation with
+ * graceful degradation.
+ *
+ * `verifyOrDie` turns one broken function into a dead experiment. A
+ * region-based ILP compiler headed for production has to contain such
+ * failures instead: each function is compiled on a *clone*, the IR is
+ * re-verified after every pass (and optionally corrupted between passes
+ * by the fault-injection engine, support/faultinject.h), and the clone
+ * is committed back into the program only when every gate passed. On a
+ * verifier rejection, a recoverable CompileError (e.g. the register
+ * allocator running out of a register class), or a code-growth budget
+ * overrun, the function alone walks the degradation ladder
+ *
+ *     IlpCs -> IlpNs -> ONS -> Gcc
+ *
+ * and each abandoned rung is recorded as a FallbackEvent. The
+ * experiment harness aggregates the resulting FallbackReport and the
+ * bench binaries print it, so a degraded run is visible — but still a
+ * run, with architected semantics intact.
+ */
+#ifndef EPIC_DRIVER_FIREWALL_H
+#define EPIC_DRIVER_FIREWALL_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/alias.h"
+#include "driver/config.h"
+#include "ilp/hyperblock.h"
+#include "ilp/peel.h"
+#include "ilp/speculate.h"
+#include "ilp/superblock.h"
+#include "opt/classical.h"
+#include "sched/listsched.h"
+#include "sched/regalloc.h"
+
+namespace epic {
+
+class FaultInjector;
+struct CompileOptions;
+
+/** One abandoned rung of one function's compilation. */
+struct FallbackEvent
+{
+    std::string function;
+    Config attempted = Config::IlpCs; ///< rung that failed
+    std::string failing_pass;         ///< gate that rejected the IR
+    std::string error;                ///< first verifier error / exception
+    int error_count = 1;              ///< total errors at the gate
+    bool fault_injected = false;      ///< an injected fault was live here
+    Config final_config = Config::Gcc; ///< rung the function landed on
+
+    /** One-line rendering for reports. */
+    std::string str() const;
+};
+
+/** Aggregated firewall outcome for one compilation (or one suite). */
+struct FallbackReport
+{
+    std::vector<FallbackEvent> events;
+    int functions_total = 0;
+    int functions_degraded = 0; ///< landed below their requested config
+    int clean_retries = 0;      ///< Gcc floor re-runs with injection off
+    int faults_injected = 0;
+    int faults_caught = 0; ///< rejected at a gate / absorbed by fallback
+
+    bool clean() const { return events.empty(); }
+    void merge(const FallbackReport &o);
+    /** Multi-line printable summary (empty string when clean). */
+    std::string str() const;
+};
+
+/** Firewall knobs, part of CompileOptions. */
+struct FirewallOptions
+{
+    /// When false, any gate failure is fatal (the legacy verifyOrDie
+    /// behaviour) instead of degrading the function.
+    bool enabled = true;
+    /// Budget overrun: a rung fails when a pass grows the function past
+    /// max(min_growth_instrs, growth_budget * original size).
+    double growth_budget = 64.0;
+    int min_growth_instrs = 4096;
+    /// Optional fault-injection engine (not owned). Corrupts the IR at
+    /// pass boundaries; the firewall marks which faults its gates
+    /// caught.
+    FaultInjector *inject = nullptr;
+};
+
+/** Per-phase statistics of the committed (landed) attempt. */
+struct FunctionOutcome
+{
+    Config landed = Config::Gcc;
+    OptStats classical;
+    SuperblockStats sb;
+    HyperblockStats hb;
+    PeelStats peel;
+    SpecStats spec;
+    RegAllocStats ra;
+    SchedStats sched;
+    int instrs_after_classical = 0;
+    int instrs_after_regions = 0;
+};
+
+/**
+ * Compile prog.funcs[fid] transactionally under `opts`, committing the
+ * first rung whose every pass verifies and appending any abandoned
+ * rungs to `report`. Library functions start at the Gcc rung (the
+ * paper's gcc-compiled system libraries). Panics only if even the Gcc
+ * floor produces unverifiable code with no fault injected — a genuine
+ * EpicLab bug.
+ */
+FunctionOutcome compileFunctionFirewalled(Program &prog, int fid,
+                                          const CompileOptions &opts,
+                                          const AliasAnalysis &aa,
+                                          FallbackReport &report);
+
+} // namespace epic
+
+#endif // EPIC_DRIVER_FIREWALL_H

@@ -126,6 +126,13 @@ class Function
             blocks[bid].reset();
     }
 
+    /**
+     * Deep-copy this function (same id). The compilation firewall
+     * transforms the copy and commits it back only after every pass
+     * verifies; Program::clone also builds on this.
+     */
+    std::unique_ptr<Function> clone() const;
+
   private:
     /// Next virtual register id per register class.
     std::array<int32_t, 4> next_virt_;

@@ -202,40 +202,41 @@ Program::staticInstrCount() const
     return n;
 }
 
+std::unique_ptr<Function>
+Function::clone() const
+{
+    auto nf = std::make_unique<Function>(id, name);
+    nf->attr = attr;
+    nf->params = params;
+    nf->entry = entry;
+    nf->weight = weight;
+    nf->reg_allocated = reg_allocated;
+    nf->stacked_regs = stacked_regs;
+    nf->spill_slots = spill_slots;
+    for (int cls = 0; cls < 4; ++cls) {
+        nf->reserveVirt(static_cast<RegClass>(cls),
+                        virtLimit(static_cast<RegClass>(cls)) - 1);
+    }
+    for (const auto &b : blocks) {
+        if (!b) {
+            nf->blocks.push_back(nullptr);
+            continue;
+        }
+        auto nb = std::make_unique<BasicBlock>(b->id);
+        *nb = *b;
+        nf->blocks.push_back(std::move(nb));
+    }
+    return nf;
+}
+
 std::unique_ptr<Program>
 Program::clone() const
 {
     auto out = std::make_unique<Program>();
     out->symbols = symbols;
     out->entry_func = entry_func;
-    for (const auto &f : funcs) {
-        if (!f) {
-            out->funcs.push_back(nullptr);
-            continue;
-        }
-        auto nf = std::make_unique<Function>(f->id, f->name);
-        nf->attr = f->attr;
-        nf->params = f->params;
-        nf->entry = f->entry;
-        nf->weight = f->weight;
-        nf->reg_allocated = f->reg_allocated;
-        nf->stacked_regs = f->stacked_regs;
-        nf->spill_slots = f->spill_slots;
-        for (int cls = 0; cls < 4; ++cls) {
-            nf->reserveVirt(static_cast<RegClass>(cls),
-                            f->virtLimit(static_cast<RegClass>(cls)) - 1);
-        }
-        for (const auto &b : f->blocks) {
-            if (!b) {
-                nf->blocks.push_back(nullptr);
-                continue;
-            }
-            auto nb = std::make_unique<BasicBlock>(b->id);
-            *nb = *b;
-            nf->blocks.push_back(std::move(nb));
-        }
-        out->funcs.push_back(std::move(nf));
-    }
+    for (const auto &f : funcs)
+        out->funcs.push_back(f ? f->clone() : nullptr);
     return out;
 }
 

@@ -367,13 +367,34 @@ verifyProgram(const Program &p)
     return all;
 }
 
+std::string
+VerifyReport::str() const
+{
+    std::ostringstream os;
+    for (const std::string &e : errors)
+        os << "verify[" << phase << "]: " << e << "\n";
+    return os.str();
+}
+
+VerifyReport
+verifyAll(const Program &p, const char *phase)
+{
+    VerifyReport rep;
+    rep.phase = phase;
+    rep.errors = verifyProgram(p);
+    return rep;
+}
+
 void
 verifyOrDie(const Program &p, const char *phase)
 {
     auto errs = verifyProgram(p);
     if (!errs.empty()) {
-        for (size_t i = 0; i < errs.size() && i < 10; ++i)
-            epic_warn("verify[", phase, "]: ", errs[i]);
+        // Print the complete list (not just the first error): when a
+        // transform breaks several functions at once, the full set is
+        // what identifies the shared root cause.
+        for (const std::string &e : errs)
+            epic_warn("verify[", phase, "]: ", e);
         epic_panic("IR verification failed after ", phase, " (",
                    errs.size(), " errors)");
     }

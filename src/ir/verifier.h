@@ -24,7 +24,26 @@ std::vector<std::string> verifyFunction(const Function &f);
 /** Verify a whole program (also checks call targets). */
 std::vector<std::string> verifyProgram(const Program &p);
 
-/** Panic with the first error if verification fails. */
+/**
+ * Non-fatal whole-program verification for the compilation firewall:
+ * the complete error list, each entry tagged with the phase (every
+ * error already carries the offending function's name).
+ */
+struct VerifyReport
+{
+    std::string phase;
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+    /** All errors, one per line, "verify[phase]: ..." form. */
+    std::string str() const;
+};
+
+/** Run verifyProgram and package the full result (never aborts). */
+VerifyReport verifyAll(const Program &p, const char *phase);
+
+/** Panic if verification fails, after printing *every* error with its
+ *  function name and the phase that produced it. */
 void verifyOrDie(const Program &p, const char *phase);
 
 } // namespace epic

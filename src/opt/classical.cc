@@ -721,25 +721,32 @@ peephole(Function &f)
 }
 
 OptStats
+classicalOptimizeFunction(Function &f, const AliasAnalysis &aa,
+                          int max_iters)
+{
+    OptStats total;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        OptStats round;
+        round += localValueProp(f);
+        round += localCse(f, aa);
+        round += peephole(f);
+        round += deadCodeElim(f);
+        round += licm(f, aa);
+        pruneUnreachableBlocks(f);
+        total += round;
+        if (round.total() == 0)
+            break;
+    }
+    return total;
+}
+
+OptStats
 classicalOptimize(Program &prog, const AliasAnalysis &aa, int max_iters)
 {
     OptStats total;
     for (auto &fp : prog.funcs) {
-        if (!fp)
-            continue;
-        Function &f = *fp;
-        for (int iter = 0; iter < max_iters; ++iter) {
-            OptStats round;
-            round += localValueProp(f);
-            round += localCse(f, aa);
-            round += peephole(f);
-            round += deadCodeElim(f);
-            round += licm(f, aa);
-            pruneUnreachableBlocks(f);
-            total += round;
-            if (round.total() == 0)
-                break;
-        }
+        if (fp)
+            total += classicalOptimizeFunction(*fp, aa, max_iters);
     }
     return total;
 }

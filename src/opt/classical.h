@@ -64,6 +64,13 @@ OptStats licm(Function &f, const AliasAnalysis &aa);
 OptStats peephole(Function &f);
 
 /**
+ * Run the full classical pipeline to a (bounded) fixpoint on one
+ * function (the unit the compilation firewall retries on fallback).
+ */
+OptStats classicalOptimizeFunction(Function &f, const AliasAnalysis &aa,
+                                   int max_iters = 4);
+
+/**
  * Run the full classical pipeline to a (bounded) fixpoint on every
  * function of the program.
  */

@@ -5,6 +5,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/liveness.h"
+#include "support/error.h"
 #include "support/logging.h"
 
 namespace epic {
@@ -184,11 +185,16 @@ allocateRegisters(Function &f)
                 max_used = std::max(max_used, iv->phys - lo + 1);
                 continue;
             }
-            // Spill the interval with the furthest end.
+            // Spill the interval with the furthest end. Only Gr spilling
+            // is implemented; exhausting another class is a contained
+            // per-function failure the firewall can absorb by degrading
+            // the function to a less register-hungry configuration.
             if (cls != RegClass::Gr) {
-                epic_panic("out of ", regClassName(cls),
-                           " registers in ", f.name,
-                           " and only Gr spilling is implemented");
+                throw CompileError(
+                    "regalloc",
+                    std::string("out of ") + regClassName(cls) +
+                        " registers in " + f.name +
+                        " (only Gr spilling is implemented)");
             }
             Interval *victim = iv;
             for (Interval *a : active) {

@@ -89,7 +89,8 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 
     while (true) {
         if (res.dyn_instrs >= opts.max_instrs) {
-            res.error = "dynamic instruction budget exceeded";
+            res.error = "dynamic instruction budget exceeded (" +
+                        std::to_string(opts.max_instrs) + " instrs)";
             return res;
         }
 
@@ -163,7 +164,9 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
                     inst.prof_callees.push_back({eff.callee, 1.0});
             }
             if (static_cast<int>(stack.size()) >= opts.max_depth) {
-                res.error = "call depth limit exceeded in " + fn->name;
+                res.error = "call depth limit exceeded (" +
+                            std::to_string(opts.max_depth) + ") in " +
+                            fn->name;
                 return res;
             }
             Function *callee = prog.func(eff.callee);

@@ -21,6 +21,7 @@
 #include "ir/program.h"
 #include "sim/exec_core.h"
 #include "sim/memory.h"
+#include "sim/run_result.h"
 
 namespace epic {
 
@@ -38,12 +39,8 @@ struct InterpOptions
 };
 
 /** Outcome of a functional run. */
-struct InterpResult
+struct InterpResult : RunResult
 {
-    bool ok = false;
-    std::string error;
-    int64_t ret_value = 0;
-
     uint64_t dyn_instrs = 0;    ///< instructions evaluated (incl. squashed)
     uint64_t dyn_executed = 0;  ///< guard-true instructions
     uint64_t dyn_squashed = 0;  ///< guard-false (predicated-off)

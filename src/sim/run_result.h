@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Common outcome base for simulator runs.
+ *
+ * Every run — functional or timing — either completes (`ok`) with an
+ * architected return value, or reports a *recoverable* reason string.
+ * Resource-budget overruns (dynamic instruction budget, call depth,
+ * cycle budget) land here too: a runaway program is an experiment
+ * outcome for the harness to record, never a process abort.
+ */
+#ifndef EPIC_SIM_RUN_RESULT_H
+#define EPIC_SIM_RUN_RESULT_H
+
+#include <cstdint>
+#include <string>
+
+namespace epic {
+
+/** Shared fields of InterpResult / TimingResult. */
+struct RunResult
+{
+    bool ok = false;
+    std::string error;     ///< why the run did not complete (when !ok)
+    int64_t ret_value = 0; ///< architected result (checksum)
+};
+
+} // namespace epic
+
+#endif // EPIC_SIM_RUN_RESULT_H

@@ -197,7 +197,8 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
     while (true) {
         if (pm.total() > opts.max_cycles || ++safety > (1ull << 34)) {
-            res.error = "cycle budget exceeded";
+            res.error = "cycle budget exceeded (" +
+                        std::to_string(opts.max_cycles) + " cycles)";
             return res;
         }
 
@@ -525,7 +526,8 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
           case Ctl::Call: {
             if (static_cast<int>(frames.size()) >= opts.max_depth) {
-                res.error = "call depth limit exceeded";
+                res.error = "call depth limit exceeded (" +
+                            std::to_string(opts.max_depth) + ")";
                 return res;
             }
             Function *callee = prog.func(ctl_callee);

@@ -28,6 +28,7 @@
 #include "mach/machine.h"
 #include "sim/memory.h"
 #include "sim/perfmon.h"
+#include "sim/run_result.h"
 
 namespace epic {
 
@@ -47,11 +48,8 @@ struct TimingOptions
 };
 
 /** Result of a timing run. */
-struct TimingResult
+struct TimingResult : RunResult
 {
-    bool ok = false;
-    std::string error;
-    int64_t ret_value = 0;
     Perfmon pm;
 };
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Recoverable error type for the compilation firewall.
+ *
+ * The gem5-style helpers in logging.h terminate the process: panic()
+ * for internal invariant violations, fatal() for unusable user input.
+ * Neither is appropriate for a *contained* failure — a transform that
+ * broke one function, a register file that one pathological function
+ * exhausted, a pass that overran its growth budget. Those are thrown
+ * as CompileError and caught at the firewall boundary, which rolls the
+ * function back and retries on a more conservative configuration rung
+ * (see driver/firewall.h).
+ */
+#ifndef EPIC_SUPPORT_ERROR_H
+#define EPIC_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace epic {
+
+/**
+ * A contained, per-function compilation failure. Carries the name of
+ * the pass that failed so the firewall can attribute the fallback.
+ */
+class CompileError : public std::runtime_error
+{
+  public:
+    CompileError(std::string pass, const std::string &message)
+        : std::runtime_error(message), pass_(std::move(pass))
+    {
+    }
+
+    /** Pass (or pipeline stage) that raised the error. */
+    const std::string &pass() const { return pass_; }
+
+  private:
+    std::string pass_;
+};
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_ERROR_H

@@ -1,0 +1,252 @@
+#include "support/faultinject.h"
+
+#include <sstream>
+
+#include "support/rng.h"
+
+namespace epic {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::BranchTarget: return "branch-target";
+      case FaultKind::OperandSwap: return "operand-swap";
+      case FaultKind::GuardCorrupt: return "guard-corrupt";
+      case FaultKind::RegOverflow: return "reg-overflow";
+      case FaultKind::SpecWild: return "spec-wild";
+      case FaultKind::PassThrow: return "pass-throw";
+    }
+    return "?";
+}
+
+namespace {
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+uint64_t
+mixStr(uint64_t h, const std::string &s)
+{
+    for (char c : s)
+        h = mix(h, static_cast<uint8_t>(c));
+    return mix(h, s.size());
+}
+
+/// An instruction position within a function.
+struct Site
+{
+    BasicBlock *bb = nullptr;
+    int idx = -1;
+    Instruction &instr() const { return bb->instrs[idx]; }
+};
+
+/** Does the verifier check src 0 of this opcode as a Gr register? */
+bool
+checkedGrSrc(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV:
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SAR:
+      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SHLI:
+      case Opcode::SHRI: case Opcode::SARI:
+      case Opcode::SXT: case Opcode::ZXT:
+      case Opcode::CMP: case Opcode::CMPI:
+      case Opcode::LD: case Opcode::ST: case Opcode::LDF:
+      case Opcode::CVTIF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Does the verifier check dest 0 of this opcode as a Gr register? */
+bool
+checkedGrDest(Opcode op)
+{
+    switch (op) {
+      case Opcode::MOV: case Opcode::MOVI: case Opcode::MOVA:
+      case Opcode::MOVFN:
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SAR:
+      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SHLI:
+      case Opcode::SHRI: case Opcode::SARI:
+      case Opcode::SXT: case Opcode::ZXT:
+      case Opcode::LD: case Opcode::CVTFI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Candidate instructions a fault kind can corrupt detectably. */
+std::vector<Site>
+candidates(Function &f, FaultKind kind)
+{
+    std::vector<Site> out;
+    for (auto &bp : f.blocks) {
+        if (!bp)
+            continue;
+        for (int i = 0; i < static_cast<int>(bp->instrs.size()); ++i) {
+            const Instruction &inst = bp->instrs[i];
+            bool ok = false;
+            switch (kind) {
+              case FaultKind::BranchTarget:
+                ok = (inst.op == Opcode::BR || inst.op == Opcode::CHK_S) &&
+                     inst.target >= 0;
+                break;
+              case FaultKind::OperandSwap:
+                ok = checkedGrSrc(inst.op) && !inst.srcs.empty() &&
+                     inst.srcs[0].isReg() &&
+                     inst.srcs[0].reg.cls == RegClass::Gr;
+                break;
+              case FaultKind::GuardCorrupt:
+                ok = inst.op != Opcode::NOP;
+                break;
+              case FaultKind::RegOverflow:
+                ok = f.reg_allocated && checkedGrDest(inst.op) &&
+                     !inst.dests.empty() &&
+                     inst.dests[0].cls == RegClass::Gr;
+                break;
+              case FaultKind::SpecWild:
+                ok = !inst.spec && inst.info().has_side_effect &&
+                     !inst.isLoad() && inst.op != Opcode::CHK_S;
+                break;
+              case FaultKind::PassThrow:
+                ok = true;
+                break;
+            }
+            if (ok)
+                out.push_back({bp.get(), i});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(uint64_t seed, double rate)
+    : seed_(seed), rate_(rate)
+{
+}
+
+void
+FaultInjector::restrictTo(std::string function, std::string pass)
+{
+    only_function_ = std::move(function);
+    only_pass_ = std::move(pass);
+}
+
+int
+FaultInjector::inject(Function &f, const std::string &pass,
+                      const char *rung)
+{
+    if (!only_function_.empty() && only_function_ != f.name)
+        return -1;
+    if (!only_pass_.empty() && only_pass_ != pass)
+        return -1;
+
+    // Fire decision, fault kind and victim instruction are all pure
+    // functions of (seed, function, pass, rung): reruns reproduce the
+    // exact same corruption.
+    uint64_t h = mixStr(mixStr(mixStr(seed_, f.name), pass),
+                        std::string(rung));
+    Rng rng(h);
+    if (!(rng.nextDouble() < rate_))
+        return -1;
+
+    static constexpr FaultKind kAll[] = {
+        FaultKind::BranchTarget, FaultKind::OperandSwap,
+        FaultKind::GuardCorrupt, FaultKind::RegOverflow,
+        FaultKind::SpecWild,     FaultKind::PassThrow,
+    };
+    const int kNum = 6;
+    int first = static_cast<int>(rng.nextBelow(kNum));
+
+    // Rotate deterministically past kinds with no victim in this IR.
+    for (int k = 0; k < kNum; ++k) {
+        FaultKind kind = kAll[(first + k) % kNum];
+        auto sites = candidates(f, kind);
+        if (sites.empty())
+            continue;
+
+        FaultRecord rec;
+        rec.function = f.name;
+        rec.pass = pass;
+        rec.rung = rung;
+        rec.kind = kind;
+
+        if (kind == FaultKind::PassThrow) {
+            rec.detail = "injected pass exception";
+            rec.caught = true; // by construction: the throw unwinds into
+                               // the firewall, which absorbs it
+            records_.push_back(std::move(rec));
+            throw InjectedFault(pass, "injected fault: pass exception in " +
+                                          f.name);
+        }
+
+        Site s = sites[rng.nextBelow(sites.size())];
+        Instruction &inst = s.instr();
+        std::ostringstream detail;
+        detail << "bb" << s.bb->id << " '" << inst.str() << "': ";
+        switch (kind) {
+          case FaultKind::BranchTarget:
+            inst.target = static_cast<int>(f.blocks.size()) + 13;
+            detail << "retargeted to invalid bb" << inst.target;
+            break;
+          case FaultKind::OperandSwap:
+            inst.srcs[0].reg.cls = RegClass::Fr;
+            detail << "src0 rewritten into the Fr class";
+            break;
+          case FaultKind::GuardCorrupt:
+            inst.guard = Reg(RegClass::Gr, 1);
+            detail << "guard mis-set to a Gr register";
+            break;
+          case FaultKind::RegOverflow:
+            inst.dests[0] = Reg(RegClass::Gr,
+                                physRegCount(RegClass::Gr) + 5);
+            detail << "dest past the physical Gr bound";
+            break;
+          case FaultKind::SpecWild:
+            inst.spec = true;
+            detail << "side-effecting op marked speculative";
+            break;
+          case FaultKind::PassThrow:
+            break; // handled above
+        }
+        rec.detail = detail.str();
+        records_.push_back(std::move(rec));
+        return static_cast<int>(records_.size()) - 1;
+    }
+    return -1;
+}
+
+void
+FaultInjector::markCaught(int idx)
+{
+    if (idx >= 0 && idx < static_cast<int>(records_.size()))
+        records_[idx].caught = true;
+}
+
+int
+FaultInjector::escaped() const
+{
+    int n = 0;
+    for (const FaultRecord &r : records_)
+        if (!r.caught)
+            ++n;
+    return n;
+}
+
+} // namespace epic

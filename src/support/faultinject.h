@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic fault-injection engine for the compilation firewall.
+ *
+ * The firewall's claim is that *any* structurally broken IR produced by
+ * a transform is either rejected at a per-pass verifier gate or
+ * contained by falling the function back to a more conservative
+ * configuration rung — never a crash, never a silently wrong result.
+ * That claim is only testable if we can break the IR on demand, so this
+ * engine corrupts a function's IR at pass boundaries in the ways the
+ * paper's aggressive transforms could plausibly get wrong:
+ *
+ *  - BranchTarget: retarget a branch to a dead/invalid block (a botched
+ *    tail-duplication or layout edge update),
+ *  - OperandSwap:  rewrite a register operand into the wrong register
+ *    class (a mangled operand rewrite),
+ *  - GuardCorrupt: mis-set a qualifying predicate (broken
+ *    if-conversion),
+ *  - RegOverflow:  assign a destination past the physical register
+ *    bound (an allocator that "spilled past the end"),
+ *  - SpecWild:     mark a side-effecting operation control-speculative
+ *    (a mis-speculated store — wild speculation),
+ *  - PassThrow:    raise an InjectedFault from inside the pass boundary
+ *    (a pass that crashes instead of producing bad code).
+ *
+ * Injection is fully deterministic: whether a site fires, which fault
+ * kind it applies and which instruction it hits are all pure functions
+ * of (seed, function name, pass name, rung). A site is the boundary
+ * after one pass of one function's pipeline on one configuration rung,
+ * and sites can be addressed individually with restrictTo().
+ */
+#ifndef EPIC_SUPPORT_FAULTINJECT_H
+#define EPIC_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "support/error.h"
+
+namespace epic {
+
+/** Kinds of IR corruption the engine can apply. */
+enum class FaultKind {
+    BranchTarget,
+    OperandSwap,
+    GuardCorrupt,
+    RegOverflow,
+    SpecWild,
+    PassThrow,
+};
+
+/** Printable fault-kind name. */
+const char *faultKindName(FaultKind k);
+
+/** Thrown by PassThrow faults; the firewall absorbs it like any other
+ *  contained pass failure. */
+class InjectedFault : public CompileError
+{
+  public:
+    using CompileError::CompileError;
+};
+
+/** One injected fault, for the experiment report. */
+struct FaultRecord
+{
+    std::string function;
+    std::string pass;  ///< pass boundary the fault was injected at
+    std::string rung;  ///< configuration rung (configName) when injected
+    FaultKind kind = FaultKind::BranchTarget;
+    std::string detail; ///< what was corrupted, human-readable
+    bool caught = false; ///< rejected by a gate / absorbed by fallback
+};
+
+/**
+ * Seeded, site-addressable IR corruptor. Not thread-safe; use one
+ * injector per compilation.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param seed Determinism seed.
+     * @param rate Probability in [0,1] that an eligible site fires
+     *             (1.0 = every pass boundary).
+     */
+    explicit FaultInjector(uint64_t seed, double rate = 1.0);
+
+    /**
+     * Address a single site: only boundaries whose function and pass
+     * names match (empty string = wildcard) are eligible.
+     */
+    void restrictTo(std::string function, std::string pass);
+
+    /**
+     * Called by the firewall after a pass has run. When the site fires,
+     * corrupts `f` in place and returns the index of the new
+     * FaultRecord; returns -1 when the site stays quiet or no
+     * applicable corruption point exists. PassThrow faults record
+     * themselves (pre-marked caught) and then throw InjectedFault.
+     */
+    int inject(Function &f, const std::string &pass, const char *rung);
+
+    /** Mark a fired fault as caught by a gate / absorbed by fallback. */
+    void markCaught(int idx);
+
+    const std::vector<FaultRecord> &records() const { return records_; }
+
+    /** Number of faults fired so far. */
+    int fired() const { return static_cast<int>(records_.size()); }
+
+    /** Number of fired faults that no gate ever caught. */
+    int escaped() const;
+
+  private:
+    uint64_t seed_;
+    double rate_;
+    std::string only_function_;
+    std::string only_pass_;
+    std::vector<FaultRecord> records_;
+};
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_FAULTINJECT_H

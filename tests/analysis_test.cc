@@ -88,8 +88,9 @@ TEST(CfgTest, PruneUnreachable)
         r.op = Opcode::BR_RET;
         dead->append(r);
     }
+    const int dead_id = dead->id; // pruning frees the block
     EXPECT_EQ(pruneUnreachableBlocks(*d.f), 1);
-    EXPECT_EQ(d.f->block(dead->id), nullptr);
+    EXPECT_EQ(d.f->block(dead_id), nullptr);
 }
 
 TEST(DomTest, Diamond)

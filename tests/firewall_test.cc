@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Compilation-firewall tests: transactional per-function compilation,
+ * the IlpCs -> IlpNs -> ONS -> Gcc degradation ladder, and the
+ * deterministic fault-injection engine. The acceptance invariant is the
+ * robustness claim itself: IR corrupted at *any* pass boundary of a
+ * real workload is either rejected at a per-pass verifier gate or
+ * absorbed by falling the function back — every configuration still
+ * completes with the source program's architected checksum, and the
+ * FallbackReport names each fault's site and where the function landed.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "driver/experiment.h"
+#include "ir/verifier.h"
+#include "sim/interp.h"
+#include "sim/timing.h"
+#include "support/faultinject.h"
+#include "workloads/workload.h"
+
+namespace epic {
+namespace {
+
+/// Every gated pass boundary of the per-function pipeline (plus the
+/// program-level inline transaction).
+const char *const kAllPasses[] = {
+    "inline",       "classical",    "hyperblock",
+    "superblock",   "peel",         "hyperblock-2",
+    "superblock-2", "post-region classical",
+    "speculate",    "regalloc",     "schedule",
+};
+
+RunOptions
+injectedOpts(FaultInjector *inj)
+{
+    RunOptions opts;
+    opts.run_input = InputKind::Train; // keep the 44 sim runs fast
+    opts.tweak = [inj](CompileOptions &o) { o.firewall.inject = inj; };
+    return opts;
+}
+
+TEST(FirewallTest, CleanCompilationHasNoFallbacks)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    WorkloadRuns runs = runWorkload(*w, standardConfigs());
+    EXPECT_TRUE(runs.all_match);
+    EXPECT_TRUE(runs.error.empty());
+    EXPECT_TRUE(runs.fallback.clean()) << runs.fallback.str();
+    EXPECT_EQ(runs.fallback.functions_degraded, 0);
+}
+
+/**
+ * The acceptance test: inject a fault at every pass boundary of one
+ * SPEC workload, one boundary at a time, under all four configurations.
+ * Every run must complete with the source checksum; every fired fault
+ * must be caught; every fallback event must name its site and the
+ * configuration the function landed on.
+ */
+TEST(FirewallTest, EveryPassBoundarySurvivesInjection)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+
+    for (const char *pass : kAllPasses) {
+        FaultInjector inj(/*seed=*/0xf1e1d + std::string(pass).size(),
+                          /*rate=*/1.0);
+        inj.restrictTo(/*function=*/"", pass);
+
+        WorkloadRuns runs =
+            runWorkload(*w, standardConfigs(), injectedOpts(&inj));
+
+        // Zero crashes, zero silent corruptions: every configuration
+        // completed and reproduced the source checksum.
+        EXPECT_TRUE(runs.error.empty()) << pass << ": " << runs.error;
+        EXPECT_TRUE(runs.all_match) << "corruption escaped at " << pass;
+        for (Config cfg : standardConfigs()) {
+            const ConfigRun &r = runs.by_config.at(cfg);
+            ASSERT_TRUE(r.ok) << pass << " [" << configName(cfg)
+                              << "]: " << r.error;
+            EXPECT_EQ(r.checksum, runs.source_checksum)
+                << pass << " [" << configName(cfg) << "]";
+        }
+
+        // The boundary exists in at least one configuration's pipeline,
+        // so the site must actually have fired — and every fired fault
+        // must have been caught at a gate or absorbed by fallback.
+        EXPECT_GT(inj.fired(), 0) << pass << ": site never fired";
+        EXPECT_EQ(inj.escaped(), 0) << pass;
+        for (const FaultRecord &fr : inj.records()) {
+            EXPECT_TRUE(fr.caught) << pass << " in " << fr.function;
+            EXPECT_EQ(fr.pass, pass);
+            EXPECT_FALSE(fr.function.empty());
+            EXPECT_FALSE(fr.detail.empty());
+        }
+
+        // The aggregated report accounts for every fault and names each
+        // event's site and landed configuration.
+        EXPECT_EQ(runs.fallback.faults_injected, inj.fired()) << pass;
+        EXPECT_EQ(runs.fallback.faults_caught, inj.fired()) << pass;
+        EXPECT_FALSE(runs.fallback.clean()) << pass;
+        for (const FallbackEvent &ev : runs.fallback.events) {
+            EXPECT_FALSE(ev.function.empty());
+            EXPECT_EQ(ev.failing_pass, pass);
+            EXPECT_TRUE(ev.fault_injected);
+            EXPECT_FALSE(ev.error.empty());
+            // str() renders the full site for the bench reports.
+            EXPECT_NE(ev.str().find(ev.function), std::string::npos);
+            EXPECT_NE(ev.str().find(pass), std::string::npos);
+            EXPECT_NE(ev.str().find(configName(ev.final_config)),
+                      std::string::npos);
+        }
+    }
+}
+
+/** A fault only the IlpCs pipeline can hit degrades exactly one rung. */
+TEST(FirewallTest, SpeculationFaultLandsOneRungDown)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+
+    FaultInjector inj(7, 1.0);
+    inj.restrictTo("", "speculate");
+    WorkloadRuns runs =
+        runWorkload(*w, {Config::IlpCs}, injectedOpts(&inj));
+
+    EXPECT_TRUE(runs.all_match);
+    EXPECT_GT(inj.fired(), 0);
+    EXPECT_EQ(inj.escaped(), 0);
+    EXPECT_GT(runs.fallback.functions_degraded, 0);
+    for (const FallbackEvent &ev : runs.fallback.events) {
+        EXPECT_EQ(ev.attempted, Config::IlpCs) << ev.str();
+        EXPECT_EQ(ev.failing_pass, "speculate") << ev.str();
+        EXPECT_EQ(ev.final_config, Config::IlpNs) << ev.str();
+    }
+}
+
+/** Same seed, same program -> bit-identical fault sequence. */
+TEST(FirewallTest, InjectionIsDeterministic)
+{
+    const Workload *w = findWorkload("181.mcf");
+    ASSERT_NE(w, nullptr);
+
+    auto run = [&](FaultInjector *inj) {
+        WorkloadRuns runs =
+            runWorkload(*w, standardConfigs(), injectedOpts(inj));
+        EXPECT_TRUE(runs.all_match);
+        return runs.source_checksum;
+    };
+    FaultInjector a(12345, 0.5), b(12345, 0.5);
+    int64_t ca = run(&a), cb = run(&b);
+    EXPECT_EQ(ca, cb);
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].function, b.records()[i].function);
+        EXPECT_EQ(a.records()[i].pass, b.records()[i].pass);
+        EXPECT_EQ(a.records()[i].rung, b.records()[i].rung);
+        EXPECT_EQ(a.records()[i].kind, b.records()[i].kind);
+        EXPECT_EQ(a.records()[i].detail, b.records()[i].detail);
+    }
+    EXPECT_EQ(a.escaped(), 0);
+
+    // A different seed picks different sites/kinds somewhere.
+    FaultInjector c(54321, 0.5);
+    run(&c);
+    bool differs = a.records().size() != c.records().size();
+    for (size_t i = 0; !differs && i < a.records().size(); ++i)
+        differs = a.records()[i].detail != c.records()[i].detail ||
+                  a.records()[i].pass != c.records()[i].pass;
+    EXPECT_TRUE(differs);
+}
+
+/** verifyAll collects the complete error list without aborting. */
+TEST(FirewallTest, VerifyAllCollectsEveryError)
+{
+    const Workload *w = findWorkload("181.mcf");
+    ASSERT_NE(w, nullptr);
+    auto prog = w->build();
+
+    VerifyReport clean = verifyAll(*prog, "pristine");
+    EXPECT_TRUE(clean.ok());
+    EXPECT_EQ(clean.str(), "");
+
+    // Corrupt several instructions; every corruption must be reported.
+    int corrupted = 0;
+    for (auto &fp : prog->funcs) {
+        if (!fp || corrupted >= 3)
+            continue;
+        for (auto &bp : fp->blocks) {
+            if (!bp || corrupted >= 3)
+                continue;
+            for (Instruction &inst : bp->instrs) {
+                if (inst.op == Opcode::NOP || corrupted >= 3)
+                    continue;
+                inst.guard = Reg(RegClass::Gr, 1);
+                ++corrupted;
+            }
+        }
+    }
+    ASSERT_EQ(corrupted, 3);
+    VerifyReport bad = verifyAll(*prog, "corrupted");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_GE(static_cast<int>(bad.errors.size()), corrupted);
+    EXPECT_NE(bad.str().find("verify[corrupted]"), std::string::npos);
+}
+
+/** Budget overruns are experiment outcomes, not process aborts. */
+TEST(FirewallTest, ResourceOverrunsAreRecoverable)
+{
+    const Workload *w = findWorkload("181.mcf");
+    ASSERT_NE(w, nullptr);
+    auto prog = w->build();
+    prog->layoutData();
+
+    {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w->write_input(*prog, mem, InputKind::Train);
+        InterpOptions iopts;
+        iopts.max_instrs = 100;
+        auto r = interpret(*prog, mem, iopts);
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("instruction budget"), std::string::npos)
+            << r.error;
+    }
+    {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w->write_input(*prog, mem, InputKind::Train);
+        Compiled c = compileProgram(*prog, Config::Gcc);
+        Memory cmem;
+        cmem.initFromProgram(*c.prog);
+        w->write_input(*c.prog, cmem, InputKind::Train);
+        TimingOptions topts;
+        topts.max_cycles = 100;
+        auto r = simulate(*c.prog, cmem, topts);
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("cycle budget"), std::string::npos)
+            << r.error;
+    }
+}
+
+} // namespace
+} // namespace epic
