@@ -45,9 +45,9 @@ main()
             speedups.push_back(static_cast<double>(baseline[idx]) /
                                r.pm.total());
             growths.push_back(
-                static_cast<double>(r.instrs_after_classical) /
+                static_cast<double>(r.stats.instrs_after_classical) /
                 std::max(1, r.instrs_source));
-            inlined += r.inl.inlined;
+            inlined += r.stats.inl.inlined;
             ++idx;
         }
         t.row().cell(budget, 1).cell(geomean(speedups), 3)

@@ -34,7 +34,7 @@ main()
         t.cell(static_cast<long long>(with.pm.total()));
         t.cell(static_cast<long long>(without.pm.total()));
         t.cell(sp, 3);
-        t.cell(static_cast<long long>(with.peel.peeled));
+        t.cell(static_cast<long long>(with.stats.peel.peeled));
         speedups.push_back(sp);
     }
     t.print();

@@ -5,11 +5,17 @@
  *
  * Usage:
  *   epiclab_run [--list]
- *   epiclab_run <benchmark> [--config GCC|O-NS|ILP-NS|ILP-CS]
+ *   epiclab_run <benchmark>|--all [--config GCC|O-NS|ILP-NS|ILP-CS]
+ *               [--jobs N] [--pass-stats]
  *               [--spec general|sentinel] [--profile-on-ref]
  *               [--no-peel] [--no-pointer-analysis] [--conservative-hb]
  *               [--inject <seed>] [--inject-rate <p>]
+ *
+ * The --all report is byte-identical for every --jobs value (parallel
+ * results merge in workload/config order), so `--all --jobs 1` vs
+ * `--all --jobs 4` diffing clean is the determinism check CI runs.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,9 +32,16 @@ void
 usage()
 {
     printf("usage: epiclab_run <benchmark> [options]\n"
+           "       epiclab_run --all [options]\n"
            "       epiclab_run --list\n\n"
            "options:\n"
            "  --config <GCC|O-NS|ILP-NS|ILP-CS>   (default ILP-CS)\n"
+           "  --jobs <N>                          parallel workers "
+           "(default 1);\n"
+           "                                      output is identical "
+           "for any N\n"
+           "  --pass-stats                        per-pass compile-time "
+           "attribution\n"
            "  --spec <general|sentinel>           OS speculation model\n"
            "  --profile-on-ref                    train on the ref input\n"
            "  --no-peel --no-pointer-analysis --conservative-hb\n"
@@ -37,6 +50,61 @@ usage()
            "demo)\n"
            "  --inject-rate <p>                   fire probability "
            "(default 1.0)\n");
+}
+
+/**
+ * Full-suite report: every workload under the standard four
+ * configurations. Prints only deterministic quantities (checksums,
+ * cycle counts, compile counters), never wall times, so the bytes are
+ * invariant under --jobs.
+ */
+int
+runAll(const RunOptions &opts, bool pass_stats)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<WorkloadRuns> suite = runSuite(standardConfigs(), opts);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    int mismatched = 0;
+    PipelineStats pipe;
+    for (const WorkloadRuns &runs : suite) {
+        printf("%-12s source checksum %lld  %s\n", runs.name.c_str(),
+               (long long)runs.source_checksum,
+               !runs.error.empty()
+                   ? runs.error.c_str()
+                   : (runs.all_match ? "[all match]" : "[MISMATCH]"));
+        if (!runs.all_match)
+            ++mismatched;
+        for (Config cfg : standardConfigs()) {
+            auto it = runs.by_config.find(cfg);
+            if (it == runs.by_config.end())
+                continue;
+            const ConfigRun &r = it->second;
+            if (!r.ok) {
+                printf("  %-8s failed: %s\n", configName(cfg),
+                       r.error.c_str());
+                continue;
+            }
+            printf("  %-8s cycles %12llu  useful IPC %.2f  instrs %6d  "
+                   "fallbacks %zu\n",
+                   configName(cfg), (unsigned long long)r.pm.total(),
+                   r.pm.usefulIpc(), r.instrs_final,
+                   r.fallback.events.size());
+        }
+        if (!runs.fallback.clean())
+            printf("%s", runs.fallback.str().c_str());
+        pipe.merge(runs.pipeline);
+    }
+    if (pass_stats)
+        printf("\n%s", pipe.str().c_str());
+    // Wall clock goes to stderr: it varies run to run, and stdout must
+    // stay byte-identical across --jobs values.
+    fprintf(stderr, "suite wall clock: %.1f s (jobs=%d)\n", wall_s,
+            opts.jobs);
+    return mismatched == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -58,13 +126,21 @@ main(int argc, char **argv)
     Config cfg = Config::IlpCs;
     RunOptions opts;
     bool no_peel = false, no_ptr = false, cons_hb = false;
-    bool inject = false;
+    bool inject = false, pass_stats = false;
     uint64_t inject_seed = 0;
     double inject_rate = 1.0;
 
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--config" && i + 1 < argc) {
+        if (a == "--jobs" && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 1) {
+                usage();
+                return 1;
+            }
+        } else if (a == "--pass-stats") {
+            pass_stats = true;
+        } else if (a == "--config" && i + 1 < argc) {
             std::string c = argv[++i];
             if (c == "GCC")
                 cfg = Config::Gcc;
@@ -111,6 +187,9 @@ main(int argc, char **argv)
             o.hb_opts.conservative = true;
         o.firewall.inject = inj;
     };
+
+    if (bench == "--all")
+        return runAll(opts, pass_stats);
 
     const Workload *w = findWorkload(bench);
     if (!w) {
@@ -179,16 +258,19 @@ main(int argc, char **argv)
                                 r.pm.rse_fill_regs));
     printf("\ncompilation:\n");
     printf("  instrs %d -> %d (classical) -> %d (regions) -> %d\n",
-           r.instrs_source, r.instrs_after_classical,
-           r.instrs_after_regions, r.instrs_final);
+           r.instrs_source, r.stats.instrs_after_classical,
+           r.stats.instrs_after_regions, r.instrs_final);
     printf("  inlined %d  promoted icalls %d  superblocks %d  "
            "hyperblocks %d  peeled %d\n",
-           r.inl.inlined, r.inl.promoted, r.sb.traces, r.hb.regions,
-           r.peel.peeled);
+           r.stats.inl.inlined, r.stats.inl.promoted, r.stats.sb.traces,
+           r.stats.hb.regions, r.stats.peel.peeled);
     printf("  spec moved %d  promoted %d  spec loads %d  stacked regs "
            "%d  spilled %d\n",
-           r.spec.moved, r.spec.promoted, r.spec.spec_loads,
-           r.ra.gr_used, r.ra.spilled);
+           r.stats.spec.moved, r.stats.spec.promoted,
+           r.stats.spec.spec_loads, r.stats.ra.gr_used,
+           r.stats.ra.spilled);
+    if (pass_stats)
+        printf("\n%s", r.pipeline.str().c_str());
 
     printf("\nhottest functions:\n");
     std::vector<std::pair<uint64_t, int>> hot;

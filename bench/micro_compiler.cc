@@ -59,6 +59,71 @@ BM_CompileONS(benchmark::State &state)
 }
 BENCHMARK(BM_CompileONS)->Unit(benchmark::kMillisecond);
 
+/**
+ * The redundant whole-program re-verify after the per-function pipeline
+ * (firewall.paranoid): its cost is the delta against BM_CompileIlpCs.
+ */
+void
+BM_CompileIlpCsParanoid(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    CompileOptions opts = CompileOptions::forConfig(Config::IlpCs);
+    opts.firewall.paranoid = true;
+    for (auto _ : state) {
+        Compiled c = compileProgram(src, opts);
+        benchmark::DoNotOptimize(c.instrs_final);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            src.staticInstrCount());
+}
+BENCHMARK(BM_CompileIlpCsParanoid)->Unit(benchmark::kMillisecond);
+
+/** Per-function compile tier on N workers (arg = jobs). */
+void
+BM_CompileIlpCsJobs(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    CompileOptions opts = CompileOptions::forConfig(Config::IlpCs);
+    opts.jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Compiled c = compileProgram(src, opts);
+        benchmark::DoNotOptimize(c.instrs_final);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            src.staticInstrCount());
+}
+BENCHMARK(BM_CompileIlpCsJobs)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Per-pass compile-time attribution: one counter per pipeline pass
+ * (milliseconds per compilation, verifier gates included), produced by
+ * the PipelineStats instrumentation the firewall threads through every
+ * pass. The counters sum to approximately the whole-compilation time
+ * measured by BM_CompileIlpCs — the residual is clone/commit/layout.
+ */
+void
+BM_CompilePerPass(benchmark::State &state)
+{
+    const Program &src = profiledSource();
+    PipelineStats total;
+    int64_t iters = 0;
+    for (auto _ : state) {
+        Compiled c = compileProgram(src, Config::IlpCs);
+        benchmark::DoNotOptimize(c.instrs_final);
+        total.merge(c.pipeline);
+        ++iters;
+    }
+    for (const PassStat &s : total.passes) {
+        std::string key = std::string(s.pass) + "_ms";
+        state.counters[key] = benchmark::Counter(
+            (s.run_ms + s.verify_ms) / static_cast<double>(iters));
+    }
+    state.counters["pipeline_total_ms"] = benchmark::Counter(
+        total.totalMs() / static_cast<double>(iters));
+}
+BENCHMARK(BM_CompilePerPass)->Unit(benchmark::kMillisecond);
+
 void
 BM_CfgAndDominators(benchmark::State &state)
 {

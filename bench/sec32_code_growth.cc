@@ -28,12 +28,12 @@ main()
         const ConfigRun &ilp = runs.by_config.at(Config::IlpNs);
         if (!ons.ok || !ilp.ok)
             continue;
-        double base = std::max(1, ilp.instrs_after_classical);
-        double dup = 100.0 * ilp.sb.tail_dup_instrs / base;
-        double peel = 100.0 * ilp.peel.peel_instrs / base;
-        double unroll = 100.0 * ilp.peel.unroll_instrs / base;
+        double base = std::max(1, ilp.stats.instrs_after_classical);
+        double dup = 100.0 * ilp.stats.sb.tail_dup_instrs / base;
+        double peel = 100.0 * ilp.stats.peel.peel_instrs / base;
+        double unroll = 100.0 * ilp.stats.peel.unroll_instrs / base;
         double growth =
-            100.0 * (ilp.instrs_after_regions - ilp.instrs_after_classical) /
+            100.0 * (ilp.stats.instrs_after_regions - ilp.stats.instrs_after_classical) /
             base;
         double br = ons.pm.branches > 0
                         ? 100.0 * (1.0 - static_cast<double>(
@@ -41,7 +41,7 @@ main()
                                              ons.pm.branches)
                         : 0.0;
         t.row().cell(w.name);
-        t.cell(static_cast<long long>(ilp.instrs_after_classical));
+        t.cell(static_cast<long long>(ilp.stats.instrs_after_classical));
         t.cell(dup, 1);
         t.cell(peel, 1);
         t.cell(unroll, 1);

@@ -31,8 +31,8 @@ main()
                              std::max<uint64_t>(r.pm.total(), 1);
             t.row().cell(cfg == Config::ONS ? w.name : "");
             t.cell(configName(cfg));
-            t.cell(static_cast<long long>(r.ra.gr_used));
-            t.cell(static_cast<long long>(r.ra.spilled));
+            t.cell(static_cast<long long>(r.stats.ra.gr_used));
+            t.cell(static_cast<long long>(r.stats.ra.spilled));
             t.cell(static_cast<long long>(r.pm.rse_spill_regs +
                                           r.pm.rse_fill_regs));
             t.cell(rse_pct, 2);

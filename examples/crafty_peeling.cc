@@ -136,7 +136,7 @@ main()
     }
     printf("loops peeled: %d, superblock traces: %d, tail-dup "
            "instructions: %d\n",
-           ilp.peel.peeled, ilp.sb.traces, ilp.sb.tail_dup_instrs);
+           ilp.stats.peel.peeled, ilp.stats.sb.traces, ilp.stats.sb.tail_dup_instrs);
 
     // Simulate both.
     for (const Compiled *c : {&ons, &ilp}) {

@@ -124,8 +124,8 @@ main()
         }
         printf("  branches removed by regions: superblocks=%d "
                "hyperblocks=%d, speculated loads=%d\n",
-               c.sb.branches_removed, c.hb.branches_removed,
-               c.spec.spec_loads);
+               c.stats.sb.branches_removed, c.stats.hb.branches_removed,
+               c.stats.spec.spec_loads);
     }
     return 0;
 }

@@ -1,10 +1,13 @@
 #include "driver/compiler.h"
 
+#include <chrono>
+
 #include "analysis/cfg.h"
 #include "ir/verifier.h"
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/threadpool.h"
 
 namespace epic {
 
@@ -54,8 +57,18 @@ compileProgram(const Program &source, const CompileOptions &opts)
         std::vector<int> live_faults;
         bool ok = true;
         InlineStats inl;
+        PassStat &inline_stat = out.pipeline.at("inline", opts.config);
+        const auto inline_t0 = std::chrono::steady_clock::now();
+        const int inline_before = work->staticInstrCount();
         try {
             inl = inlineProgram(*work, opts.inline_opts);
+            inline_stat.runs++;
+            inline_stat.run_ms +=
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - inline_t0)
+                    .count();
+            inline_stat.instr_delta +=
+                work->staticInstrCount() - inline_before;
             if (FaultInjector *inj = opts.firewall.inject) {
                 for (auto &fp : work->funcs) {
                     if (!fp)
@@ -69,7 +82,12 @@ compileProgram(const Program &source, const CompileOptions &opts)
                     }
                 }
             }
+            const auto v0 = std::chrono::steady_clock::now();
             VerifyReport vr = verifyAll(*work, "inline");
+            inline_stat.verify_ms +=
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - v0)
+                    .count();
             if (!vr.ok()) {
                 ok = false;
                 fail_err = vr.errors.front();
@@ -90,7 +108,7 @@ compileProgram(const Program &source, const CompileOptions &opts)
 
         if (ok) {
             out.prog = std::move(work);
-            out.inl = inl;
+            out.stats.inl = inl;
         } else {
             if (FaultInjector *inj = opts.firewall.inject) {
                 for (int idx : live_faults) {
@@ -120,28 +138,37 @@ compileProgram(const Program &source, const CompileOptions &opts)
     // ---- Interprocedural analysis + per-function firewalled pipeline ----
     // The alias analysis is hint/attribute-driven, so one post-inline
     // instance stays valid across every per-function transform (spill
-    // code only references function-private stack slots).
+    // code only references function-private stack slots). Functions are
+    // therefore independent and compile on `opts.jobs` workers; each
+    // commits prog.funcs[fid] for its own fid only, and outcomes are
+    // merged below in fid order so stats, FallbackReport event order
+    // and every floating-point sum are bit-identical to a serial run.
     AliasAnalysis aa(prog, alias_level);
-    for (size_t fid = 0; fid < prog.funcs.size(); ++fid) {
+    const int nfuncs = static_cast<int>(prog.funcs.size());
+    std::vector<FunctionOutcome> outcomes(nfuncs);
+    std::vector<FallbackReport> reports(nfuncs);
+    parallelFor(opts.jobs, nfuncs, [&](int fid) {
+        if (!prog.funcs[fid])
+            return;
+        outcomes[fid] = compileFunctionFirewalled(prog, fid, opts, aa,
+                                                  reports[fid]);
+    });
+    for (int fid = 0; fid < nfuncs; ++fid) {
         if (!prog.funcs[fid])
             continue;
-        FunctionOutcome r = compileFunctionFirewalled(
-            prog, static_cast<int>(fid), opts, aa, out.fallback);
-        out.classical += r.classical;
-        out.sb += r.sb;
-        out.hb += r.hb;
-        out.peel += r.peel;
-        out.spec += r.spec;
-        out.ra += r.ra;
-        out.sched += r.sched;
-        out.instrs_after_classical += r.instrs_after_classical;
-        out.instrs_after_regions += r.instrs_after_regions;
+        out.fallback.merge(reports[fid]);
+        out.stats += outcomes[fid].stats;
+        out.pipeline.merge(outcomes[fid].pipeline);
     }
 
     // ---- Code layout (program-level, no IR rewriting) ----
     out.layout = layoutProgram(prog, opts.layout_opts);
     out.instrs_final = prog.staticInstrCount();
-    verifyOrDie(prog, "firewall pipeline");
+    // Every function already passed a per-pass verifier gate, so a
+    // whole-program re-verify is pure overhead; keep it available as a
+    // debug flag for chasing firewall bugs.
+    if (opts.firewall.paranoid)
+        verifyOrDie(prog, "firewall pipeline");
 
     return out;
 }

@@ -61,6 +61,12 @@ struct CompileOptions
     bool enable_peel = true;
     bool enable_unroll = true;
 
+    /// Worker threads for the per-function firewalled pipeline.
+    /// Functions are independent after inlining + alias analysis;
+    /// results commit indexed by function id, so any jobs value
+    /// produces bit-identical output to jobs = 1.
+    int jobs = 1;
+
     FirewallOptions firewall;
 
     /** Defaults for a configuration. */
@@ -73,15 +79,10 @@ struct Compiled
     std::unique_ptr<Program> prog;
     Config config;
 
-    // Phase statistics (for the §3.2 code-growth experiments etc.).
-    InlineStats inl;
-    OptStats classical;
-    SuperblockStats sb;
-    HyperblockStats hb;
-    PeelStats peel;
-    SpecStats spec;
-    RegAllocStats ra;
-    SchedStats sched;
+    /// Phase statistics (for the §3.2 code-growth experiments etc.).
+    CompileStats stats;
+    /// Per-(pass, rung) instrumentation across every function.
+    PipelineStats pipeline;
     LayoutStats layout;
 
     /// What the compilation firewall had to degrade (clean() if nothing).
@@ -89,8 +90,6 @@ struct Compiled
 
     int instrs_source = 0;      ///< before anything
     int instrs_after_inline = 0;
-    int instrs_after_classical = 0;
-    int instrs_after_regions = 0;
     int instrs_final = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "driver/experiment.h"
 
 #include "support/logging.h"
+#include "support/threadpool.h"
 
 namespace epic {
 
@@ -48,21 +49,15 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     }
 
     CompileOptions copts = CompileOptions::forConfig(cfg);
+    copts.jobs = opts.jobs;
     if (opts.tweak)
         opts.tweak(copts);
     Compiled c = compileProgram(*src, copts);
 
     out.fallback = c.fallback;
-    out.inl = c.inl;
-    out.sb = c.sb;
-    out.hb = c.hb;
-    out.peel = c.peel;
-    out.spec = c.spec;
-    out.ra = c.ra;
-    out.sched = c.sched;
+    out.stats = c.stats;
+    out.pipeline = c.pipeline;
     out.instrs_source = c.instrs_source;
-    out.instrs_after_classical = c.instrs_after_classical;
-    out.instrs_after_regions = c.instrs_after_regions;
     out.instrs_final = c.instrs_final;
 
     Memory mem;
@@ -87,12 +82,19 @@ std::vector<WorkloadRuns>
 runSuite(const std::vector<Config> &configs, const RunOptions &opts,
          const std::function<void(const WorkloadRuns &)> &progress)
 {
-    std::vector<WorkloadRuns> out;
-    for (const Workload &w : allWorkloads()) {
-        out.push_back(runWorkload(w, configs, opts));
-        if (progress)
-            progress(out.back());
-    }
+    const std::vector<Workload> &suite = allWorkloads();
+    std::vector<WorkloadRuns> out(suite.size());
+    // Workloads fan out over the pool; results land in suite order, so
+    // the report is byte-identical to a serial run. Progress feedback
+    // streams per workload when serial, after the join when parallel.
+    parallelFor(opts.jobs, static_cast<int>(suite.size()), [&](int i) {
+        out[i] = runWorkload(suite[i], configs, opts);
+        if (progress && opts.jobs <= 1)
+            progress(out[i]);
+    });
+    if (progress && opts.jobs > 1)
+        for (const WorkloadRuns &r : out)
+            progress(r);
     return out;
 }
 
@@ -122,10 +124,20 @@ runWorkload(const Workload &w, const std::vector<Config> &configs,
         out.source_checksum = r.ret_value;
     }
 
+    // Configurations are independent (each builds its own profiled
+    // source); fan them out, then merge and report in `configs` order
+    // so the aggregate — and even the warning stream — is identical to
+    // a serial run.
+    std::vector<ConfigRun> results(configs.size());
+    parallelFor(opts.jobs, static_cast<int>(configs.size()),
+                [&](int i) { results[i] = runConfig(w, configs[i], opts); });
+
     out.all_match = true;
-    for (Config cfg : configs) {
-        ConfigRun r = runConfig(w, cfg, opts);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const Config cfg = configs[i];
+        ConfigRun &r = results[i];
         out.fallback.merge(r.fallback);
+        out.pipeline.merge(r.pipeline);
         if (!r.ok) {
             epic_warn(w.name, " [", configName(cfg), "]: ", r.error);
             out.all_match = false;

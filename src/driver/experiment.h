@@ -26,6 +26,11 @@ struct RunOptions
     SpecModel spec_model = SpecModel::General;
     InputKind profile_input = InputKind::Train;
     InputKind run_input = InputKind::Ref;
+    /// Worker threads for the workload x config fan-out (and, via
+    /// CompileOptions::jobs, the per-function compile tier). Results
+    /// merge in workload/config order, so any jobs value produces
+    /// bit-identical reports to jobs = 1.
+    int jobs = 1;
     /// Hook to tweak compile options per configuration (ablations).
     std::function<void(CompileOptions &)> tweak;
 };
@@ -42,17 +47,11 @@ struct ConfigRun
     /// What the compilation firewall degraded (clean() if nothing).
     FallbackReport fallback;
 
-    // Compilation statistics.
-    InlineStats inl;
-    SuperblockStats sb;
-    HyperblockStats hb;
-    PeelStats peel;
-    SpecStats spec;
-    RegAllocStats ra;
-    SchedStats sched;
+    /// Compilation statistics (one shared block, see driver/pipeline.h).
+    CompileStats stats;
+    /// Per-(pass, rung) compile-time attribution.
+    PipelineStats pipeline;
     int instrs_source = 0;
-    int instrs_after_classical = 0;
-    int instrs_after_regions = 0;
     int instrs_final = 0;
 
     /// The compiled program (kept for function-level attribution).
@@ -69,6 +68,8 @@ struct WorkloadRuns
     std::map<Config, ConfigRun> by_config;
     /// Firewall fallbacks aggregated across all configurations.
     FallbackReport fallback;
+    /// Per-pass instrumentation aggregated across all configurations.
+    PipelineStats pipeline;
 };
 
 /** Run one workload under one configuration. */

@@ -1,5 +1,6 @@
 #include "driver/firewall.h"
 
+#include <chrono>
 #include <functional>
 #include <sstream>
 
@@ -84,82 +85,13 @@ FallbackReport::str() const
 
 namespace {
 
-/** One gated pipeline stage. */
-struct Pass
+/** Milliseconds elapsed since `t0` on the steady clock. */
+double
+msSince(std::chrono::steady_clock::time_point t0)
 {
-    const char *name;
-    std::function<void(Function &)> run;
-};
-
-/**
- * The per-function pass list for one configuration rung. All stages are
- * function-local (inlining, the only interprocedural transform, runs
- * before the firewall); stats accumulate into the attempt-local
- * outcome, which is discarded with the clone if any gate rejects.
- */
-std::vector<Pass>
-buildPipeline(Config rung, const CompileOptions &opts,
-              const AliasAnalysis &aa, FunctionOutcome &r)
-{
-    const bool ilp = rung == Config::IlpNs || rung == Config::IlpCs;
-    std::vector<Pass> passes;
-
-    passes.push_back({"classical", [&opts, &aa, &r](Function &f) {
-        (void)opts;
-        r.classical += classicalOptimizeFunction(f, aa);
-        r.instrs_after_classical = f.staticInstrCount();
-        r.instrs_after_regions = r.instrs_after_classical;
-    }});
-
-    if (ilp) {
-        // Hyperblocks first, then superblock merging, then peeling,
-        // then a second round to merge the peeled iterations with their
-        // surroundings (the Figure 3(c) peel-and-merge effect).
-        passes.push_back({"hyperblock", [&opts, &r](Function &f) {
-            r.hb += formHyperblocks(f, opts.hb_opts);
-        }});
-        passes.push_back({"superblock", [&opts, &r](Function &f) {
-            r.sb += formSuperblocks(f, opts.sb_opts);
-        }});
-        if (opts.enable_peel) {
-            passes.push_back({"peel", [&opts, &r](Function &f) {
-                PeelOptions peel = opts.peel_opts;
-                peel.enable_unroll = opts.enable_unroll;
-                r.peel += peelLoops(f, peel);
-            }});
-        }
-        passes.push_back({"hyperblock-2", [&opts, &r](Function &f) {
-            r.hb += formHyperblocks(f, opts.hb_opts);
-        }});
-        passes.push_back({"superblock-2", [&opts, &r](Function &f) {
-            r.sb += formSuperblocks(f, opts.sb_opts);
-        }});
-        // Region formation exposes new classical opportunities.
-        passes.push_back({"post-region classical",
-                          [&aa, &r](Function &f) {
-            r.classical += classicalOptimizeFunction(f, aa, 2);
-            r.instrs_after_regions = f.staticInstrCount();
-        }});
-    }
-
-    if (rung == Config::IlpCs) {
-        passes.push_back({"speculate", [&opts, &r](Function &f) {
-            r.spec += speculateFunction(f, opts.spec_opts);
-        }});
-    }
-
-    passes.push_back({"regalloc", [&r](Function &f) {
-        r.ra += allocateRegisters(f);
-    }});
-    passes.push_back({"schedule", [rung, &opts, &aa, &r](Function &f) {
-        // Degraded (and library) functions are scheduled like
-        // gcc-compiled code: one-bundle issue groups.
-        const MachineConfig mach = rung == Config::Gcc
-                                       ? MachineConfig::gccStyle()
-                                       : opts.mach;
-        r.sched += scheduleFunction(f, aa, mach);
-    }});
-    return passes;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 } // namespace
@@ -182,13 +114,15 @@ compileFunctionFirewalled(Program &prog, int fid,
     report.functions_total++;
     const size_t first_event = report.events.size();
 
+    PipelineStats pipe; ///< survives rollbacks: attempts cost real time
+
     Config rung = start;
     bool clean_floor = false; ///< final Gcc attempt, injector disarmed
     while (true) {
         FaultInjector *inj = clean_floor ? nullptr : opts.firewall.inject;
         auto work = orig->clone();
         FunctionOutcome r;
-        std::vector<Pass> passes = buildPipeline(rung, opts, aa, r);
+        std::vector<const PassDesc *> passes = buildPipeline(rung, opts);
 
         std::string fail_pass, fail_err;
         int fail_count = 0;
@@ -196,10 +130,16 @@ compileFunctionFirewalled(Program &prog, int fid,
         std::vector<int> live_faults; ///< fired, not yet gated
         bool ok = true;
         try {
-            for (const Pass &p : passes) {
-                p.run(*work);
+            for (const PassDesc *p : passes) {
+                const int before = work->staticInstrCount();
+                const auto t0 = std::chrono::steady_clock::now();
+                p->run(*work, rung, opts, aa, r.stats);
+                PassStat &ps = pipe.at(p->name, rung);
+                ps.runs++;
+                ps.run_ms += msSince(t0);
+                ps.instr_delta += work->staticInstrCount() - before;
                 if (inj) {
-                    int idx = inj->inject(*work, p.name,
+                    int idx = inj->inject(*work, p->name,
                                           configName(rung));
                     if (idx >= 0) {
                         live_faults.push_back(idx);
@@ -208,19 +148,23 @@ compileFunctionFirewalled(Program &prog, int fid,
                     }
                 }
                 const int sz = work->staticInstrCount();
-                if (sz > budget) {
+                if (p->growth_gate && sz > budget) {
                     std::ostringstream os;
                     os << "growth budget overrun: " << sz << " instrs > "
                        << budget << " budget";
-                    throw CompileError(p.name, os.str());
+                    throw CompileError(p->name, os.str());
                 }
-                auto errs = verifyFunction(*work);
-                if (!errs.empty()) {
-                    ok = false;
-                    fail_pass = p.name;
-                    fail_err = errs.front();
-                    fail_count = static_cast<int>(errs.size());
-                    break;
+                if (p->verify_gate) {
+                    const auto v0 = std::chrono::steady_clock::now();
+                    auto errs = verifyFunction(*work);
+                    ps.verify_ms += msSince(v0);
+                    if (!errs.empty()) {
+                        ok = false;
+                        fail_pass = p->name;
+                        fail_err = errs.front();
+                        fail_count = static_cast<int>(errs.size());
+                        break;
+                    }
                 }
             }
         } catch (const InjectedFault &e) {
@@ -246,6 +190,7 @@ compileFunctionFirewalled(Program &prog, int fid,
             if (rung != start)
                 report.functions_degraded++;
             r.landed = rung;
+            r.pipeline = std::move(pipe);
             return r;
         }
 

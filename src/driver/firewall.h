@@ -28,13 +28,7 @@
 
 #include "analysis/alias.h"
 #include "driver/config.h"
-#include "ilp/hyperblock.h"
-#include "ilp/peel.h"
-#include "ilp/speculate.h"
-#include "ilp/superblock.h"
-#include "opt/classical.h"
-#include "sched/listsched.h"
-#include "sched/regalloc.h"
+#include "driver/pipeline.h"
 
 namespace epic {
 
@@ -86,21 +80,21 @@ struct FirewallOptions
     /// pass boundaries; the firewall marks which faults its gates
     /// caught.
     FaultInjector *inject = nullptr;
+    /// Re-verify the whole program after the per-function pipeline.
+    /// Redundant (every function already passed a per-pass gate) and
+    /// off by default; a debug flag for chasing firewall bugs.
+    bool paranoid = false;
 };
 
-/** Per-phase statistics of the committed (landed) attempt. */
+/** Per-function compilation outcome. */
 struct FunctionOutcome
 {
     Config landed = Config::Gcc;
-    OptStats classical;
-    SuperblockStats sb;
-    HyperblockStats hb;
-    PeelStats peel;
-    SpecStats spec;
-    RegAllocStats ra;
-    SchedStats sched;
-    int instrs_after_classical = 0;
-    int instrs_after_regions = 0;
+    /// Transform statistics of the committed (landed) attempt.
+    CompileStats stats;
+    /// Per-pass instrumentation across *all* attempts, abandoned rungs
+    /// included — compile time spent is compile time spent.
+    PipelineStats pipeline;
 };
 
 /**

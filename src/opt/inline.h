@@ -39,6 +39,16 @@ struct InlineStats
     int promoted = 0;
     int before_instrs = 0;
     int after_instrs = 0;
+
+    InlineStats &
+    operator+=(const InlineStats &o)
+    {
+        inlined += o.inlined;
+        promoted += o.promoted;
+        before_instrs += o.before_instrs;
+        after_instrs += o.after_instrs;
+        return *this;
+    }
 };
 
 /**

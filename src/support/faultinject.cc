@@ -1,6 +1,8 @@
 #include "support/faultinject.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "support/rng.h"
 
@@ -191,7 +193,10 @@ FaultInjector::inject(Function &f, const std::string &pass,
             rec.detail = "injected pass exception";
             rec.caught = true; // by construction: the throw unwinds into
                                // the firewall, which absorbs it
-            records_.push_back(std::move(rec));
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                records_.push_back(std::move(rec));
+            }
             throw InjectedFault(pass, "injected fault: pass exception in " +
                                           f.name);
         }
@@ -226,6 +231,7 @@ FaultInjector::inject(Function &f, const std::string &pass,
             break; // handled above
         }
         rec.detail = detail.str();
+        std::lock_guard<std::mutex> lock(mu_);
         records_.push_back(std::move(rec));
         return static_cast<int>(records_.size()) - 1;
     }
@@ -235,13 +241,38 @@ FaultInjector::inject(Function &f, const std::string &pass,
 void
 FaultInjector::markCaught(int idx)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (idx >= 0 && idx < static_cast<int>(records_.size()))
         records_[idx].caught = true;
+}
+
+const std::vector<FaultRecord> &
+FaultInjector::records() const
+{
+    // Appends from parallel workers arrive in schedule order; the fault
+    // *set* is deterministic (pure per-site function), so sorting by
+    // site restores a canonical sequence. Identical sites produce
+    // identical records, making ties harmless.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::sort(records_.begin(), records_.end(),
+              [](const FaultRecord &a, const FaultRecord &b) {
+                  return std::tie(a.function, a.pass, a.rung, a.detail) <
+                         std::tie(b.function, b.pass, b.rung, b.detail);
+              });
+    return records_;
+}
+
+int
+FaultInjector::fired() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(records_.size());
 }
 
 int
 FaultInjector::escaped() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     int n = 0;
     for (const FaultRecord &r : records_)
         if (!r.caught)

@@ -33,6 +33,7 @@
 #define EPIC_SUPPORT_FAULTINJECT_H
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,8 +75,15 @@ struct FaultRecord
 };
 
 /**
- * Seeded, site-addressable IR corruptor. Not thread-safe; use one
- * injector per compilation.
+ * Seeded, site-addressable IR corruptor.
+ *
+ * Thread-safe: parallel compilation tiers share one injector, and
+ * whether a site fires — plus the fault kind and victim instruction —
+ * stays a pure function of (seed, function, pass, rung), so the set of
+ * faults is schedule-independent. Only the *arrival order* of records
+ * depends on the schedule, which is why records() canonicalizes the
+ * order (and so invalidates indices previously returned by inject();
+ * call it only after compilation has finished).
  */
 class FaultInjector
 {
@@ -105,10 +113,14 @@ class FaultInjector
     /** Mark a fired fault as caught by a gate / absorbed by fallback. */
     void markCaught(int idx);
 
-    const std::vector<FaultRecord> &records() const { return records_; }
+    /**
+     * All fired faults in canonical (function, pass, rung) order —
+     * schedule-independent. Call after compilation has completed.
+     */
+    const std::vector<FaultRecord> &records() const;
 
     /** Number of faults fired so far. */
-    int fired() const { return static_cast<int>(records_.size()); }
+    int fired() const;
 
     /** Number of fired faults that no gate ever caught. */
     int escaped() const;
@@ -118,7 +130,8 @@ class FaultInjector
     double rate_;
     std::string only_function_;
     std::string only_pass_;
-    std::vector<FaultRecord> records_;
+    mutable std::mutex mu_;
+    mutable std::vector<FaultRecord> records_;
 };
 
 } // namespace epic

@@ -2,34 +2,55 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace epic {
 namespace detail {
 
+namespace {
+
+/**
+ * All log output funnels through one mutex-guarded full-line write, so
+ * messages from parallel compile/run workers never shear mid-line.
+ */
+std::mutex g_log_mu;
+
+void
+writeLine(std::FILE *stream, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    std::fwrite(line.data(), 1, line.size(), stream);
+    std::fflush(stream);
+}
+
+} // namespace
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "panic: " + msg + " (" + file + ":" +
+                          std::to_string(line) + ")\n");
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "fatal: " + msg + " (" + file + ":" +
+                          std::to_string(line) + ")\n");
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    writeLine(stderr, "warn: " + msg + "\n");
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    writeLine(stdout, "info: " + msg + "\n");
 }
 
 } // namespace detail

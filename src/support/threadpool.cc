@@ -1,0 +1,105 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+
+namespace epic {
+
+namespace {
+
+thread_local bool t_inside_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return t_inside_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inside_worker = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stop_ set and nothing left to drain
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        try {
+            job();
+        } catch (...) {
+            lock.lock();
+            if (!first_error_)
+                first_error_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+void
+parallelFor(int jobs, int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (jobs <= 1 || n == 1 || ThreadPool::insideWorker()) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(std::min(jobs, n));
+    for (int i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace epic

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Work-queue thread pool driving EpicLab's two parallel tiers: the
+ * per-function firewalled compilation inside compileProgram and the
+ * workload x config fan-out in runSuite/runWorkload.
+ *
+ * The design constraint is determinism, not raw throughput: parallel
+ * runs must be *bit-identical* to serial ones. The pool therefore only
+ * provides unordered execution of independent jobs; every caller
+ * commits results into slots indexed by job id and merges them in index
+ * order after wait(), so no output ever depends on the schedule.
+ *
+ * Nesting rule: parallelFor() called from inside a pool worker runs the
+ * body serially inline. Tiers compose without thread explosion — the
+ * outermost parallel tier owns the workers, inner tiers degrade to
+ * loops — and the bound on live threads is exactly `jobs`.
+ */
+#ifndef EPIC_SUPPORT_THREADPOOL_H
+#define EPIC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epic {
+
+/** Fixed-size worker pool over a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns `threads` workers (clamped to at least 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Thread-safe. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. Rethrows the first
+     * exception a job raised (if any); remaining jobs still ran.
+     */
+    void wait();
+
+    /** True when the calling thread is one of a pool's workers. */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< signals workers: job or stop
+    std::condition_variable idle_cv_; ///< signals wait(): all done
+    int active_ = 0;                  ///< jobs currently executing
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/**
+ * Run fn(0..n-1) on up to `jobs` worker threads and block until all
+ * iterations finished. Serial (plain loop, exceptions propagate
+ * directly) when jobs <= 1, n <= 1, or the caller is already a pool
+ * worker; iteration order is then 0..n-1. The parallel path rethrows
+ * the first exception after every iteration ran.
+ */
+void parallelFor(int jobs, int n, const std::function<void(int)> &fn);
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_THREADPOOL_H

@@ -181,8 +181,8 @@ TEST(DriverTest, StructuralTransformsGrowCode)
 
     Compiled ons = compileProgram(p, Config::ONS);
     Compiled ilp = compileProgram(p, Config::IlpNs);
-    EXPECT_GT(ilp.sb.tail_dup_instrs + ilp.peel.peel_instrs, 0);
-    EXPECT_GE(ilp.instrs_after_regions, ons.instrs_after_classical);
+    EXPECT_GT(ilp.stats.sb.tail_dup_instrs + ilp.stats.peel.peel_instrs, 0);
+    EXPECT_GE(ilp.stats.instrs_after_regions, ons.stats.instrs_after_classical);
 }
 
 TEST(DriverTest, SpeculationOnlyInIlpCs)
@@ -195,8 +195,8 @@ TEST(DriverTest, SpeculationOnlyInIlpCs)
 
     Compiled ns = compileProgram(p, Config::IlpNs);
     Compiled cs = compileProgram(p, Config::IlpCs);
-    EXPECT_EQ(ns.spec.promoted + ns.spec.moved, 0);
-    EXPECT_GT(cs.spec.promoted + cs.spec.moved, 0);
+    EXPECT_EQ(ns.stats.spec.promoted + ns.stats.spec.moved, 0);
+    EXPECT_GT(cs.stats.spec.promoted + cs.stats.spec.moved, 0);
 
     auto count_spec = [](const Program &prog) {
         int n = 0;
@@ -226,9 +226,9 @@ TEST(DriverTest, GccConfigUsesNarrowGroupsAndNoInline)
 
     Compiled gcc = compileProgram(p, Config::Gcc);
     Compiled ons = compileProgram(p, Config::ONS);
-    EXPECT_EQ(gcc.inl.inlined, 0);
-    EXPECT_GT(ons.inl.inlined, 0);
-    EXPECT_LT(gcc.sched.plannedIpc(), ons.sched.plannedIpc());
+    EXPECT_EQ(gcc.stats.inl.inlined, 0);
+    EXPECT_GT(ons.stats.inl.inlined, 0);
+    EXPECT_LT(gcc.stats.sched.plannedIpc(), ons.stats.sched.plannedIpc());
 }
 
 TEST(DriverTest, LibraryFunctionsStayWeak)

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Pass-pipeline layer tests: the registry is the single source of truth
+ * for per-rung pass composition, and the parallel compile/run engine is
+ * bit-identical to serial execution — checksums, compile statistics,
+ * per-pass counters and FallbackEvent sequences all match for any jobs
+ * value, including under deterministic fault injection whose sites are
+ * keyed by (seed, function, pass, rung) and so must stay
+ * schedule-independent.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/experiment.h"
+#include "driver/pipeline.h"
+#include "ir/printer.h"
+#include "sim/interp.h"
+#include "support/faultinject.h"
+#include "support/threadpool.h"
+#include "workloads/workload.h"
+
+namespace epic {
+namespace {
+
+std::vector<std::string>
+pipelineNames(Config rung, const CompileOptions &opts)
+{
+    std::vector<std::string> names;
+    for (const PassDesc *p : buildPipeline(rung, opts))
+        names.push_back(p->name);
+    return names;
+}
+
+TEST(PipelineTest, RegistryComposesEveryRung)
+{
+    using V = std::vector<std::string>;
+    const V gcc_like = {"classical", "regalloc", "schedule"};
+    EXPECT_EQ(pipelineNames(Config::Gcc,
+                            CompileOptions::forConfig(Config::Gcc)),
+              gcc_like);
+    EXPECT_EQ(pipelineNames(Config::ONS,
+                            CompileOptions::forConfig(Config::ONS)),
+              gcc_like);
+
+    const V ilp_ns = {"classical",    "hyperblock",
+                      "superblock",   "peel",
+                      "hyperblock-2", "superblock-2",
+                      "post-region classical", "regalloc",
+                      "schedule"};
+    EXPECT_EQ(pipelineNames(Config::IlpNs,
+                            CompileOptions::forConfig(Config::IlpNs)),
+              ilp_ns);
+
+    V ilp_cs = ilp_ns;
+    ilp_cs.insert(ilp_cs.end() - 2, "speculate");
+    EXPECT_EQ(pipelineNames(Config::IlpCs,
+                            CompileOptions::forConfig(Config::IlpCs)),
+              ilp_cs);
+
+    // Ablation knobs flow through the same registry predicates.
+    CompileOptions nopeel = CompileOptions::forConfig(Config::IlpCs);
+    nopeel.enable_peel = false;
+    for (const std::string &n : pipelineNames(Config::IlpCs, nopeel))
+        EXPECT_NE(n, "peel");
+
+    // A degraded rung composes from the target rung, not the starting
+    // one: the Gcc floor of an IlpCs compilation is the Gcc pipeline.
+    EXPECT_EQ(pipelineNames(Config::Gcc,
+                            CompileOptions::forConfig(Config::IlpCs)),
+              gcc_like);
+}
+
+TEST(PipelineTest, BoundaryAxisCoversInlinePlusRegistry)
+{
+    const std::vector<std::string> &bounds = allPassBoundaries();
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_EQ(bounds.front(), "inline");
+    EXPECT_EQ(bounds.size(), passRegistry().size() + 1);
+    for (size_t i = 0; i < passRegistry().size(); ++i)
+        EXPECT_EQ(bounds[i + 1], passRegistry()[i].name);
+    // Ordering indices follow the axis.
+    for (size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(passOrderIndex(bounds[i - 1]),
+                  passOrderIndex(bounds[i]));
+}
+
+TEST(PipelineTest, ParallelForCoversAllAndNests)
+{
+    std::vector<int> hits(64, 0);
+    parallelFor(4, 64, [&](int i) {
+        // Nested tier degrades to serial inline — no deadlock, no
+        // thread explosion, every inner index still runs.
+        int inner = 0;
+        parallelFor(4, 3, [&](int) { ++inner; });
+        hits[i] = 1 + inner;
+    });
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(hits[i], 4) << "index " << i;
+}
+
+TEST(PipelineTest, ParallelForPropagatesExceptions)
+{
+    EXPECT_THROW(
+        parallelFor(4, 16,
+                    [](int i) {
+                        if (i == 7)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+/** Build + profile one workload program. */
+std::unique_ptr<Program>
+profiled(const Workload &w)
+{
+    auto prog = w.build();
+    prog->layoutData();
+    Memory mem;
+    mem.initFromProgram(*prog);
+    w.write_input(*prog, mem, InputKind::Train);
+    EXPECT_TRUE(profileRun(*prog, mem).ok);
+    return prog;
+}
+
+TEST(PipelineTest, ParallelCompileIsBitIdentical)
+{
+    const Workload *w = findWorkload("176.gcc");
+    ASSERT_NE(w, nullptr);
+    auto src = profiled(*w);
+
+    CompileOptions serial = CompileOptions::forConfig(Config::IlpCs);
+    serial.jobs = 1;
+    CompileOptions parallel = serial;
+    parallel.jobs = 4;
+
+    Compiled a = compileProgram(*src, serial);
+    Compiled b = compileProgram(*src, parallel);
+
+    EXPECT_EQ(a.instrs_final, b.instrs_final);
+    EXPECT_EQ(a.instrs_after_inline, b.instrs_after_inline);
+    EXPECT_EQ(a.stats.instrs_after_classical,
+              b.stats.instrs_after_classical);
+    EXPECT_EQ(a.stats.inl.inlined, b.stats.inl.inlined);
+    EXPECT_EQ(a.stats.sb.traces, b.stats.sb.traces);
+    EXPECT_EQ(a.stats.spec.moved, b.stats.spec.moved);
+    EXPECT_EQ(a.stats.ra.spilled, b.stats.ra.spilled);
+    EXPECT_EQ(a.pipeline.counterStr(), b.pipeline.counterStr());
+
+    // The strongest form: the emitted programs are identical down to
+    // the schedule annotations.
+    std::ostringstream pa, pb;
+    printProgram(pa, *a.prog);
+    printProgram(pb, *b.prog);
+    EXPECT_EQ(pa.str(), pb.str());
+}
+
+TEST(PipelineTest, PassCountersAccountForEveryInstruction)
+{
+    const Workload *w = findWorkload("176.gcc");
+    ASSERT_NE(w, nullptr);
+    auto src = profiled(*w);
+    Compiled c = compileProgram(*src, Config::IlpCs);
+
+    // In a clean compilation (no abandoned rungs) the per-pass
+    // instruction deltas, inline included, sum to exactly the
+    // source -> final size change: nothing is lost or double-counted.
+    int64_t delta = 0;
+    int runs = 0;
+    for (const PassStat &s : c.pipeline.passes) {
+        delta += s.instr_delta;
+        runs += s.runs;
+        EXPECT_GE(s.runs, 1) << s.pass;
+    }
+    ASSERT_TRUE(c.fallback.clean());
+    EXPECT_EQ(delta, c.instrs_final - c.instrs_source);
+    EXPECT_GT(runs, 0);
+    EXPECT_GT(c.pipeline.totalMs(), 0.0);
+}
+
+RunOptions
+trainOpts(int jobs, FaultInjector *inj = nullptr)
+{
+    RunOptions opts;
+    opts.run_input = InputKind::Train; // keep simulation cheap
+    opts.jobs = jobs;
+    if (inj)
+        opts.tweak = [inj](CompileOptions &o) { o.firewall.inject = inj; };
+    return opts;
+}
+
+/** Deterministic digest of a WorkloadRuns (everything but wall times). */
+std::string
+digest(const WorkloadRuns &runs)
+{
+    std::ostringstream os;
+    os << runs.name << " src=" << runs.source_checksum
+       << " match=" << runs.all_match << "\n";
+    for (const auto &[cfg, r] : runs.by_config) {
+        os << configName(cfg) << " ok=" << r.ok << " ck=" << r.checksum
+           << " cyc=" << r.pm.total() << " instrs=" << r.instrs_final
+           << " sb=" << r.stats.sb.traces << " ra=" << r.stats.ra.spilled
+           << "\n";
+        os << r.pipeline.counterStr();
+    }
+    for (const FallbackEvent &e : runs.fallback.events)
+        os << e.str() << "\n";
+    os << runs.fallback.functions_total << "/"
+       << runs.fallback.functions_degraded << "/"
+       << runs.fallback.faults_injected << "/"
+       << runs.fallback.faults_caught << "\n";
+    os << runs.pipeline.counterStr();
+    return os.str();
+}
+
+TEST(PipelineTest, ParallelWorkloadRunIsBitIdentical)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    WorkloadRuns serial = runWorkload(*w, standardConfigs(), trainOpts(1));
+    WorkloadRuns parallel =
+        runWorkload(*w, standardConfigs(), trainOpts(4));
+    EXPECT_TRUE(serial.all_match);
+    EXPECT_EQ(digest(serial), digest(parallel));
+}
+
+TEST(PipelineTest, ParallelInjectionStaysScheduleIndependent)
+{
+    const Workload *w = findWorkload("181.mcf");
+    ASSERT_NE(w, nullptr);
+
+    FaultInjector inj_serial(/*seed=*/90125, /*rate=*/0.5);
+    FaultInjector inj_parallel(/*seed=*/90125, /*rate=*/0.5);
+    WorkloadRuns serial = runWorkload(*w, standardConfigs(),
+                                      trainOpts(1, &inj_serial));
+    WorkloadRuns parallel = runWorkload(*w, standardConfigs(),
+                                        trainOpts(4, &inj_parallel));
+
+    // Same checksums, same degradations, same FallbackEvent sequence.
+    EXPECT_TRUE(serial.all_match);
+    EXPECT_EQ(digest(serial), digest(parallel));
+
+    // The injector's own canonical record streams agree exactly:
+    // (seed, function, pass, rung) addressing is schedule-independent.
+    EXPECT_GT(inj_serial.fired(), 0);
+    EXPECT_EQ(inj_serial.escaped(), 0);
+    EXPECT_EQ(inj_parallel.escaped(), 0);
+    const auto &ra = inj_serial.records();
+    const auto &rb = inj_parallel.records();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].function, rb[i].function);
+        EXPECT_EQ(ra[i].pass, rb[i].pass);
+        EXPECT_EQ(ra[i].rung, rb[i].rung);
+        EXPECT_EQ(ra[i].kind, rb[i].kind);
+        EXPECT_EQ(ra[i].detail, rb[i].detail);
+        EXPECT_EQ(ra[i].caught, rb[i].caught);
+    }
+}
+
+TEST(PipelineTest, ParanoidVerifyIsOptionalAndHarmless)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    auto src = profiled(*w);
+
+    CompileOptions opts = CompileOptions::forConfig(Config::IlpCs);
+    ASSERT_FALSE(opts.firewall.paranoid); // default: gate is off
+    Compiled fast = compileProgram(*src, opts);
+    opts.firewall.paranoid = true;
+    Compiled checked = compileProgram(*src, opts); // must not die
+    EXPECT_EQ(fast.instrs_final, checked.instrs_final);
+    EXPECT_EQ(fast.pipeline.counterStr(), checked.pipeline.counterStr());
+}
+
+} // namespace
+} // namespace epic
