@@ -4,16 +4,25 @@
  * print the full Perfmon report — the "pfmon" of this repository.
  *
  * Usage:
- *   epiclab_run [--list]
+ *   epiclab_run --list | --help
  *   epiclab_run <benchmark>|--all [--config GCC|O-NS|ILP-NS|ILP-CS]
  *               [--jobs N] [--pass-stats]
+ *               [--json <path>] [--trace <path>]
  *               [--spec general|sentinel] [--profile-on-ref]
  *               [--no-peel] [--no-pointer-analysis] [--conservative-hb]
  *               [--inject <seed>] [--inject-rate <p>]
  *
  * The --all report is byte-identical for every --jobs value (parallel
  * results merge in workload/config order), so `--all --jobs 1` vs
- * `--all --jobs 4` diffing clean is the determinism check CI runs.
+ * `--all --jobs 4` diffing clean is the determinism check CI runs. The
+ * same holds for the --json artifact: records are serialized post-join
+ * in suite × config index order and carry no wall times. The --trace
+ * timeline is made of wall times and is therefore never part of any
+ * byte-identity check.
+ *
+ * Unknown flags and malformed numeric values are fatal: a typo must
+ * kill the run at the parser, not silently select a benchmark or a
+ * zero job count.
  */
 #include <chrono>
 #include <cstdio>
@@ -22,7 +31,11 @@
 #include <string>
 
 #include "driver/experiment.h"
+#include "support/cli.h"
 #include "support/faultinject.h"
+#include "support/logging.h"
+#include "support/telemetry/artifact.h"
+#include "support/telemetry/trace.h"
 
 using namespace epic;
 
@@ -33,7 +46,8 @@ usage()
 {
     printf("usage: epiclab_run <benchmark> [options]\n"
            "       epiclab_run --all [options]\n"
-           "       epiclab_run --list\n\n"
+           "       epiclab_run --list\n"
+           "       epiclab_run --help\n\n"
            "options:\n"
            "  --config <GCC|O-NS|ILP-NS|ILP-CS>   (default ILP-CS)\n"
            "  --jobs <N>                          parallel workers "
@@ -42,6 +56,16 @@ usage()
            "for any N\n"
            "  --pass-stats                        per-pass compile-time "
            "attribution\n"
+           "  --json <path>                       write one JSONL run "
+           "record per\n"
+           "                                      workload x config "
+           "(schema\n"
+           "                                      epiclab.run.v1, "
+           "deterministic)\n"
+           "  --trace <path>                      write a Chrome "
+           "trace-event\n"
+           "                                      timeline (Perfetto / "
+           "about:tracing)\n"
            "  --spec <general|sentinel>           OS speculation model\n"
            "  --profile-on-ref                    train on the ref input\n"
            "  --no-peel --no-pointer-analysis --conservative-hb\n"
@@ -52,6 +76,31 @@ usage()
            "(default 1.0)\n");
 }
 
+/** Write `text` to `path` or die with a user-level error. */
+void
+writeFileOrDie(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        epic_fatal("cannot open '", path, "' for writing");
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    if (std::fclose(f) != 0 || !ok)
+        epic_fatal("short write to '", path, "'");
+}
+
+/**
+ * Check every run record's declared invariants; prints violations to
+ * stderr and returns false if any fired.
+ */
+bool
+reportViolations(const std::vector<std::string> &violations)
+{
+    for (const std::string &v : violations)
+        epic_warn("telemetry ", v);
+    return violations.empty();
+}
+
 /**
  * Full-suite report: every workload under the standard four
  * configurations. Prints only deterministic quantities (checksums,
@@ -59,7 +108,8 @@ usage()
  * invariant under --jobs.
  */
 int
-runAll(const RunOptions &opts, bool pass_stats)
+runAll(const RunOptions &opts, bool pass_stats,
+       const std::string &json_path)
 {
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<WorkloadRuns> suite = runSuite(standardConfigs(), opts);
@@ -100,11 +150,23 @@ runAll(const RunOptions &opts, bool pass_stats)
     }
     if (pass_stats)
         printf("\n%s", pipe.str().c_str());
+
+    bool invariants_ok = true;
+    if (!json_path.empty()) {
+        // Serialized post-join in suite x config index order: the
+        // artifact bytes are identical for any --jobs value.
+        std::vector<std::string> violations;
+        const std::string doc =
+            suiteArtifact(suite, standardConfigs(), &violations);
+        writeFileOrDie(json_path, doc);
+        invariants_ok = reportViolations(violations);
+    }
+
     // Wall clock goes to stderr: it varies run to run, and stdout must
     // stay byte-identical across --jobs values.
     fprintf(stderr, "suite wall clock: %.1f s (jobs=%d)\n", wall_s,
             opts.jobs);
-    return mismatched == 0 ? 0 : 1;
+    return mismatched == 0 && invariants_ok ? 0 : 1;
 }
 
 } // namespace
@@ -116,32 +178,49 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
-    if (std::strcmp(argv[1], "--list") == 0) {
+    const std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h") {
+        usage();
+        return 0;
+    }
+    if (mode == "--list") {
         for (const Workload &w : allWorkloads())
             printf("%-12s %s\n", w.name.c_str(), w.signature.c_str());
         return 0;
     }
+    if (mode != "--all" && mode[0] == '-')
+        epic_fatal("unknown option '", mode, "' (see --help)");
 
-    std::string bench = argv[1];
+    std::string bench = mode;
     Config cfg = Config::IlpCs;
     RunOptions opts;
     bool no_peel = false, no_ptr = false, cons_hb = false;
     bool inject = false, pass_stats = false;
     uint64_t inject_seed = 0;
     double inject_rate = 1.0;
+    std::string json_path, trace_path;
 
+    // Option values are parsed strictly (support/cli.h): a flag typo or
+    // a non-numeric value is fatal, never a silent benchmark name or a
+    // zeroed parameter.
+    auto value_of = [&](int &i, const std::string &flag) -> const char * {
+        if (i + 1 >= argc)
+            epic_fatal(flag, " requires a value (see --help)");
+        return argv[++i];
+    };
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--jobs" && i + 1 < argc) {
-            opts.jobs = std::atoi(argv[++i]);
-            if (opts.jobs < 1) {
-                usage();
-                return 1;
-            }
+        if (a == "--jobs") {
+            opts.jobs = static_cast<int>(
+                parseIntFlag("--jobs", value_of(i, a), 1, 4096));
         } else if (a == "--pass-stats") {
             pass_stats = true;
-        } else if (a == "--config" && i + 1 < argc) {
-            std::string c = argv[++i];
+        } else if (a == "--json") {
+            json_path = value_of(i, a);
+        } else if (a == "--trace") {
+            trace_path = value_of(i, a);
+        } else if (a == "--config") {
+            std::string c = value_of(i, a);
             if (c == "GCC")
                 cfg = Config::Gcc;
             else if (c == "O-NS")
@@ -150,14 +229,16 @@ main(int argc, char **argv)
                 cfg = Config::IlpNs;
             else if (c == "ILP-CS")
                 cfg = Config::IlpCs;
-            else {
-                usage();
-                return 1;
-            }
-        } else if (a == "--spec" && i + 1 < argc) {
-            std::string m = argv[++i];
-            opts.spec_model = m == "sentinel" ? SpecModel::Sentinel
-                                              : SpecModel::General;
+            else
+                epic_fatal("--config: unknown configuration '", c, "'");
+        } else if (a == "--spec") {
+            std::string m = value_of(i, a);
+            if (m == "sentinel")
+                opts.spec_model = SpecModel::Sentinel;
+            else if (m == "general")
+                opts.spec_model = SpecModel::General;
+            else
+                epic_fatal("--spec: unknown model '", m, "'");
         } else if (a == "--profile-on-ref") {
             opts.profile_input = InputKind::Ref;
         } else if (a == "--no-peel") {
@@ -166,14 +247,15 @@ main(int argc, char **argv)
             no_ptr = true;
         } else if (a == "--conservative-hb") {
             cons_hb = true;
-        } else if (a == "--inject" && i + 1 < argc) {
+        } else if (a == "--inject") {
             inject = true;
-            inject_seed = std::strtoull(argv[++i], nullptr, 0);
-        } else if (a == "--inject-rate" && i + 1 < argc) {
-            inject_rate = std::strtod(argv[++i], nullptr);
+            inject_seed = static_cast<uint64_t>(parseIntFlag(
+                "--inject", value_of(i, a), 0, INT64_MAX));
+        } else if (a == "--inject-rate") {
+            inject_rate =
+                parseFloatFlag("--inject-rate", value_of(i, a), 0.0, 1.0);
         } else {
-            usage();
-            return 1;
+            epic_fatal("unknown option '", a, "' (see --help)");
         }
     }
     FaultInjector injector(inject_seed, inject_rate);
@@ -188,8 +270,20 @@ main(int argc, char **argv)
         o.firewall.inject = inj;
     };
 
+    if (!trace_path.empty())
+        TraceRecorder::global().enable();
+    auto finish = [&](int rc) {
+        if (!trace_path.empty()) {
+            TraceRecorder::global().disable();
+            if (!TraceRecorder::global().writeFile(trace_path))
+                epic_fatal("cannot write trace to '", trace_path, "'");
+        }
+        flushSuppressedWarnings();
+        return rc;
+    };
+
     if (bench == "--all")
-        return runAll(opts, pass_stats);
+        return finish(runAll(opts, pass_stats, json_path));
 
     const Workload *w = findWorkload(bench);
     if (!w) {
@@ -199,7 +293,7 @@ main(int argc, char **argv)
     }
     if (!w) {
         printf("unknown benchmark '%s' (try --list)\n", bench.c_str());
-        return 1;
+        return finish(1);
     }
 
     ConfigRun r = runConfig(*w, cfg, opts);
@@ -215,9 +309,21 @@ main(int argc, char **argv)
                    fr.detail.c_str());
         printf("\n");
     }
+    if (!json_path.empty()) {
+        // Single-run record: no source-truth interpretation happens in
+        // this mode, so source_checksum is recorded as 0.
+        std::vector<std::string> violations;
+        StatsRegistry reg = buildRunRegistry(r);
+        for (const std::string &v : reg.checkInvariants())
+            violations.push_back(w->name + " [" +
+                                 configName(r.config) + "]: " + v);
+        writeFileOrDie(json_path, runRecordJson(w->name, 0, r) + "\n");
+        if (!reportViolations(violations))
+            return finish(1);
+    }
     if (!r.ok) {
         printf("run failed: %s\n", r.error.c_str());
-        return 1;
+        return finish(1);
     }
 
     printf("%s  [%s]\n", w->name.c_str(), configName(cfg));
@@ -285,5 +391,5 @@ main(int argc, char **argv)
                100.0 * hot[i].first / r.pm.total(),
                f && (f->attr & kFuncLibrary) ? "  [library]" : "");
     }
-    return 0;
+    return finish(0);
 }

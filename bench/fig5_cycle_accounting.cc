@@ -8,12 +8,13 @@
  * with if-conversion; gcc's ILP-CS bar grows a kernel-cycles slab
  * (wild loads); bzip2's micropipe slab grows with optimization.
  *
- * Usage: fig5_cycle_accounting [benchmark-name ...]
+ * Usage: fig5_cycle_accounting [--json <path>] [benchmark-name ...]
  */
 #include <cstdio>
 
 #include "driver/experiment.h"
 #include "support/stats.h"
+#include "support/telemetry/artifact.h"
 
 using namespace epic;
 
@@ -21,13 +22,19 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> only;
-    for (int i = 1; i < argc; ++i)
-        only.push_back(argv[i]);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            only.push_back(argv[i]);
+    }
 
     printf("Figure 5: cycle accounting, normalized to O-NS total\n\n");
 
     const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
                                          Config::IlpCs};
+    std::vector<WorkloadRuns> suite;
     for (const Workload &w : allWorkloads()) {
         if (!only.empty()) {
             bool match = false;
@@ -42,6 +49,8 @@ main(int argc, char **argv)
             static_cast<double>(runs.by_config.at(Config::ONS).pm.total());
         if (base <= 0)
             continue;
+        if (!json_path.empty())
+            suite.push_back(runs);
 
         printf("%s%s\n", w.name.c_str(),
                runs.all_match ? "" : "  [CHECKSUM MISMATCH]");
@@ -63,5 +72,8 @@ main(int argc, char **argv)
         t.print();
         printf("\n");
     }
+    if (!json_path.empty() &&
+        !writeSuiteArtifact(json_path, suite, configs))
+        return 1;
     return 0;
 }

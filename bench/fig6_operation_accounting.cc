@@ -5,12 +5,13 @@
  * O-NS useful-op count, annotated with planned and achieved useful IPC
  * (paper: 2.00/1.10 O-NS, 2.21/1.12 ILP-NS, 2.63/1.23 ILP-CS averages).
  *
- * Usage: fig6_operation_accounting [benchmark-name ...]
+ * Usage: fig6_operation_accounting [--json <path>] [benchmark-name ...]
  */
 #include <cstdio>
 
 #include "driver/experiment.h"
 #include "support/stats.h"
+#include "support/telemetry/artifact.h"
 
 using namespace epic;
 
@@ -18,14 +19,20 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> only;
-    for (int i = 1; i < argc; ++i)
-        only.push_back(argv[i]);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            only.push_back(argv[i]);
+    }
 
     printf("Figure 6: operation accounting and IPC\n\n");
 
     const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
                                          Config::IlpCs};
     std::map<Config, std::vector<double>> planned_ipcs, achieved_ipcs;
+    std::vector<WorkloadRuns> suite;
 
     for (const Workload &w : allWorkloads()) {
         if (!only.empty()) {
@@ -41,6 +48,8 @@ main(int argc, char **argv)
             runs.by_config.at(Config::ONS).pm.useful_ops);
         if (base <= 0)
             continue;
+        if (!json_path.empty())
+            suite.push_back(runs);
 
         printf("%s%s\n", w.name.c_str(),
                runs.all_match ? "" : "  [CHECKSUM MISMATCH]");
@@ -68,5 +77,8 @@ main(int argc, char **argv)
         printf("  %-7s planned %.2f  achieved %.2f\n", configName(cfg),
                mean(planned_ipcs[cfg]), mean(achieved_ipcs[cfg]));
     }
+    if (!json_path.empty() &&
+        !writeSuiteArtifact(json_path, suite, configs))
+        return 1;
     return 0;
 }

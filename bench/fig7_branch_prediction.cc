@@ -11,12 +11,18 @@
 
 #include "driver/experiment.h"
 #include "support/stats.h"
+#include "support/telemetry/artifact.h"
 
 using namespace epic;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+
     printf("Figure 7: effects on branches and prediction\n\n");
 
     const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
@@ -24,9 +30,12 @@ main()
     Table t({"Benchmark", "config", "branches", "predictions",
              "mispredicts", "rate"});
     std::vector<double> branch_reduction, flush_reduction;
+    std::vector<WorkloadRuns> suite;
 
     for (const Workload &w : allWorkloads()) {
         WorkloadRuns runs = runWorkload(w, configs);
+        if (!json_path.empty())
+            suite.push_back(runs);
         const Perfmon &base = runs.by_config.at(Config::ONS).pm;
         for (Config cfg : configs) {
             const Perfmon &pm = runs.by_config.at(cfg).pm;
@@ -57,5 +66,8 @@ main()
     printf("Misprediction-flush cycle reduction:       %.0f%% "
            "(paper: 22%%)\n",
            fl_red * 100);
+    if (!json_path.empty() &&
+        !writeSuiteArtifact(json_path, suite, configs))
+        return 1;
     return 0;
 }

@@ -7,6 +7,7 @@
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/telemetry/trace.h"
 #include "support/threadpool.h"
 
 namespace epic {
@@ -36,6 +37,8 @@ compileProgram(const Program &source, const CompileOptions &opts)
 {
     Compiled out;
     out.config = opts.config;
+    TraceSpan compile_span("compile", std::string("compileProgram [") +
+                                          configName(opts.config) + "]");
     out.prog = source.clone();
     out.instrs_source = out.prog->staticInstrCount();
 
@@ -61,7 +64,10 @@ compileProgram(const Program &source, const CompileOptions &opts)
         const auto inline_t0 = std::chrono::steady_clock::now();
         const int inline_before = work->staticInstrCount();
         try {
-            inl = inlineProgram(*work, opts.inline_opts);
+            {
+                TraceSpan span("compile.pass", "inline");
+                inl = inlineProgram(*work, opts.inline_opts);
+            }
             inline_stat.runs++;
             inline_stat.run_ms +=
                 std::chrono::duration<double, std::milli>(
@@ -83,7 +89,11 @@ compileProgram(const Program &source, const CompileOptions &opts)
                 }
             }
             const auto v0 = std::chrono::steady_clock::now();
-            VerifyReport vr = verifyAll(*work, "inline");
+            VerifyReport vr;
+            {
+                TraceSpan span("compile.verify", "inline");
+                vr = verifyAll(*work, "inline");
+            }
             inline_stat.verify_ms +=
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - v0)
@@ -162,7 +172,10 @@ compileProgram(const Program &source, const CompileOptions &opts)
     }
 
     // ---- Code layout (program-level, no IR rewriting) ----
-    out.layout = layoutProgram(prog, opts.layout_opts);
+    {
+        TraceSpan span("compile.phase", "layout");
+        out.layout = layoutProgram(prog, opts.layout_opts);
+    }
     out.instrs_final = prog.staticInstrCount();
     // Every function already passed a per-pass verifier gate, so a
     // whole-program re-verify is pure overhead; keep it available as a

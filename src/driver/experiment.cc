@@ -1,6 +1,7 @@
 #include "driver/experiment.h"
 
 #include "support/logging.h"
+#include "support/telemetry/trace.h"
 #include "support/threadpool.h"
 
 namespace epic {
@@ -41,8 +42,22 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     ConfigRun out;
     out.config = cfg;
 
+    // Coarse experiment phases for the trace timeline ("" = tracing
+    // off; composing the label is then skipped too).
+    auto phase_label = [&](const char *phase) -> std::string {
+        if (!TraceRecorder::global().enabled())
+            return {};
+        return std::string(phase) + " " + w.name + " [" +
+               configName(cfg) + "]";
+    };
+    TraceSpan run_span("experiment", phase_label("run"));
+
     std::string err;
-    auto src = buildProfiled(w, opts, &err);
+    std::unique_ptr<Program> src;
+    {
+        TraceSpan span("experiment.phase", phase_label("build+profile"));
+        src = buildProfiled(w, opts, &err);
+    }
     if (!src) {
         out.error = err;
         return out;
@@ -60,6 +75,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     out.instrs_source = c.instrs_source;
     out.instrs_final = c.instrs_final;
 
+    TraceSpan sim_span("experiment.phase", phase_label("simulate"));
     Memory mem;
     mem.initFromProgram(*c.prog);
     w.write_input(*c.prog, mem, opts.run_input);
@@ -108,6 +124,10 @@ runWorkload(const Workload &w, const std::vector<Config> &configs,
     // Source truth: functional run of the unoptimized program on the
     // measurement input.
     {
+        TraceSpan span("experiment.phase",
+                       TraceRecorder::global().enabled()
+                           ? "source-run " + w.name
+                           : std::string());
         auto prog = w.build();
         prog->layoutData();
         Memory mem;

@@ -9,6 +9,7 @@
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/telemetry/trace.h"
 
 namespace epic {
 
@@ -94,6 +95,16 @@ msSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Trace-event args for a pass span ("" when tracing is off). */
+std::string
+passTraceArgs(const std::string &fname, Config rung)
+{
+    if (!TraceRecorder::global().enabled())
+        return {};
+    return "{\"function\":\"" + jsonEscape(fname) + "\",\"rung\":\"" +
+           configName(rung) + "\"}";
+}
+
 } // namespace
 
 FunctionOutcome
@@ -133,7 +144,11 @@ compileFunctionFirewalled(Program &prog, int fid,
             for (const PassDesc *p : passes) {
                 const int before = work->staticInstrCount();
                 const auto t0 = std::chrono::steady_clock::now();
-                p->run(*work, rung, opts, aa, r.stats);
+                {
+                    TraceSpan span("compile.pass", p->name,
+                                   passTraceArgs(fname, rung));
+                    p->run(*work, rung, opts, aa, r.stats);
+                }
                 PassStat &ps = pipe.at(p->name, rung);
                 ps.runs++;
                 ps.run_ms += msSince(t0);
@@ -156,7 +171,12 @@ compileFunctionFirewalled(Program &prog, int fid,
                 }
                 if (p->verify_gate) {
                     const auto v0 = std::chrono::steady_clock::now();
-                    auto errs = verifyFunction(*work);
+                    std::vector<std::string> errs;
+                    {
+                        TraceSpan span("compile.verify", p->name,
+                                       passTraceArgs(fname, rung));
+                        errs = verifyFunction(*work);
+                    }
                     ps.verify_ms += msSince(v0);
                     if (!errs.empty()) {
                         ok = false;

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "support/logging.h"
+#include "support/telemetry/trace.h"
 
 namespace epic {
 
@@ -52,6 +53,8 @@ InterpResult
 interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 {
     InterpResult res;
+    TraceSpan span("sim", opts.collect_profile ? "profile-run"
+                                               : "functional-run");
     Function *entry_fn = prog.func(prog.entry_func);
     if (!entry_fn) {
         res.error = "no entry function";

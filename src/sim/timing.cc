@@ -9,6 +9,7 @@
 #include "sim/exec_core.h"
 #include "sim/predictor.h"
 #include "support/logging.h"
+#include "support/telemetry/trace.h"
 
 namespace epic {
 
@@ -117,6 +118,7 @@ TimingResult
 simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 {
     TimingResult res;
+    TraceSpan span("sim", "timing-run");
     const MachineConfig &mach = opts.mach;
 
     Function *entry_fn = prog.func(prog.entry_func);

@@ -43,6 +43,21 @@ void informImpl(const std::string &msg);
 
 } // namespace detail
 
+/**
+ * Identical warn messages are rate-limited: the first `limit`
+ * occurrences print, the rest are counted silently so a parallel
+ * fan-out emitting the same warning per worker doesn't flood stderr.
+ * Default limit is 5; 0 disables suppression. Resets the counters.
+ */
+void setWarnRepeatLimit(int limit);
+
+/**
+ * Print one summary line per suppressed message ("last warning
+ * repeated N more times") and reset the counters. Harness mains call
+ * this before exiting; safe to call with nothing suppressed.
+ */
+void flushSuppressedWarnings();
+
 } // namespace epic
 
 /** Abort with a message: internal invariant violated. */

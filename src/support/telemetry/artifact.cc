@@ -1,0 +1,270 @@
+#include "support/telemetry/artifact.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "driver/experiment.h"
+#include "support/logging.h"
+#include "support/telemetry/trace.h"
+
+namespace epic {
+
+const char *const kRunSchemaVersion = "epiclab.run.v1";
+
+namespace {
+
+/** Stable snake_case registry key for a cycle category. */
+const char *
+cycleCatKey(CycleCat c)
+{
+    switch (c) {
+      case CycleCat::Unstalled: return "unstalled";
+      case CycleCat::FloatScoreboard: return "float_scoreboard";
+      case CycleCat::MiscScoreboard: return "misc_scoreboard";
+      case CycleCat::IntLoadBubble: return "int_load_bubble";
+      case CycleCat::Micropipe: return "micropipe";
+      case CycleCat::FrontEndBubble: return "front_end_bubble";
+      case CycleCat::BrMispredFlush: return "br_mispred_flush";
+      case CycleCat::Rse: return "rse";
+      case CycleCat::Kernel: return "kernel";
+      default: return "unknown";
+    }
+}
+
+/** Pass names become path components: spaces to underscores. */
+std::string
+pathComponent(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        if (c == ' ')
+            c = '_';
+    return out;
+}
+
+} // namespace
+
+void
+recordPerfmon(StatsRegistry &reg, const Perfmon &pm)
+{
+    for (int c = 0; c < Perfmon::kNumCats; ++c)
+        reg.setInt(std::string("sim.cycles.") +
+                       cycleCatKey(static_cast<CycleCat>(c)),
+                   static_cast<int64_t>(pm.cycles[c]));
+    reg.setInt("sim.cycles_total", static_cast<int64_t>(pm.total()));
+    reg.setInt("sim.cycles_planned", static_cast<int64_t>(pm.planned()));
+    reg.declareSum("cycle-categories-sum", "sim.cycles.",
+                   "sim.cycles_total");
+
+    reg.setInt("sim.ops.useful", static_cast<int64_t>(pm.useful_ops));
+    reg.setInt("sim.ops.squashed", static_cast<int64_t>(pm.squashed_ops));
+    reg.setInt("sim.ops.nop", static_cast<int64_t>(pm.nop_ops));
+    reg.setInt("sim.ops.kernel", static_cast<int64_t>(pm.kernel_ops));
+    reg.setInt("sim.ops_total",
+               static_cast<int64_t>(pm.useful_ops + pm.squashed_ops +
+                                    pm.nop_ops + pm.kernel_ops));
+    reg.declareSum("operation-accounting-sum", "sim.ops.",
+                   "sim.ops_total");
+
+    reg.setInt("sim.branch.executed", static_cast<int64_t>(pm.branches));
+    reg.setInt("sim.branch.predictions",
+               static_cast<int64_t>(pm.branch_predictions));
+    reg.setInt("sim.branch.mispredictions",
+               static_cast<int64_t>(pm.mispredictions));
+
+    reg.setInt("sim.mem.loads", static_cast<int64_t>(pm.loads));
+    reg.setInt("sim.mem.stores", static_cast<int64_t>(pm.stores));
+    reg.setInt("sim.mem.l1d_accesses",
+               static_cast<int64_t>(pm.l1d_accesses));
+    reg.setInt("sim.mem.l1d_misses", static_cast<int64_t>(pm.l1d_misses));
+    reg.setInt("sim.mem.l1i_accesses",
+               static_cast<int64_t>(pm.l1i_accesses));
+    reg.setInt("sim.mem.l1i_misses", static_cast<int64_t>(pm.l1i_misses));
+    reg.setInt("sim.mem.l2_accesses", static_cast<int64_t>(pm.l2_accesses));
+    reg.setInt("sim.mem.l2_misses", static_cast<int64_t>(pm.l2_misses));
+    reg.setInt("sim.mem.l2i_misses", static_cast<int64_t>(pm.l2i_misses));
+    reg.setInt("sim.mem.l3_accesses", static_cast<int64_t>(pm.l3_accesses));
+    reg.setInt("sim.mem.l3_misses", static_cast<int64_t>(pm.l3_misses));
+    reg.setInt("sim.mem.dtlb_misses",
+               static_cast<int64_t>(pm.dtlb_misses));
+    reg.setInt("sim.mem.vhpt_walks", static_cast<int64_t>(pm.vhpt_walks));
+    reg.setInt("sim.mem.wild_loads", static_cast<int64_t>(pm.wild_loads));
+    reg.setInt("sim.mem.null_page_loads",
+               static_cast<int64_t>(pm.null_page_loads));
+    reg.setInt("sim.mem.stlf_conflicts",
+               static_cast<int64_t>(pm.stlf_conflicts));
+
+    reg.setInt("sim.rse.spill_regs",
+               static_cast<int64_t>(pm.rse_spill_regs));
+    reg.setInt("sim.rse.fill_regs",
+               static_cast<int64_t>(pm.rse_fill_regs));
+
+    reg.setInt("sim.icache_provenance.l1i_taildup",
+               static_cast<int64_t>(pm.l1i_miss_taildup));
+    reg.setInt("sim.icache_provenance.l1i_peel_remainder",
+               static_cast<int64_t>(pm.l1i_miss_peel_remainder));
+    reg.setInt("sim.icache_provenance.l2i_taildup",
+               static_cast<int64_t>(pm.l2i_miss_taildup));
+    reg.setInt("sim.icache_provenance.l2i_peel_remainder",
+               static_cast<int64_t>(pm.l2i_miss_peel_remainder));
+
+    // Per-function attribution as a distribution (unordered iteration
+    // is fine: count/sum/min/max are order-independent).
+    for (const auto &[fid, cyc] : pm.func_cycles) {
+        (void)fid;
+        reg.addSample("sim.func_cycles", static_cast<int64_t>(cyc));
+    }
+}
+
+void
+recordCompile(StatsRegistry &reg, const CompileStats &stats,
+              const PipelineStats &pipe, int instrs_source,
+              int instrs_final, bool clean)
+{
+    reg.setInt("compile.instrs_source", instrs_source);
+    reg.setInt("compile.instrs_final", instrs_final);
+    reg.setInt("compile.instrs_after_classical",
+               stats.instrs_after_classical);
+    reg.setInt("compile.instrs_after_regions",
+               stats.instrs_after_regions);
+
+    reg.setInt("compile.inline.inlined", stats.inl.inlined);
+    reg.setInt("compile.inline.promoted_icalls", stats.inl.promoted);
+    reg.setInt("compile.classical.folded", stats.classical.folded);
+    reg.setInt("compile.classical.dce_removed",
+               stats.classical.dce_removed);
+    reg.setInt("compile.classical.licm_moved",
+               stats.classical.licm_moved);
+    reg.setInt("compile.superblock.traces", stats.sb.traces);
+    reg.setInt("compile.superblock.tail_dup_instrs",
+               stats.sb.tail_dup_instrs);
+    reg.setInt("compile.hyperblock.regions", stats.hb.regions);
+    reg.setInt("compile.hyperblock.instrs_predicated",
+               stats.hb.instrs_predicated);
+    reg.setInt("compile.peel.peeled", stats.peel.peeled);
+    reg.setInt("compile.peel.unrolled", stats.peel.unrolled);
+    reg.setInt("compile.spec.moved", stats.spec.moved);
+    reg.setInt("compile.spec.promoted", stats.spec.promoted);
+    reg.setInt("compile.spec.spec_loads", stats.spec.spec_loads);
+    reg.setInt("compile.regalloc.gr_used", stats.ra.gr_used);
+    reg.setInt("compile.regalloc.spilled", stats.ra.spilled);
+    reg.setInt("compile.sched.groups", stats.sched.groups);
+    reg.setInt("compile.sched.nops", stats.sched.nops);
+
+    for (const PassStat &s : pipe.passes) {
+        const std::string base = "compile.pass." + pathComponent(s.pass) +
+                                 "." + configName(s.rung);
+        reg.setInt(base + ".runs", s.runs);
+        reg.setInt(base + ".instr_delta", s.instr_delta);
+        reg.setFloat(base + ".run_ms", s.run_ms, kStatVolatile);
+        reg.setFloat(base + ".verify_ms", s.verify_ms, kStatVolatile);
+    }
+
+    // In a clean compilation (no abandoned rungs) the per-pass deltas,
+    // inline included, account for every instruction of source→final.
+    // Abandoned attempts legitimately break the sum (their deltas died
+    // with the rolled-back clone), so the invariant is only declared
+    // when the firewall reports a clean run.
+    if (clean) {
+        reg.setInt("compile.instr_delta_total",
+                   static_cast<int64_t>(instrs_final) - instrs_source);
+        reg.declareSum("pass-deltas-sum", "compile.pass.",
+                       "compile.instr_delta_total", ".instr_delta");
+    }
+}
+
+void
+recordFallback(StatsRegistry &reg, const FallbackReport &fb)
+{
+    reg.setInt("firewall.functions_total", fb.functions_total);
+    reg.setInt("firewall.functions_degraded", fb.functions_degraded);
+    reg.setInt("firewall.clean_retries", fb.clean_retries);
+    reg.setInt("firewall.faults.injected", fb.faults_injected);
+    reg.setInt("firewall.faults.caught", fb.faults_caught);
+
+    for (Config c : standardConfigs())
+        reg.setInt(std::string("firewall.fallback_rung.") + configName(c),
+                   0);
+    for (const FallbackEvent &e : fb.events)
+        reg.addInt(std::string("firewall.fallback_rung.") +
+                       configName(e.attempted),
+                   1);
+    reg.setInt("firewall.fallbacks_total",
+               static_cast<int64_t>(fb.events.size()));
+    reg.declareSum("fallback-rung-sum", "firewall.fallback_rung.",
+                   "firewall.fallbacks_total");
+}
+
+StatsRegistry
+buildRunRegistry(const ConfigRun &r)
+{
+    StatsRegistry reg;
+    if (r.ok)
+        recordPerfmon(reg, r.pm);
+    recordCompile(reg, r.stats, r.pipeline, r.instrs_source,
+                  r.instrs_final, r.fallback.clean());
+    recordFallback(reg, r.fallback);
+    return reg;
+}
+
+std::string
+runRecordJson(const std::string &workload, int64_t source_checksum,
+              const ConfigRun &r)
+{
+    StatsRegistry reg = buildRunRegistry(r);
+    std::ostringstream os;
+    os << "{\"schema\":\"" << kRunSchemaVersion << "\",\"workload\":\""
+       << jsonEscape(workload) << "\",\"config\":\""
+       << configName(r.config) << "\",\"ok\":" << (r.ok ? "true" : "false")
+       << ",\"checksum\":" << r.checksum
+       << ",\"source_checksum\":" << source_checksum << ",\"error\":\""
+       << jsonEscape(r.error) << "\",\"stats\":" << reg.jsonObject()
+       << "}";
+    return os.str();
+}
+
+std::string
+suiteArtifact(const std::vector<WorkloadRuns> &suite,
+              const std::vector<Config> &configs,
+              std::vector<std::string> *violations)
+{
+    std::ostringstream os;
+    for (const WorkloadRuns &runs : suite) {
+        for (Config cfg : configs) {
+            auto it = runs.by_config.find(cfg);
+            if (it == runs.by_config.end())
+                continue;
+            const ConfigRun &r = it->second;
+            os << runRecordJson(runs.name, runs.source_checksum, r)
+               << "\n";
+            if (violations) {
+                StatsRegistry reg = buildRunRegistry(r);
+                for (const std::string &v : reg.checkInvariants())
+                    violations->push_back(runs.name + " [" +
+                                          configName(cfg) + "]: " + v);
+            }
+        }
+    }
+    return os.str();
+}
+
+bool
+writeSuiteArtifact(const std::string &path,
+                   const std::vector<WorkloadRuns> &suite,
+                   const std::vector<Config> &configs)
+{
+    std::vector<std::string> violations;
+    const std::string doc = suiteArtifact(suite, configs, &violations);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        epic_fatal("cannot open '", path, "' for writing");
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
+                    doc.size();
+    if (std::fclose(f) != 0 || !ok)
+        epic_fatal("short write to '", path, "'");
+    for (const std::string &v : violations)
+        epic_warn("telemetry ", v);
+    return violations.empty();
+}
+
+} // namespace epic

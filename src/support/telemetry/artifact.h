@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured run artifacts: the bridge from EpicLab's existing stat
+ * structs (Perfmon, CompileStats, PipelineStats, FallbackReport) onto
+ * the hierarchical StatsRegistry, and the schema-versioned JSONL
+ * records that `epiclab_run --json` emits.
+ *
+ * One JSONL record describes one (workload × config) run and carries
+ * the full deterministic registry snapshot; the configuration-rung axis
+ * of the compile pipeline appears inside the snapshot as the per-pass
+ * paths `compile.pass.<pass>.<rung>.*` (every rung a degrading function
+ * attempted is present). Wall times are registered volatile and never
+ * reach the artifact, so the bytes are identical for any `--jobs N`:
+ * records are produced post-join, in suite × config index order.
+ *
+ * Declared invariants travel with the registry and are checked when an
+ * artifact is built:
+ *  - cycle-categories-sum: Figure 5 categories sum to sim.cycles_total
+ *  - operation-accounting-sum: Figure 6 op classes sum to sim.ops_total
+ *  - pass-deltas-sum (clean compilations): per-pass instruction deltas,
+ *    inline included, sum to compile.instr_delta_total = final − source
+ *  - fallback-rung-sum: per-rung fallback counts sum to
+ *    firewall.fallbacks_total
+ */
+#ifndef EPIC_SUPPORT_TELEMETRY_ARTIFACT_H
+#define EPIC_SUPPORT_TELEMETRY_ARTIFACT_H
+
+#include <string>
+#include <vector>
+
+#include "support/telemetry/registry.h"
+
+namespace epic {
+
+struct Perfmon;
+struct CompileStats;
+struct PipelineStats;
+struct FallbackReport;
+struct ConfigRun;
+struct WorkloadRuns;
+enum class Config;
+
+/** Schema tag carried by every JSONL run record. */
+extern const char *const kRunSchemaVersion;
+
+/** Register every Perfmon counter under `sim.*` (+ sum invariants). */
+void recordPerfmon(StatsRegistry &reg, const Perfmon &pm);
+
+/**
+ * Register compile counters under `compile.*`: headline transform
+ * stats, per-(pass, rung) pipeline instrumentation (wall times
+ * volatile), and — when the compilation was clean (no abandoned
+ * rungs) — the pass-deltas-sum invariant.
+ */
+void recordCompile(StatsRegistry &reg, const CompileStats &stats,
+                   const PipelineStats &pipe, int instrs_source,
+                   int instrs_final, bool clean);
+
+/** Register firewall outcome under `firewall.*` (+ rung invariant). */
+void recordFallback(StatsRegistry &reg, const FallbackReport &fb);
+
+/** Full registry for one configuration run (all of the above). */
+StatsRegistry buildRunRegistry(const ConfigRun &r);
+
+/** One JSONL record (no trailing newline) for one configuration run. */
+std::string runRecordJson(const std::string &workload,
+                          int64_t source_checksum, const ConfigRun &r);
+
+/**
+ * All records for a suite result, one line per (workload × config) in
+ * index order — deterministic and byte-identical for any --jobs value.
+ * Invariant violations (prefixed with the offending workload/config)
+ * are appended to `violations` when non-null.
+ */
+std::string suiteArtifact(const std::vector<WorkloadRuns> &suite,
+                          const std::vector<Config> &configs,
+                          std::vector<std::string> *violations);
+
+/**
+ * Convenience for the figure/section harness binaries: write suiteArtifact
+ * to `path` (fatal on I/O error) and epic_warn each invariant
+ * violation. Returns true when every declared invariant held.
+ */
+bool writeSuiteArtifact(const std::string &path,
+                        const std::vector<WorkloadRuns> &suite,
+                        const std::vector<Config> &configs);
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_TELEMETRY_ARTIFACT_H

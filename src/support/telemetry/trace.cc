@@ -1,0 +1,161 @@
+#include "support/telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace epic {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder g;
+    return g;
+}
+
+void
+TraceRecorder::enable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    tids_.clear();
+    t0_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceRecorder::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+}
+
+void
+TraceRecorder::recordComplete(std::string name, std::string cat,
+                              double ts_us, double dur_us,
+                              std::string args_json)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = tids_.emplace(std::this_thread::get_id(),
+                                     static_cast<int>(tids_.size()));
+    (void)fresh;
+    Event ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ts_us = ts_us;
+    ev.dur_us = dur_us;
+    ev.tid = it->second;
+    ev.args_json = std::move(args_json);
+    events_.push_back(std::move(ev));
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::events() const
+{
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = events_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.ts_us < b.ts_us;
+                     });
+    return out;
+}
+
+std::string
+TraceRecorder::json() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &ev : events()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        char num[96];
+        os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
+           << jsonEscape(ev.cat) << "\",\"ph\":\"X\"";
+        std::snprintf(num, sizeof num,
+                      ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                      ev.ts_us, ev.dur_us, ev.tid);
+        os << num;
+        if (!ev.args_json.empty())
+            os << ",\"args\":" << ev.args_json;
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+    return os.str();
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string doc = json();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
+                    doc.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+TraceSpan::TraceSpan(const char *cat, std::string name,
+                     std::string args_json)
+    : live_(TraceRecorder::global().enabled()), cat_(cat)
+{
+    if (!live_)
+        return;
+    name_ = std::move(name);
+    args_ = std::move(args_json);
+    t0_us_ = TraceRecorder::global().nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!live_)
+        return;
+    TraceRecorder &rec = TraceRecorder::global();
+    const double now = rec.nowUs();
+    rec.recordComplete(std::move(name_), cat_, t0_us_, now - t0_us_,
+                       std::move(args_));
+}
+
+} // namespace epic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chrome trace-event timeline for compile + simulate.
+ *
+ * A process-wide TraceRecorder collects scoped duration events —
+ * pass×function compiles, verifier gates, thread-pool task spans,
+ * coarse simulation phases — and writes them in the Trace Event Format
+ * ("X" complete events) that Perfetto and chrome://tracing load
+ * directly.
+ *
+ * Recording is off by default and costs one relaxed atomic load per
+ * site when disabled, so instrumentation can live permanently on hot
+ * compile paths. Timestamps come from the steady clock, measured in
+ * microseconds since enable(); events are thread-safe to record from
+ * pool workers and are tagged with a small dense thread id assigned in
+ * first-record order.
+ *
+ * The trace file is inherently non-deterministic (it is made of wall
+ * times); determinism-checked artifacts are the JSONL records of
+ * telemetry/artifact.h, never the trace.
+ */
+#ifndef EPIC_SUPPORT_TELEMETRY_TRACE_H
+#define EPIC_SUPPORT_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace epic {
+
+/** Process-wide collector of trace events. */
+class TraceRecorder
+{
+  public:
+    /** One complete ("X") duration event. */
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        double ts_us = 0;  ///< begin, microseconds since enable()
+        double dur_us = 0; ///< duration, microseconds
+        int tid = 0;       ///< dense thread id (first-record order)
+        std::string args_json; ///< preformatted JSON object ("" = none)
+    };
+
+    /** The process-wide recorder used by all instrumentation sites. */
+    static TraceRecorder &global();
+
+    /** Start recording: clears prior events, rebases the clock. */
+    void enable();
+    void disable();
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since enable() on the steady clock. */
+    double nowUs() const;
+
+    /** Record one complete event (thread-safe). */
+    void recordComplete(std::string name, std::string cat, double ts_us,
+                        double dur_us, std::string args_json = {});
+
+    /** Snapshot of events so far, sorted by (tid, ts). */
+    std::vector<Event> events() const;
+
+    /** Full trace document: {"traceEvents":[...]}. */
+    std::string json() const;
+
+    /** Write json() to `path`; false (with errno intact) on failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point t0_{};
+    std::vector<Event> events_;
+    std::unordered_map<std::thread::id, int> tids_;
+};
+
+/**
+ * RAII duration span: captures the recorder state at construction and
+ * records a complete event on destruction. Free to construct when
+ * tracing is disabled.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *cat, std::string name,
+              std::string args_json = {});
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool live_;
+    double t0_us_ = 0;
+    std::string name_;
+    const char *cat_ = nullptr;
+    std::string args_;
+};
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_TELEMETRY_TRACE_H

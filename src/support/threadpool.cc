@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/telemetry/trace.h"
+
 namespace epic {
 
 namespace {
@@ -72,6 +74,7 @@ ThreadPool::workerLoop()
         ++active_;
         lock.unlock();
         try {
+            TraceSpan span("pool", "task");
             job();
         } catch (...) {
             lock.lock();
