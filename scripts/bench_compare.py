@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regression.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--max-regress 0.25]
+
+For every benchmark present in both files, compares items/sec (falling
+back to inverted real_time for benchmarks that don't set a counter) and
+exits 1 if any benchmark regressed by more than --max-regress
+(default 25%). Median aggregates are used when the files were produced
+with --benchmark_repetitions; otherwise the plain run entries are.
+
+The tolerance is deliberately loose: CI machines are not the machine
+the committed baseline was measured on, and shared runners are noisy.
+The gate exists to catch structural regressions (an accidental O(n)
+scan, a lost cache), not single-digit drift.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    runs = data.get("benchmarks", [])
+    # Prefer median aggregates; fall back to ordinary iteration entries.
+    medians = {
+        b["run_name"]: b
+        for b in runs
+        if b.get("run_type") == "aggregate"
+        and b.get("aggregate_name") == "median"
+    }
+    if medians:
+        return medians
+    return {
+        b["name"]: b
+        for b in runs
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def throughput(entry):
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"])
+    rt = float(entry["real_time"])
+    return 1.0 / rt if rt > 0 else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="fractional items/sec loss that fails (0.25 = 25%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("bench_compare: no common benchmarks between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 1
+
+    failed = False
+    print(f"{'benchmark':40s} {'baseline':>12s} {'current':>12s} "
+          f"{'ratio':>7s}")
+    for name in common:
+        b, c = throughput(base[name]), throughput(cur[name])
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.max_regress:
+            flag = "  REGRESSION"
+            failed = True
+        print(f"{name:40s} {b:12.3e} {c:12.3e} {ratio:6.2f}x{flag}")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmark(s) missing from "
+              f"current run: {', '.join(missing)}", file=sys.stderr)
+
+    if failed:
+        print(f"\nFAIL: regression beyond {args.max_regress:.0%} "
+              "items/sec tolerance", file=sys.stderr)
+        return 1
+    print("\nOK: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

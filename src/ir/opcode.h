@@ -12,6 +12,7 @@
 #ifndef EPIC_IR_OPCODE_H
 #define EPIC_IR_OPCODE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace epic {
@@ -91,8 +92,79 @@ struct OpcodeInfo
     bool has_side_effect; ///< must not be speculated or dead-code removed
 };
 
-/** Lookup static metadata. */
-const OpcodeInfo &opcodeInfo(Opcode op);
+namespace detail {
+
+// Latencies follow the Itanium 2 bypass network: ALU 1 cycle, integer
+// load 1 cycle on an L1D hit, FP arithmetic 4 cycles, integer multiply 6
+// (xma via the FP unit), divide ~24 (frcpa Newton-Raphson sequence),
+// FP loads 6 (they bypass L1D and are served from L2).
+inline constexpr OpcodeInfo kOpcodeTable[] = {
+    //                      name     fu          lat  ld     st     br     call   ret    side
+    /* MOV      */ {"mov",      FuClass::A, 1, false, false, false, false, false, false},
+    /* MOVI     */ {"movi",     FuClass::A, 1, false, false, false, false, false, false},
+    /* MOVA     */ {"mova",     FuClass::A, 1, false, false, false, false, false, false},
+    /* MOVFN    */ {"movfn",    FuClass::A, 1, false, false, false, false, false, false},
+    /* MOVP     */ {"movp",     FuClass::A, 1, false, false, false, false, false, false},
+    /* ADD      */ {"add",      FuClass::A, 1, false, false, false, false, false, false},
+    /* SUB      */ {"sub",      FuClass::A, 1, false, false, false, false, false, false},
+    /* AND      */ {"and",      FuClass::A, 1, false, false, false, false, false, false},
+    /* OR       */ {"or",       FuClass::A, 1, false, false, false, false, false, false},
+    /* XOR      */ {"xor",      FuClass::A, 1, false, false, false, false, false, false},
+    /* ADDI     */ {"addi",     FuClass::A, 1, false, false, false, false, false, false},
+    /* SUBI     */ {"subi",     FuClass::A, 1, false, false, false, false, false, false},
+    /* ANDI     */ {"andi",     FuClass::A, 1, false, false, false, false, false, false},
+    /* ORI      */ {"ori",      FuClass::A, 1, false, false, false, false, false, false},
+    /* XORI     */ {"xori",     FuClass::A, 1, false, false, false, false, false, false},
+    /* CMP      */ {"cmp",      FuClass::A, 1, false, false, false, false, false, false},
+    /* CMPI     */ {"cmpi",     FuClass::A, 1, false, false, false, false, false, false},
+    /* SHL      */ {"shl",      FuClass::I, 1, false, false, false, false, false, false},
+    /* SHR      */ {"shr",      FuClass::I, 1, false, false, false, false, false, false},
+    /* SAR      */ {"sar",      FuClass::I, 1, false, false, false, false, false, false},
+    /* SHLI     */ {"shli",     FuClass::I, 1, false, false, false, false, false, false},
+    /* SHRI     */ {"shri",     FuClass::I, 1, false, false, false, false, false, false},
+    /* SARI     */ {"sari",     FuClass::I, 1, false, false, false, false, false, false},
+    /* SXT      */ {"sxt",      FuClass::I, 1, false, false, false, false, false, false},
+    /* ZXT      */ {"zxt",      FuClass::I, 1, false, false, false, false, false, false},
+    /* MUL      */ {"mul",      FuClass::F, 6, false, false, false, false, false, false},
+    /* DIV      */ {"div",      FuClass::F, 24, false, false, false, false, false, false},
+    /* REM      */ {"rem",      FuClass::F, 24, false, false, false, false, false, false},
+    /* LD       */ {"ld",       FuClass::M, 1, true,  false, false, false, false, false},
+    /* ST       */ {"st",       FuClass::M, 1, false, true,  false, false, false, true},
+    /* LDF      */ {"ldf",      FuClass::M, 6, true,  false, false, false, false, false},
+    /* STF      */ {"stf",      FuClass::M, 1, false, true,  false, false, false, true},
+    /* FADD     */ {"fadd",     FuClass::F, 4, false, false, false, false, false, false},
+    /* FSUB     */ {"fsub",     FuClass::F, 4, false, false, false, false, false, false},
+    /* FMUL     */ {"fmul",     FuClass::F, 4, false, false, false, false, false, false},
+    /* FDIV     */ {"fdiv",     FuClass::F, 24, false, false, false, false, false, false},
+    /* FMA      */ {"fma",      FuClass::F, 4, false, false, false, false, false, false},
+    /* FNEG     */ {"fneg",     FuClass::F, 4, false, false, false, false, false, false},
+    /* FCMP     */ {"fcmp",     FuClass::F, 2, false, false, false, false, false, false},
+    /* CVTFI    */ {"cvtfi",    FuClass::F, 4, false, false, false, false, false, false},
+    /* CVTIF    */ {"cvtif",    FuClass::F, 4, false, false, false, false, false, false},
+    /* BR       */ {"br",       FuClass::B, 1, false, false, true,  false, false, true},
+    /* BR_CALL  */ {"br.call",  FuClass::B, 1, false, false, true,  true,  false, true},
+    /* BR_ICALL */ {"br.icall", FuClass::B, 1, false, false, true,  true,  false, true},
+    /* BR_RET   */ {"br.ret",   FuClass::B, 1, false, false, true,  false, true,  true},
+    /* CHK_S    */ {"chk.s",    FuClass::I, 1, false, false, true,  false, false, true},
+    /* ALLOC    */ {"alloc",    FuClass::M, 1, false, false, false, false, false, true},
+    /* NOP      */ {"nop",      FuClass::A, 1, false, false, false, false, false, false},
+};
+
+static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync");
+
+} // namespace detail
+
+/** Lookup static metadata. Header-inline: this runs once per simulated
+ *  instruction, so the table indexing must fold into the caller. Opcode
+ *  values come from the enum, so the index is in range by construction
+ *  (the static_assert above keeps the table in sync). */
+inline const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    return detail::kOpcodeTable[static_cast<size_t>(op)];
+}
 
 /** Condition mnemonic ("eq", "ne", ...). */
 const char *cmpCondName(CmpCond c);

@@ -4,29 +4,43 @@
 
 namespace epic {
 
+namespace {
+
+bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+uint32_t
+log2Exact(uint64_t x)
+{
+    uint32_t s = 0;
+    while ((1ull << s) < x)
+        ++s;
+    return s;
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
 {
     num_sets_ = static_cast<int>(cfg.size_bytes /
                                  (cfg.line_bytes * cfg.assoc));
     epic_assert(num_sets_ > 0, "degenerate cache geometry");
     ways_.assign(static_cast<size_t>(num_sets_) * cfg.assoc, Way{});
+    pow2_ = isPow2(static_cast<uint64_t>(cfg.line_bytes)) &&
+            isPow2(static_cast<uint64_t>(num_sets_));
+    if (pow2_) {
+        line_shift_ = log2Exact(static_cast<uint64_t>(cfg.line_bytes));
+        set_shift_ = log2Exact(static_cast<uint64_t>(num_sets_));
+        set_mask_ = static_cast<uint64_t>(num_sets_) - 1;
+    }
 }
 
-bool
-Cache::access(uint64_t addr)
+void
+Cache::missFill(Way *base, uint64_t tag)
 {
-    ++accesses_;
-    ++tick_;
-    uint64_t line = addr / cfg_.line_bytes;
-    int set = static_cast<int>(line % num_sets_);
-    uint64_t tag = line / num_sets_;
-    Way *base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
-    for (int w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lru = tick_;
-            return true;
-        }
-    }
     // Miss: pick an invalid way, else the least-recently-used one.
     Way *victim = base;
     for (int w = 0; w < cfg_.assoc; ++w) {
@@ -41,15 +55,14 @@ Cache::access(uint64_t addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lru = tick_;
-    return false;
 }
 
 bool
 Cache::contains(uint64_t addr) const
 {
-    uint64_t line = addr / cfg_.line_bytes;
-    int set = static_cast<int>(line % num_sets_);
-    uint64_t tag = line / num_sets_;
+    uint64_t line, tag;
+    int set;
+    splitAddr(addr, line, set, tag);
     const Way *base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
     for (int w = 0; w < cfg_.assoc; ++w)
         if (base[w].valid && base[w].tag == tag)
@@ -61,64 +74,6 @@ MemHierarchy::MemHierarchy(const MachineConfig &mach)
     : mach_(mach), l1i_(mach.l1i), l1d_(mach.l1d), l2_(mach.l2),
       l3_(mach.l3)
 {
-}
-
-MemAccessResult
-MemHierarchy::load(uint64_t addr, bool fp)
-{
-    MemAccessResult r;
-    if (!fp && l1d_.access(addr)) {
-        r.l1_hit = true;
-        r.latency = mach_.l1d.latency;
-        return r;
-    }
-    if (l2_.access(addr)) {
-        r.l2_hit = true;
-        r.latency = mach_.l2.latency + (fp ? 1 : 0);
-        if (!fp)
-            (void)0; // line was allocated into L1D by Cache::access
-        return r;
-    }
-    if (l3_.access(addr)) {
-        r.l3_hit = true;
-        r.latency = mach_.l3.latency;
-        return r;
-    }
-    r.latency = mach_.mem_latency;
-    return r;
-}
-
-void
-MemHierarchy::store(uint64_t addr)
-{
-    // Write-through L1D: update L1 if present (access() allocates, so
-    // use contains() + access only on hit), always send to L2.
-    if (l1d_.contains(addr))
-        l1d_.access(addr);
-    l2_.access(addr);
-}
-
-MemAccessResult
-MemHierarchy::fetch(uint64_t addr)
-{
-    MemAccessResult r;
-    if (l1i_.access(addr)) {
-        r.l1_hit = true;
-        r.latency = mach_.l1i.latency;
-        return r;
-    }
-    if (l2_.access(addr)) {
-        r.l2_hit = true;
-        r.latency = mach_.l2.latency;
-        return r;
-    }
-    if (l3_.access(addr)) {
-        r.l3_hit = true;
-        r.latency = mach_.l3.latency;
-        return r;
-    }
-    r.latency = mach_.mem_latency;
-    return r;
 }
 
 } // namespace epic

@@ -1,0 +1,216 @@
+#include "sim/decode.h"
+
+#include <algorithm>
+
+namespace epic {
+
+std::vector<GroupInfo>
+buildGroups(const BasicBlock &b)
+{
+    std::vector<GroupInfo> groups;
+    GroupInfo cur;
+    for (const Bundle &bun : b.bundles) {
+        uint64_t line = bun.addr & ~63ull;
+        if (std::find(cur.lines.begin(), cur.lines.end(), line) ==
+            cur.lines.end()) {
+            cur.lines.push_back(line);
+        }
+        for (int slot = 0; slot < 3; ++slot) {
+            int16_t s = bun.slots[slot];
+            if (s == kSlotNop) {
+                ++cur.nops;
+            } else {
+                cur.ops.push_back(s);
+                cur.addrs.push_back(bun.addr +
+                                    static_cast<uint64_t>(slot));
+                cur.attr_union |= b.instrs[s].attr;
+            }
+        }
+        if (bun.stop_after) {
+            groups.push_back(std::move(cur));
+            cur = GroupInfo{};
+        }
+    }
+    if (!cur.ops.empty() || cur.nops > 0)
+        groups.push_back(std::move(cur));
+    return groups;
+}
+
+namespace {
+
+/** Flatten one IR instruction into its fixed-size decoded record. */
+DecodedInstr
+decodeInstr(const Program &prog, const Instruction &inst)
+{
+    DecodedInstr d;
+    d.op = inst.op;
+    d.size = inst.size;
+    d.spec = inst.spec;
+    d.cond = inst.cond;
+    d.ctype = inst.ctype;
+    d.guard = inst.guard;
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    d.fu = static_cast<uint8_t>(info.fu);
+    d.latency = static_cast<int8_t>(info.latency);
+    d.flags = static_cast<uint8_t>(
+        (info.is_load ? kDecLoad : 0) | (info.is_store ? kDecStore : 0) |
+        (info.is_call ? kDecCall : 0) | (info.is_ret ? kDecRet : 0) |
+        (inst.hasGuard() ? kDecHasGuard : 0));
+    d.dest0 = !inst.dests.empty() ? inst.dests[0] : Reg();
+    d.dest1 = inst.dests.size() > 1 ? inst.dests[1] : Reg();
+    d.target = inst.op == Opcode::BR_CALL ? inst.callee : inst.target;
+    d.orig = &inst;
+
+    // Calls keep their argument list on the original instruction; only
+    // the indirect-call token is flattened.
+    size_t nflat = info.is_call
+                       ? (inst.op == Opcode::BR_ICALL ? 1u : 0u)
+                       : std::min<size_t>(inst.srcs.size(), 3);
+    d.nsrcs = static_cast<uint8_t>(nflat);
+    for (size_t i = 0; i < nflat; ++i) {
+        const Operand &o = inst.srcs[i];
+        DecodedOp &s = d.src[i];
+        switch (o.kind) {
+          case Operand::Kind::Reg:
+            s.kind = DecodedOp::K::Reg;
+            s.reg = o.reg;
+            break;
+          case Operand::Kind::Imm:
+            s.kind = DecodedOp::K::Imm;
+            s.imm = o.imm;
+            s.fimm = static_cast<double>(o.imm);
+            break;
+          case Operand::Kind::FImm:
+            s.kind = DecodedOp::K::FImm;
+            s.fimm = o.fimm;
+            break;
+          case Operand::Kind::Sym:
+            // Resolve now when data layout has run; otherwise defer to
+            // execution so an unlaid program fails exactly as before
+            // (and only if the operand is actually evaluated).
+            if (o.sym >= 0 &&
+                o.sym < static_cast<int32_t>(prog.symbols.size()) &&
+                prog.symbols[o.sym].addr != 0) {
+                s.kind = DecodedOp::K::Val;
+                s.imm = static_cast<int64_t>(prog.symbols[o.sym].addr +
+                                             o.imm);
+            } else {
+                s.kind = DecodedOp::K::SymLazy;
+                s.sym = o.sym;
+                s.imm = o.imm;
+            }
+            break;
+          case Operand::Kind::Func:
+            s.kind = DecodedOp::K::Val;
+            s.imm = o.func;
+            break;
+          default:
+            s.kind = DecodedOp::K::SymLazy; // evaluates to a panic, as
+            s.sym = -1;                     // Kind::None always did
+            break;
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+DecodedProgram
+DecodedProgram::forInterp(const Program &prog, bool scheduled_order)
+{
+    return build(prog, true, scheduled_order, false);
+}
+
+DecodedProgram
+DecodedProgram::forTiming(const Program &prog)
+{
+    return build(prog, false, false, true);
+}
+
+DecodedProgram
+DecodedProgram::build(const Program &prog, bool want_order,
+                      bool scheduled_order, bool want_groups)
+{
+    DecodedProgram d;
+    d.funcs_.resize(prog.funcs.size());
+    for (size_t fid = 0; fid < prog.funcs.size(); ++fid) {
+        const Function *f = prog.funcs[fid].get();
+        if (!f)
+            continue;
+        DecodedFunction &df = d.funcs_[fid];
+        df.blocks_.resize(f->blocks.size());
+
+        // First pass: fill lengths and pool offsets (spans are resolved
+        // to pointers only once the pools stop growing).
+        std::vector<uint32_t> order_off(f->blocks.size(), 0);
+        std::vector<uint32_t> group_off(f->blocks.size(), 0);
+        std::vector<uint32_t> dinstr_off(f->blocks.size(), 0);
+        for (size_t bid = 0; bid < f->blocks.size(); ++bid) {
+            const BasicBlock *b = f->blocks[bid].get();
+            if (!b)
+                continue;
+            DecodedBlock &db = df.blocks_[bid];
+            dinstr_off[bid] =
+                static_cast<uint32_t>(df.dinstr_pool_.size());
+            for (const Instruction &inst : b->instrs)
+                df.dinstr_pool_.push_back(decodeInstr(prog, inst));
+            if (want_order) {
+                if (scheduled_order && b->scheduled()) {
+                    order_off[bid] =
+                        static_cast<uint32_t>(df.order_pool_.size());
+                    for (const Bundle &bun : b->bundles)
+                        for (int16_t s : bun.slots)
+                            if (s != kSlotNop)
+                                df.order_pool_.push_back(s);
+                    db.order_len =
+                        static_cast<uint32_t>(df.order_pool_.size()) -
+                        order_off[bid];
+                } else {
+                    // Identity order: represented implicitly.
+                    db.order_len =
+                        static_cast<uint32_t>(b->instrs.size());
+                }
+            }
+            if (want_groups) {
+                group_off[bid] =
+                    static_cast<uint32_t>(df.group_pool_.size());
+                std::vector<GroupInfo> g = buildGroups(*b);
+                db.ngroups = static_cast<uint32_t>(g.size());
+                for (const GroupInfo &gi : g) {
+                    DecodedGroup dg;
+                    dg.op_off =
+                        static_cast<uint32_t>(df.gop_pool_.size());
+                    dg.line_off =
+                        static_cast<uint32_t>(df.gline_pool_.size());
+                    dg.nops = static_cast<uint16_t>(gi.ops.size());
+                    dg.nnops = static_cast<uint16_t>(gi.nops);
+                    dg.nlines = static_cast<uint16_t>(gi.lines.size());
+                    dg.attr_union = gi.attr_union;
+                    for (int op : gi.ops)
+                        df.gop_pool_.push_back(op);
+                    for (uint64_t a : gi.addrs)
+                        df.gaddr_pool_.push_back(a);
+                    for (uint64_t l : gi.lines)
+                        df.gline_pool_.push_back(l);
+                    df.group_pool_.push_back(dg);
+                }
+            }
+        }
+
+        // Second pass: resolve spans into the now-stable pools.
+        for (size_t bid = 0; bid < f->blocks.size(); ++bid) {
+            const BasicBlock *b = f->blocks[bid].get();
+            if (!b)
+                continue;
+            DecodedBlock &db = df.blocks_[bid];
+            db.dinstrs = df.dinstr_pool_.data() + dinstr_off[bid];
+            if (want_order && scheduled_order && b->scheduled())
+                db.order = df.order_pool_.data() + order_off[bid];
+            if (want_groups)
+                db.groups = df.group_pool_.data() + group_off[bid];
+        }
+    }
+    return d;
+}
+
+} // namespace epic

@@ -1,13 +1,22 @@
 #include "sim/exec_core.h"
 
-#include <cmath>
-
-#include "support/logging.h"
+#include <algorithm>
 
 namespace epic {
 
-Frame::Frame(const Function *f, uint64_t sp_value) : fn(f), sp(sp_value)
+Frame::Frame(const Function *f, uint64_t sp_value)
 {
+    reset(f, sp_value);
+}
+
+void
+Frame::reset(const Function *f, uint64_t sp_value)
+{
+    fn = f;
+    sp = sp_value;
+    ret_block = -1;
+    ret_pos = -1;
+    ret_dest = Reg();
     int ngr = std::max(physRegCount(RegClass::Gr),
                        f->virtLimit(RegClass::Gr));
     int nfr = std::max(physRegCount(RegClass::Fr),
@@ -19,447 +28,6 @@ Frame::Frame(const Function *f, uint64_t sp_value) : fn(f), sp(sp_value)
     pr.assign(npr, 0);
     pr[0] = 1;
     gr[kGrSp.id] = GrVal{static_cast<int64_t>(sp), false};
-}
-
-namespace {
-
-/** Evaluate a Gr-or-immediate source operand. */
-GrVal
-evalGr(const Program &prog, const Frame &f, const Operand &o)
-{
-    switch (o.kind) {
-      case Operand::Kind::Reg:
-        return f.readGr(o.reg);
-      case Operand::Kind::Imm:
-        return GrVal{o.imm, false};
-      case Operand::Kind::Sym:
-        return GrVal{
-            static_cast<int64_t>(prog.symbolAddr(o.sym) + o.imm), false};
-      case Operand::Kind::Func:
-        return GrVal{o.func, false};
-      default:
-        epic_panic("bad Gr operand kind");
-    }
-}
-
-double
-evalFr(const Frame &f, const Operand &o)
-{
-    switch (o.kind) {
-      case Operand::Kind::Reg:
-        return f.fr[o.reg.id];
-      case Operand::Kind::FImm:
-        return o.fimm;
-      case Operand::Kind::Imm:
-        return static_cast<double>(o.imm);
-      default:
-        epic_panic("bad Fr operand kind");
-    }
-}
-
-bool
-cmpEval(CmpCond cond, int64_t a, int64_t b)
-{
-    switch (cond) {
-      case CmpCond::EQ: return a == b;
-      case CmpCond::NE: return a != b;
-      case CmpCond::LT: return a < b;
-      case CmpCond::LE: return a <= b;
-      case CmpCond::GT: return a > b;
-      case CmpCond::GE: return a >= b;
-      case CmpCond::LTU:
-        return static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
-      case CmpCond::GEU:
-        return static_cast<uint64_t>(a) >= static_cast<uint64_t>(b);
-    }
-    return false;
-}
-
-bool
-fcmpEval(CmpCond cond, double a, double b)
-{
-    switch (cond) {
-      case CmpCond::EQ: return a == b;
-      case CmpCond::NE: return a != b;
-      case CmpCond::LT: return a < b;
-      case CmpCond::LE: return a <= b;
-      case CmpCond::GT: return a > b;
-      case CmpCond::GE: return a >= b;
-      case CmpCond::LTU: return a < b;
-      case CmpCond::GEU: return a >= b;
-    }
-    return false;
-}
-
-int64_t
-aluEval(Opcode op, int64_t a, int64_t b, Effect &eff)
-{
-    auto ua = static_cast<uint64_t>(a);
-    auto ub = static_cast<uint64_t>(b);
-    switch (op) {
-      case Opcode::ADD: case Opcode::ADDI:
-        return static_cast<int64_t>(ua + ub);
-      case Opcode::SUB: case Opcode::SUBI:
-        return static_cast<int64_t>(ua - ub);
-      case Opcode::AND: case Opcode::ANDI: return a & b;
-      case Opcode::OR: case Opcode::ORI: return a | b;
-      case Opcode::XOR: case Opcode::XORI: return a ^ b;
-      case Opcode::SHL: case Opcode::SHLI:
-        return static_cast<int64_t>(ua << (ub & 63));
-      case Opcode::SHR: case Opcode::SHRI:
-        return static_cast<int64_t>(ua >> (ub & 63));
-      case Opcode::SAR: case Opcode::SARI:
-        return a >> (ub & 63);
-      case Opcode::MUL:
-        return static_cast<int64_t>(ua * ub);
-      case Opcode::DIV:
-        if (b == 0) {
-            eff.trap = true;
-            eff.trap_msg = "integer divide by zero";
-            return 0;
-        }
-        return a / b;
-      case Opcode::REM:
-        if (b == 0) {
-            eff.trap = true;
-            eff.trap_msg = "integer remainder by zero";
-            return 0;
-        }
-        return a % b;
-      default:
-        epic_panic("aluEval: not an ALU op");
-    }
-}
-
-} // namespace
-
-Effect
-execInstr(const Program &prog, const Instruction &inst, Frame &frame,
-          Memory &mem)
-{
-    Effect eff;
-    const bool guard_true = frame.readPr(inst.guard);
-
-    // Unc-type compares write their destinations even when the guard is
-    // false; everything else is fully squashed.
-    const bool is_cmp = inst.op == Opcode::CMP || inst.op == Opcode::CMPI ||
-                        inst.op == Opcode::FCMP;
-    if (!guard_true) {
-        if (is_cmp && inst.ctype == CmpType::Unc) {
-            frame.writePr(inst.dests[0], false);
-            frame.writePr(inst.dests[1], false);
-        }
-        return eff;
-    }
-    eff.executed = true;
-
-    switch (inst.op) {
-      case Opcode::MOV:
-      case Opcode::MOVI:
-      case Opcode::MOVA:
-      case Opcode::MOVFN:
-        frame.writeGr(inst.dests[0], evalGr(prog, frame, inst.srcs[0]));
-        break;
-
-      case Opcode::MOVP:
-        frame.writePr(inst.dests[0], inst.srcs[0].imm != 0);
-        break;
-
-      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
-      case Opcode::OR: case Opcode::XOR: case Opcode::MUL:
-      case Opcode::DIV: case Opcode::REM: case Opcode::SHL:
-      case Opcode::SHR: case Opcode::SAR:
-      case Opcode::ADDI: case Opcode::SUBI: case Opcode::ANDI:
-      case Opcode::ORI: case Opcode::XORI: case Opcode::SHLI:
-      case Opcode::SHRI: case Opcode::SARI: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        GrVal b = evalGr(prog, frame, inst.srcs[1]);
-        if (a.nat || b.nat) {
-            frame.writeGr(inst.dests[0], GrVal{0, true});
-            break;
-        }
-        int64_t r = aluEval(inst.op, a.v, b.v, eff);
-        if (eff.trap)
-            break;
-        frame.writeGr(inst.dests[0], GrVal{r, false});
-        break;
-      }
-
-      case Opcode::SXT: case Opcode::ZXT: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        if (a.nat) {
-            frame.writeGr(inst.dests[0], GrVal{0, true});
-            break;
-        }
-        uint64_t u = static_cast<uint64_t>(a.v);
-        int bits = inst.size * 8;
-        uint64_t maskv = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
-        u &= maskv;
-        int64_t r;
-        if (inst.op == Opcode::SXT && bits < 64 &&
-            (u & (1ull << (bits - 1)))) {
-            r = static_cast<int64_t>(u | ~maskv);
-        } else {
-            r = static_cast<int64_t>(u);
-        }
-        frame.writeGr(inst.dests[0], GrVal{r, false});
-        break;
-      }
-
-      case Opcode::CMP:
-      case Opcode::CMPI: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        GrVal b = evalGr(prog, frame, inst.srcs[1]);
-        if (a.nat || b.nat) {
-            // IA-64: NaT sources clear the destination pair (norm/unc/and);
-            // or-type leaves destinations unchanged.
-            if (inst.ctype != CmpType::Or) {
-                frame.writePr(inst.dests[0], false);
-                frame.writePr(inst.dests[1], false);
-            }
-            break;
-        }
-        bool c = cmpEval(inst.cond, a.v, b.v);
-        switch (inst.ctype) {
-          case CmpType::Norm:
-          case CmpType::Unc:
-            frame.writePr(inst.dests[0], c);
-            frame.writePr(inst.dests[1], !c);
-            break;
-          case CmpType::And:
-            if (!c) {
-                frame.writePr(inst.dests[0], false);
-                frame.writePr(inst.dests[1], false);
-            }
-            break;
-          case CmpType::Or:
-            if (c) {
-                frame.writePr(inst.dests[0], true);
-                frame.writePr(inst.dests[1], true);
-            }
-            break;
-        }
-        break;
-      }
-
-      case Opcode::FCMP: {
-        double a = evalFr(frame, inst.srcs[0]);
-        double b = evalFr(frame, inst.srcs[1]);
-        bool c = fcmpEval(inst.cond, a, b);
-        frame.writePr(inst.dests[0], c);
-        frame.writePr(inst.dests[1], !c);
-        break;
-      }
-
-      case Opcode::LD: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        eff.is_mem = true;
-        eff.is_load = true;
-        eff.size = inst.size;
-        if (a.nat) {
-            if (inst.spec) {
-                // NaT address on a speculative chain: defer.
-                frame.writeGr(inst.dests[0], GrVal{0, true});
-                eff.mem_deferred = true;
-                break;
-            }
-            eff.trap = true;
-            eff.trap_msg = "non-speculative load with NaT address";
-            break;
-        }
-        uint64_t addr = static_cast<uint64_t>(a.v);
-        eff.addr = addr;
-        bool null_page = (addr >> Memory::kPageBits) == 0;
-        if (null_page || !mem.isMapped(addr)) {
-            if (inst.spec) {
-                frame.writeGr(inst.dests[0], GrVal{0, true});
-                eff.mem_deferred = true;
-                eff.mem_null_page = null_page;
-                eff.mem_wild = !null_page;
-                break;
-            }
-            eff.trap = true;
-            eff.trap_msg = null_page
-                               ? "non-speculative NULL-page access"
-                               : "non-speculative load from unmapped page";
-            break;
-        }
-        uint64_t raw = mem.read(addr, inst.size);
-        int64_t val;
-        // Loads zero-extend like IA-64 ld1/ld2/ld4; full-width as-is.
-        val = static_cast<int64_t>(raw);
-        frame.writeGr(inst.dests[0], GrVal{val, false});
-        break;
-      }
-
-      case Opcode::ST: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        GrVal v = evalGr(prog, frame, inst.srcs[1]);
-        eff.is_mem = true;
-        eff.size = inst.size;
-        if (a.nat || v.nat) {
-            eff.trap = true;
-            eff.trap_msg = "store consumed NaT";
-            break;
-        }
-        uint64_t addr = static_cast<uint64_t>(a.v);
-        eff.addr = addr;
-        if ((addr >> Memory::kPageBits) == 0 || !mem.isMapped(addr)) {
-            eff.trap = true;
-            eff.trap_msg = "store to unmapped page";
-            break;
-        }
-        mem.write(addr, static_cast<uint64_t>(v.v), inst.size);
-        break;
-      }
-
-      case Opcode::LDF: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        eff.is_mem = true;
-        eff.is_load = true;
-        eff.size = 8;
-        if (a.nat) {
-            eff.trap = true;
-            eff.trap_msg = "ldf with NaT address";
-            break;
-        }
-        uint64_t addr = static_cast<uint64_t>(a.v);
-        eff.addr = addr;
-        if ((addr >> Memory::kPageBits) == 0 || !mem.isMapped(addr)) {
-            eff.trap = true;
-            eff.trap_msg = "ldf from unmapped page";
-            break;
-        }
-        uint64_t raw = mem.read(addr, 8);
-        double d;
-        static_assert(sizeof(d) == sizeof(raw));
-        __builtin_memcpy(&d, &raw, 8);
-        frame.fr[inst.dests[0].id] = d;
-        break;
-      }
-
-      case Opcode::STF: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        double v = evalFr(frame, inst.srcs[1]);
-        eff.is_mem = true;
-        eff.size = 8;
-        if (a.nat) {
-            eff.trap = true;
-            eff.trap_msg = "stf with NaT address";
-            break;
-        }
-        uint64_t addr = static_cast<uint64_t>(a.v);
-        eff.addr = addr;
-        if ((addr >> Memory::kPageBits) == 0 || !mem.isMapped(addr)) {
-            eff.trap = true;
-            eff.trap_msg = "stf to unmapped page";
-            break;
-        }
-        uint64_t raw;
-        __builtin_memcpy(&raw, &v, 8);
-        mem.write(addr, raw, 8);
-        break;
-      }
-
-      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
-      case Opcode::FDIV: {
-        double a = evalFr(frame, inst.srcs[0]);
-        double b = evalFr(frame, inst.srcs[1]);
-        double r = 0.0;
-        switch (inst.op) {
-          case Opcode::FADD: r = a + b; break;
-          case Opcode::FSUB: r = a - b; break;
-          case Opcode::FMUL: r = a * b; break;
-          case Opcode::FDIV: r = a / b; break;
-          default: break;
-        }
-        frame.fr[inst.dests[0].id] = r;
-        break;
-      }
-
-      case Opcode::FMA: {
-        double a = evalFr(frame, inst.srcs[0]);
-        double b = evalFr(frame, inst.srcs[1]);
-        double c = evalFr(frame, inst.srcs[2]);
-        frame.fr[inst.dests[0].id] = a * b + c;
-        break;
-      }
-
-      case Opcode::FNEG:
-        frame.fr[inst.dests[0].id] = -evalFr(frame, inst.srcs[0]);
-        break;
-
-      case Opcode::CVTFI: {
-        double a = evalFr(frame, inst.srcs[0]);
-        frame.writeGr(inst.dests[0],
-                      GrVal{static_cast<int64_t>(a), false});
-        break;
-      }
-
-      case Opcode::CVTIF: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        if (a.nat) {
-            eff.trap = true;
-            eff.trap_msg = "cvtif consumed NaT";
-            break;
-        }
-        frame.fr[inst.dests[0].id] = static_cast<double>(a.v);
-        break;
-      }
-
-      case Opcode::BR:
-        eff.ctl = Effect::Ctl::Branch;
-        eff.branch_target = inst.target;
-        break;
-
-      case Opcode::BR_CALL:
-        eff.ctl = Effect::Ctl::Call;
-        eff.callee = inst.callee;
-        break;
-
-      case Opcode::BR_ICALL: {
-        GrVal tok = evalGr(prog, frame, inst.srcs[0]);
-        if (tok.nat) {
-            eff.trap = true;
-            eff.trap_msg = "indirect call through NaT token";
-            break;
-        }
-        if (!prog.func(static_cast<int>(tok.v))) {
-            eff.trap = true;
-            eff.trap_msg = "indirect call to bad function token";
-            break;
-        }
-        eff.ctl = Effect::Ctl::Call;
-        eff.callee = static_cast<int>(tok.v);
-        break;
-      }
-
-      case Opcode::BR_RET:
-        eff.ctl = Effect::Ctl::Ret;
-        if (!inst.srcs.empty()) {
-            eff.has_ret_val = true;
-            eff.ret_val = evalGr(prog, frame, inst.srcs[0]);
-        }
-        break;
-
-      case Opcode::CHK_S: {
-        GrVal a = evalGr(prog, frame, inst.srcs[0]);
-        if (a.nat) {
-            eff.ctl = Effect::Ctl::Branch;
-            eff.branch_target = inst.target;
-        }
-        break;
-      }
-
-      case Opcode::ALLOC:
-      case Opcode::NOP:
-        break;
-
-      default:
-        epic_panic("execInstr: unhandled opcode ", inst.info().name);
-    }
-
-    return eff;
 }
 
 } // namespace epic

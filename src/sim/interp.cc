@@ -1,53 +1,34 @@
 #include "sim/interp.h"
 
 #include <deque>
+#include <unordered_map>
+#include <vector>
 
+#include "sim/decode.h"
 #include "support/logging.h"
 #include "support/telemetry/trace.h"
 
+/*
+ * The interpreter's hot loop is token-threaded on GCC/Clang: every
+ * opcode gets its own handler (a computed-goto label) that inlines a
+ * per-opcode specialization of the execution kernel
+ * (execDecodedImpl<op>) and then dispatches directly to the next
+ * instruction's handler. Compared with the portable loop below, this
+ * (a) folds the kernel's opcode switch away per handler, and (b) gives
+ * every handler its own indirect jump, so the branch predictor can
+ * learn per-opcode successor patterns instead of sharing one
+ * always-mispredicting dispatch site.
+ *
+ * Both loops share the kernel and the per-effect bookkeeping; the
+ * portable loop is the reference semantics and the threaded loop must
+ * stay observationally identical to it (same counters, same errors,
+ * same profile writes).
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define EPIC_THREADED_INTERP 1
+#endif
+
 namespace epic {
-
-namespace {
-
-/** Execution-order view of a block (source order or bundle order). */
-std::vector<int>
-execOrder(const BasicBlock &b, bool scheduled_order)
-{
-    std::vector<int> order;
-    if (scheduled_order && b.scheduled()) {
-        order.reserve(b.instrs.size());
-        for (const Bundle &bun : b.bundles)
-            for (int16_t s : bun.slots)
-                if (s != kSlotNop)
-                    order.push_back(s);
-    } else {
-        order.resize(b.instrs.size());
-        for (size_t i = 0; i < order.size(); ++i)
-            order[i] = static_cast<int>(i);
-    }
-    return order;
-}
-
-/** Evaluate a call-argument operand (mirrors exec_core's evalGr). */
-GrVal
-evalArgHelper(const Program &prog, const Frame &frame, const Operand &o)
-{
-    switch (o.kind) {
-      case Operand::Kind::Reg:
-        return frame.readGr(o.reg);
-      case Operand::Kind::Imm:
-        return GrVal{o.imm, false};
-      case Operand::Kind::Sym:
-        return GrVal{
-            static_cast<int64_t>(prog.symbolAddr(o.sym) + o.imm), false};
-      case Operand::Kind::Func:
-        return GrVal{o.func, false};
-      default:
-        epic_panic("bad call argument operand");
-    }
-}
-
-} // namespace
 
 InterpResult
 interpret(Program &prog, Memory &mem, const InterpOptions &opts)
@@ -61,16 +42,25 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         return res;
     }
 
+    // Predecode: per-block execution orders, built once for this run
+    // (DESIGN.md §12). `order == nullptr` means the identity order.
+    const DecodedProgram dec =
+        DecodedProgram::forInterp(prog, opts.scheduled_order);
+
     std::deque<Frame> stack;
+    std::vector<Frame> frame_pool; ///< recycled activations
     const uint64_t stack_top = Program::kStackTop - 64;
     stack.emplace_back(entry_fn,
                        stack_top - Frame::frameBytes(*entry_fn));
 
     Function *fn = entry_fn;
+    const DecodedFunction *dfn = &dec.func(fn->id);
     BasicBlock *bb = fn->block(fn->entry);
     epic_assert(bb, "entry block missing");
-    std::vector<int> order = execOrder(*bb, opts.scheduled_order);
-    size_t pos = 0;
+    const int32_t *order = dfn->block(fn->entry).order;
+    uint32_t order_len = dfn->block(fn->entry).order_len;
+    const DecodedInstr *dinstrs = dfn->block(fn->entry).dinstrs;
+    uint32_t pos = 0;
 
     if (opts.collect_profile) {
         entry_fn->weight += 1;
@@ -83,48 +73,42 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
             res.error = "jump to dead block in " + fn->name;
             return false;
         }
-        order = execOrder(*bb, opts.scheduled_order);
+        const DecodedBlock &db = dfn->block(bid);
+        order = db.order;
+        order_len = db.order_len;
+        dinstrs = db.dinstrs;
         pos = 0;
         if (opts.collect_profile)
             bb->weight += 1;
         return true;
     };
 
-    while (true) {
-        if (res.dyn_instrs >= opts.max_instrs) {
-            res.error = "dynamic instruction budget exceeded (" +
-                        std::to_string(opts.max_instrs) + " instrs)";
-            return res;
-        }
+    // Scratch for gathering call arguments (reused across calls).
+    std::vector<GrVal> args;
 
-        // Fall off the end of the block?
-        if (pos >= order.size()) {
-            if (bb->fallthrough < 0) {
-                res.error = "fell off block bb" + std::to_string(bb->id) +
-                            " in " + fn->name;
-                return res;
-            }
-            if (!enter_block(bb->fallthrough))
-                return res;
-            continue;
-        }
+    // Per-run index over indirect-call profile entries: callee id ->
+    // position in Instruction::prof_callees. Replaces the linear scan
+    // per indirect call while keeping the profile vector in exactly the
+    // insertion order the scan produced (deterministic output).
+    std::unordered_map<Instruction *, std::unordered_map<int, size_t>>
+        callee_ix;
 
-        Instruction &inst = bb->instrs[order[pos]];
-        Frame &frame = stack.back();
-        Effect eff = execInstr(prog, inst, frame, mem);
+    // The current activation. std::deque never relocates elements on
+    // push_back/pop_back, so the pointer stays valid until the frame it
+    // names is popped (it is refreshed on every call and return).
+    Frame *frame = &stack.back();
 
+    // Per-effect bookkeeping shared by both loop forms. Ordering
+    // matters and is part of the observable semantics: instruction
+    // counters first, then the trap check, then memory counters.
+    auto count_instr = [&](const Effect &eff) {
         ++res.dyn_instrs;
         if (eff.executed)
             ++res.dyn_executed;
         else
             ++res.dyn_squashed;
-
-        if (eff.trap) {
-            res.error = "trap in " + fn->name + " at '" + inst.str() +
-                        "': " + eff.trap_msg;
-            return res;
-        }
-
+    };
+    auto count_mem = [&](const Effect &eff) {
         if (eff.is_mem && eff.executed) {
             if (eff.is_load) {
                 ++res.dyn_loads;
@@ -138,6 +122,329 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
                 ++res.dyn_stores;
             }
         }
+    };
+    // A call whose guard was false: falls through like any squashed op.
+    auto do_call = [&](const Effect &eff,
+                       const DecodedInstr &di) -> bool /* continue? */ {
+        ++res.dyn_branches;
+        ++res.dyn_calls;
+        if (opts.collect_profile && di.op == Opcode::BR_ICALL) {
+            // Profile annotations are the one mutable slice of the
+            // program a live decode permits (see decode.h).
+            Instruction &inst = *const_cast<Instruction *>(di.orig);
+            auto &ix = callee_ix[&inst];
+            if (ix.empty() && !inst.prof_callees.empty()) {
+                // Seed from pre-existing annotations so re-profiling
+                // without clearProfile keeps accumulating in place.
+                for (size_t k = 0; k < inst.prof_callees.size(); ++k)
+                    ix.emplace(inst.prof_callees[k].first, k);
+            }
+            auto [it, fresh] =
+                ix.emplace(eff.callee, inst.prof_callees.size());
+            if (fresh)
+                inst.prof_callees.push_back({eff.callee, 1.0});
+            else
+                inst.prof_callees[it->second].second += 1;
+        }
+        if (static_cast<int>(stack.size()) >= opts.max_depth) {
+            res.error = "call depth limit exceeded (" +
+                        std::to_string(opts.max_depth) + ") in " +
+                        fn->name;
+            return false;
+        }
+        Function *callee = prog.func(eff.callee);
+        epic_assert(callee, "call to missing function");
+        // Gather argument values from the caller before pushing
+        // (argument lists live on the original instruction).
+        const Instruction &inst = *di.orig;
+        size_t first_arg = di.op == Opcode::BR_ICALL ? 1 : 0;
+        size_t nargs = inst.srcs.size() - first_arg;
+        if (nargs != callee->params.size()) {
+            res.error = "arity mismatch calling " + callee->name;
+            return false;
+        }
+        args.resize(nargs);
+        for (size_t i = 0; i < nargs; ++i)
+            args[i] =
+                detail::evalGr(prog, *frame, inst.srcs[first_arg + i]);
+
+        const uint64_t callee_sp =
+            frame->sp - Frame::frameBytes(*callee);
+        if (frame_pool.empty()) {
+            stack.emplace_back(callee, callee_sp);
+        } else {
+            stack.push_back(std::move(frame_pool.back()));
+            frame_pool.pop_back();
+            stack.back().reset(callee, callee_sp);
+        }
+        Frame &nf = stack.back();
+        nf.ret_block = bb->id;
+        nf.ret_pos = static_cast<int>(pos) + 1;
+        nf.ret_dest = di.dest0;
+        for (size_t i = 0; i < nargs; ++i)
+            nf.writeGr(callee->params[i], args[i]);
+        frame = &nf;
+
+        fn = callee;
+        dfn = &dec.func(fn->id);
+        if (opts.collect_profile)
+            fn->weight += 1;
+        return enter_block(fn->entry);
+    };
+    // Returns false when this was the outermost frame (run finished).
+    auto do_ret = [&](const Effect &eff) -> bool {
+        ++res.dyn_branches;
+        const int ret_block = stack.back().ret_block;
+        const int ret_pos = stack.back().ret_pos;
+        const Reg ret_dest = stack.back().ret_dest;
+        frame_pool.push_back(std::move(stack.back()));
+        stack.pop_back();
+        if (stack.empty()) {
+            res.ok = true;
+            res.ret_value = eff.has_ret_val ? eff.ret_val.v : 0;
+            return false;
+        }
+        Frame &caller = stack.back();
+        frame = &caller;
+        fn = const_cast<Function *>(caller.fn);
+        dfn = &dec.func(fn->id);
+        if (ret_dest.valid() && eff.has_ret_val)
+            caller.writeGr(ret_dest, eff.ret_val);
+        else if (ret_dest.valid())
+            caller.writeGr(ret_dest, GrVal{0, false});
+        bb = fn->block(ret_block);
+        epic_assert(bb, "return to dead block");
+        const DecodedBlock &db = dfn->block(ret_block);
+        order = db.order;
+        order_len = db.order_len;
+        dinstrs = db.dinstrs;
+        pos = static_cast<uint32_t>(ret_pos);
+        return true;
+    };
+
+#if EPIC_THREADED_INTERP
+    // Handler table, indexed by Opcode. Filled positionally below;
+    // keep in enum order (the static_assert pins the count and a
+    // mismatch is caught by the decode parity tests).
+    static const void *const kJump[] = {
+        &&h_MOV, &&h_MOVI, &&h_MOVA, &&h_MOVFN, &&h_MOVP,
+        &&h_ADD, &&h_SUB, &&h_AND, &&h_OR, &&h_XOR,
+        &&h_ADDI, &&h_SUBI, &&h_ANDI, &&h_ORI, &&h_XORI,
+        &&h_CMP, &&h_CMPI,
+        &&h_SHL, &&h_SHR, &&h_SAR, &&h_SHLI, &&h_SHRI, &&h_SARI,
+        &&h_SXT, &&h_ZXT,
+        &&h_MUL, &&h_DIV, &&h_REM,
+        &&h_LD, &&h_ST, &&h_LDF, &&h_STF,
+        &&h_FADD, &&h_FSUB, &&h_FMUL, &&h_FDIV, &&h_FMA, &&h_FNEG,
+        &&h_FCMP, &&h_CVTFI, &&h_CVTIF,
+        &&h_BR, &&h_BR_CALL, &&h_BR_ICALL, &&h_BR_RET, &&h_CHK_S,
+        &&h_ALLOC, &&h_NOP,
+    };
+    static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                      static_cast<size_t>(Opcode::NumOpcodes),
+                  "dispatch table must cover every opcode");
+
+    const DecodedInstr *di = nullptr;
+    Effect ceff; ///< effect of the op that triggered a shared exit path
+
+// Fetch the next instruction and jump to its handler.
+#define EPIC_DISPATCH()                                                  \
+    do {                                                                 \
+        if (__builtin_expect(res.dyn_instrs >= opts.max_instrs, 0))      \
+            goto budget_exhausted;                                       \
+        if (__builtin_expect(pos >= order_len, 0))                       \
+            goto block_end;                                              \
+        di = &dinstrs[order ? static_cast<uint32_t>(order[pos]) : pos];  \
+        goto *kJump[static_cast<size_t>(di->op)];                        \
+    } while (0)
+
+// Straight-line op: counters, trap check, advance.
+#define EPIC_HANDLER(NAME)                                               \
+    h_##NAME : {                                                         \
+        Effect eff = execDecodedImpl<static_cast<int>(Opcode::NAME)>(    \
+            prog, *di, *frame, mem);                                     \
+        count_instr(eff);                                                \
+        if (__builtin_expect(eff.trap, 0)) {                             \
+            ceff = eff;                                                  \
+            goto trap_exit;                                              \
+        }                                                                \
+        count_mem(eff);                                                  \
+        ++pos;                                                           \
+        EPIC_DISPATCH();                                                 \
+    }
+
+    EPIC_DISPATCH();
+
+    EPIC_HANDLER(MOV)
+    EPIC_HANDLER(MOVI)
+    EPIC_HANDLER(MOVA)
+    EPIC_HANDLER(MOVFN)
+    EPIC_HANDLER(MOVP)
+    EPIC_HANDLER(ADD)
+    EPIC_HANDLER(SUB)
+    EPIC_HANDLER(AND)
+    EPIC_HANDLER(OR)
+    EPIC_HANDLER(XOR)
+    EPIC_HANDLER(ADDI)
+    EPIC_HANDLER(SUBI)
+    EPIC_HANDLER(ANDI)
+    EPIC_HANDLER(ORI)
+    EPIC_HANDLER(XORI)
+    EPIC_HANDLER(CMP)
+    EPIC_HANDLER(CMPI)
+    EPIC_HANDLER(SHL)
+    EPIC_HANDLER(SHR)
+    EPIC_HANDLER(SAR)
+    EPIC_HANDLER(SHLI)
+    EPIC_HANDLER(SHRI)
+    EPIC_HANDLER(SARI)
+    EPIC_HANDLER(SXT)
+    EPIC_HANDLER(ZXT)
+    EPIC_HANDLER(MUL)
+    EPIC_HANDLER(DIV)
+    EPIC_HANDLER(REM)
+    EPIC_HANDLER(LD)
+    EPIC_HANDLER(ST)
+    EPIC_HANDLER(LDF)
+    EPIC_HANDLER(STF)
+    EPIC_HANDLER(FADD)
+    EPIC_HANDLER(FSUB)
+    EPIC_HANDLER(FMUL)
+    EPIC_HANDLER(FDIV)
+    EPIC_HANDLER(FMA)
+    EPIC_HANDLER(FNEG)
+    EPIC_HANDLER(FCMP)
+    EPIC_HANDLER(CVTFI)
+    EPIC_HANDLER(CVTIF)
+    EPIC_HANDLER(ALLOC)
+    EPIC_HANDLER(NOP)
+
+    h_BR: {
+        Effect eff = execDecodedImpl<static_cast<int>(Opcode::BR)>(
+            prog, *di, *frame, mem);
+        count_instr(eff);
+        if (eff.ctl == Effect::Ctl::Branch) {
+            ++res.dyn_branches;
+            if (opts.collect_profile)
+                const_cast<Instruction *>(di->orig)->prof_taken += 1;
+            if (!enter_block(eff.branch_target))
+                return res;
+        } else {
+            ++pos; // squashed: falls through
+        }
+        EPIC_DISPATCH();
+    }
+
+    h_CHK_S: {
+        Effect eff = execDecodedImpl<static_cast<int>(Opcode::CHK_S)>(
+            prog, *di, *frame, mem);
+        count_instr(eff);
+        if (eff.ctl == Effect::Ctl::Branch) {
+            ++res.dyn_branches;
+            if (!enter_block(eff.branch_target))
+                return res;
+        } else {
+            ++pos;
+        }
+        EPIC_DISPATCH();
+    }
+
+    h_BR_CALL: {
+        ceff = execDecodedImpl<static_cast<int>(Opcode::BR_CALL)>(
+            prog, *di, *frame, mem);
+        goto call_common;
+    }
+
+    h_BR_ICALL: {
+        ceff = execDecodedImpl<static_cast<int>(Opcode::BR_ICALL)>(
+            prog, *di, *frame, mem);
+        goto call_common;
+    }
+
+    call_common: {
+        count_instr(ceff);
+        if (__builtin_expect(ceff.trap, 0))
+            goto trap_exit;
+        if (ceff.ctl == Effect::Ctl::Call) {
+            if (!do_call(ceff, *di))
+                return res;
+        } else {
+            ++pos; // squashed call
+        }
+        EPIC_DISPATCH();
+    }
+
+    h_BR_RET: {
+        ceff = execDecodedImpl<static_cast<int>(Opcode::BR_RET)>(
+            prog, *di, *frame, mem);
+        count_instr(ceff);
+        if (ceff.ctl == Effect::Ctl::Ret) {
+            if (!do_ret(ceff))
+                return res; // outermost frame: run finished
+        } else {
+            ++pos; // squashed return
+        }
+        EPIC_DISPATCH();
+    }
+
+    block_end: {
+        if (bb->fallthrough < 0) {
+            res.error = "fell off block bb" + std::to_string(bb->id) +
+                        " in " + fn->name;
+            return res;
+        }
+        if (!enter_block(bb->fallthrough))
+            return res;
+        EPIC_DISPATCH();
+    }
+
+    budget_exhausted: {
+        res.error = "dynamic instruction budget exceeded (" +
+                    std::to_string(opts.max_instrs) + " instrs)";
+        return res;
+    }
+
+    trap_exit: {
+        res.error = "trap in " + fn->name + " at '" + di->orig->str() +
+                    "': " + ceff.trap_msg;
+        return res;
+    }
+
+#undef EPIC_HANDLER
+#undef EPIC_DISPATCH
+
+#else // !EPIC_THREADED_INTERP — portable reference loop
+
+    while (true) {
+        if (res.dyn_instrs >= opts.max_instrs) {
+            res.error = "dynamic instruction budget exceeded (" +
+                        std::to_string(opts.max_instrs) + " instrs)";
+            return res;
+        }
+
+        // Fall off the end of the block?
+        if (pos >= order_len) {
+            if (bb->fallthrough < 0) {
+                res.error = "fell off block bb" + std::to_string(bb->id) +
+                            " in " + fn->name;
+                return res;
+            }
+            if (!enter_block(bb->fallthrough))
+                return res;
+            continue;
+        }
+
+        const DecodedInstr &di =
+            dinstrs[order ? static_cast<uint32_t>(order[pos]) : pos];
+        Effect eff = execDecoded(prog, di, *frame, mem);
+
+        count_instr(eff);
+        if (eff.trap) {
+            res.error = "trap in " + fn->name + " at '" + di.orig->str() +
+                        "': " + eff.trap_msg;
+            return res;
+        }
+        count_mem(eff);
 
         switch (eff.ctl) {
           case Effect::Ctl::Next:
@@ -146,85 +453,25 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 
           case Effect::Ctl::Branch:
             ++res.dyn_branches;
-            if (opts.collect_profile && inst.op == Opcode::BR)
-                inst.prof_taken += 1;
+            if (opts.collect_profile && di.op == Opcode::BR)
+                const_cast<Instruction *>(di.orig)->prof_taken += 1;
             if (!enter_block(eff.branch_target))
                 return res;
             break;
 
-          case Effect::Ctl::Call: {
-            ++res.dyn_branches;
-            ++res.dyn_calls;
-            if (opts.collect_profile && inst.op == Opcode::BR_ICALL) {
-                bool found = false;
-                for (auto &[fid, cnt] : inst.prof_callees) {
-                    if (fid == eff.callee) {
-                        cnt += 1;
-                        found = true;
-                    }
-                }
-                if (!found)
-                    inst.prof_callees.push_back({eff.callee, 1.0});
-            }
-            if (static_cast<int>(stack.size()) >= opts.max_depth) {
-                res.error = "call depth limit exceeded (" +
-                            std::to_string(opts.max_depth) + ") in " +
-                            fn->name;
-                return res;
-            }
-            Function *callee = prog.func(eff.callee);
-            epic_assert(callee, "call to missing function");
-            // Gather argument values from the caller before pushing.
-            size_t first_arg = inst.op == Opcode::BR_ICALL ? 1 : 0;
-            size_t nargs = inst.srcs.size() - first_arg;
-            if (nargs != callee->params.size()) {
-                res.error = "arity mismatch calling " + callee->name;
-                return res;
-            }
-            std::vector<GrVal> args(nargs);
-            for (size_t i = 0; i < nargs; ++i)
-                args[i] = evalArgHelper(prog, frame, inst.srcs[first_arg + i]);
-
-            stack.emplace_back(callee,
-                               frame.sp - Frame::frameBytes(*callee));
-            Frame &nf = stack.back();
-            nf.ret_block = bb->id;
-            nf.ret_pos = static_cast<int>(pos) + 1;
-            nf.ret_dest = inst.dests.empty() ? Reg() : inst.dests[0];
-            for (size_t i = 0; i < nargs; ++i)
-                nf.writeGr(callee->params[i], args[i]);
-
-            fn = callee;
-            if (opts.collect_profile)
-                fn->weight += 1;
-            if (!enter_block(fn->entry))
+          case Effect::Ctl::Call:
+            if (!do_call(eff, di))
                 return res;
             break;
-          }
 
-          case Effect::Ctl::Ret: {
-            ++res.dyn_branches;
-            Frame done = std::move(stack.back());
-            stack.pop_back();
-            if (stack.empty()) {
-                res.ok = true;
-                res.ret_value = eff.has_ret_val ? eff.ret_val.v : 0;
+          case Effect::Ctl::Ret:
+            if (!do_ret(eff))
                 return res;
-            }
-            Frame &caller = stack.back();
-            fn = const_cast<Function *>(caller.fn);
-            if (done.ret_dest.valid() && eff.has_ret_val)
-                caller.writeGr(done.ret_dest, eff.ret_val);
-            else if (done.ret_dest.valid())
-                caller.writeGr(done.ret_dest, GrVal{0, false});
-            bb = fn->block(done.ret_block);
-            epic_assert(bb, "return to dead block");
-            order = execOrder(*bb, opts.scheduled_order);
-            pos = static_cast<size_t>(done.ret_pos);
             break;
-          }
         }
     }
+
+#endif // EPIC_THREADED_INTERP
 }
 
 InterpResult

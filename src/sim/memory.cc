@@ -1,5 +1,6 @@
 #include "sim/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "ir/program.h"
@@ -8,26 +9,41 @@
 namespace epic {
 
 uint8_t *
+Memory::lookupPageSlow(uint64_t pn) const
+{
+    auto it = pages_.find(pn);
+    if (it == pages_.end())
+        return nullptr; // unmapped pages are never cached (may map later)
+    const uint32_t slot = cache_mru_ ^ 1u;
+    cache_pn_[slot] = pn;
+    cache_page_[slot] = it->second.get();
+    cache_mru_ = slot;
+    return cache_page_[slot];
+}
+
+uint8_t *
 Memory::pageFor(uint64_t addr, bool create)
 {
-    uint64_t pn = addr >> kPageBits;
-    auto it = pages_.find(pn);
-    if (it != pages_.end())
-        return it->second.get();
+    const uint64_t pn = addr >> kPageBits;
+    if (uint8_t *p = lookupPage(pn))
+        return p;
     if (!create)
         return nullptr;
     auto page = std::make_unique<uint8_t[]>(kPageSize);
     std::memset(page.get(), 0, kPageSize);
     uint8_t *raw = page.get();
     pages_.emplace(pn, std::move(page));
+    const uint32_t slot = cache_mru_ ^ 1u;
+    cache_pn_[slot] = pn;
+    cache_page_[slot] = raw;
+    cache_mru_ = slot;
     return raw;
 }
 
 const uint8_t *
 Memory::pageForRead(uint64_t addr) const
 {
-    auto it = pages_.find(addr >> kPageBits);
-    return it == pages_.end() ? nullptr : it->second.get();
+    return lookupPage(addr >> kPageBits);
 }
 
 void
@@ -78,22 +94,62 @@ Memory::write(uint64_t addr, uint64_t value, int size)
     }
 }
 
+bool
+Memory::tryReadCross(uint64_t addr, int size, uint64_t &out) const
+{
+    uint64_t v = 0;
+    for (int i = 0; i < size; ++i) {
+        const uint8_t *q = lookupPage((addr + i) >> kPageBits);
+        if (!q)
+            return false;
+        v |= static_cast<uint64_t>(q[(addr + i) & kPageMask]) << (8 * i);
+    }
+    out = v;
+    return true;
+}
+
+bool
+Memory::tryWriteCross(uint64_t addr, uint64_t value, int size)
+{
+    // Verify every covered page before mutating anything.
+    for (int i = 1; i < size; ++i)
+        if (!lookupPage((addr + i) >> kPageBits))
+            return false;
+    for (int i = 0; i < size; ++i) {
+        uint8_t *q = lookupPage((addr + i) >> kPageBits);
+        q[(addr + i) & kPageMask] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+    return true;
+}
+
 void
 Memory::writeBytes(uint64_t addr, const uint8_t *data, uint64_t len)
 {
-    for (uint64_t i = 0; i < len; ++i) {
-        uint8_t *p = pageFor(addr + i, true);
-        p[(addr + i) & kPageMask] = data[i];
+    // One page lookup + memcpy per covered page, not per byte.
+    while (len > 0) {
+        uint8_t *p = pageFor(addr, true);
+        const uint64_t off = addr & kPageMask;
+        const uint64_t chunk = std::min(len, kPageSize - off);
+        std::memcpy(p + off, data, chunk);
+        addr += chunk;
+        data += chunk;
+        len -= chunk;
     }
 }
 
 void
 Memory::readBytes(uint64_t addr, uint8_t *out, uint64_t len) const
 {
-    for (uint64_t i = 0; i < len; ++i) {
-        const uint8_t *p = pageForRead(addr + i);
+    while (len > 0) {
+        const uint8_t *p = pageForRead(addr);
         epic_assert(p, "readBytes from unmapped address");
-        out[i] = p[(addr + i) & kPageMask];
+        const uint64_t off = addr & kPageMask;
+        const uint64_t chunk = std::min(len, kPageSize - off);
+        std::memcpy(out, p + off, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
     }
 }
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/caches.h"
+#include "sim/decode.h"
 #include "sim/exec_core.h"
 #include "sim/predictor.h"
 #include "support/logging.h"
@@ -15,101 +16,128 @@ namespace epic {
 
 namespace {
 
-/** One issue group of a block: instruction indices in slot order. */
-struct GroupInfo
+/** Scoreboard state of one register: ready/planned times and producer
+ *  class, packed together so one scoreboard probe touches one record
+ *  instead of four parallel arrays. */
+struct RegT
 {
-    std::vector<int> ops;        ///< instruction indices, slot order
-    std::vector<uint64_t> addrs; ///< per-op code address (bundle+slot)
-    std::vector<uint64_t> lines; ///< distinct 64B I-cache lines
-    int nops = 0;
-    uint32_t attr_union = 0;     ///< OR of member provenance attrs
+    int64_t ready = 0;   ///< cycle the value is actually available
+    int64_t planned = 0; ///< cycle the compiler planned it available
+    uint8_t f_unit = 0;  ///< producer was the F-unit
+    uint8_t load = 0;    ///< producer was a load
 };
-
-/** Issue groups of a scheduled block. */
-std::vector<GroupInfo>
-buildGroups(const BasicBlock &b)
-{
-    std::vector<GroupInfo> groups;
-    GroupInfo cur;
-    for (const Bundle &bun : b.bundles) {
-        uint64_t line = bun.addr & ~63ull;
-        if (std::find(cur.lines.begin(), cur.lines.end(), line) ==
-            cur.lines.end()) {
-            cur.lines.push_back(line);
-        }
-        for (int slot = 0; slot < 3; ++slot) {
-            int16_t s = bun.slots[slot];
-            if (s == kSlotNop) {
-                ++cur.nops;
-            } else {
-                cur.ops.push_back(s);
-                cur.addrs.push_back(bun.addr +
-                                    static_cast<uint64_t>(slot));
-                cur.attr_union |= b.instrs[s].attr;
-            }
-        }
-        if (bun.stop_after) {
-            groups.push_back(std::move(cur));
-            cur = GroupInfo{};
-        }
-    }
-    if (!cur.ops.empty() || cur.nops > 0)
-        groups.push_back(std::move(cur));
-    return groups;
-}
 
 /** Per-frame timing state: register ready times and producer class. */
 struct TFrame
 {
     // Indexed like the architectural frame's register files.
-    std::vector<int64_t> ready_gr, ready_fr, ready_pr;
-    std::vector<int64_t> planned_gr, planned_fr;
-    std::vector<uint8_t> f_unit_gr, f_unit_fr; ///< producer was F-unit
-    std::vector<uint8_t> load_gr, load_fr;     ///< producer was a load
+    std::vector<RegT> gr, fr;
+    std::vector<int64_t> ready_pr;
 
     TFrame(size_t ngr, size_t nfr, size_t npr)
-        : ready_gr(ngr, 0), ready_fr(nfr, 0), ready_pr(npr, 0),
-          planned_gr(ngr, 0), planned_fr(nfr, 0), f_unit_gr(ngr, 0),
-          f_unit_fr(nfr, 0), load_gr(ngr, 0), load_fr(nfr, 0)
     {
+        reset(ngr, nfr, npr);
+    }
+
+    /** Re-zero for a new activation, reusing the vectors' capacity (the
+     *  timing frames are pooled across call/return). */
+    void
+    reset(size_t ngr, size_t nfr, size_t npr)
+    {
+        gr.assign(ngr, RegT{});
+        fr.assign(nfr, RegT{});
+        ready_pr.assign(npr, 0);
     }
 };
 
-/** Fully-associative LRU DTLB. */
+/**
+ * Fully-associative exact-LRU DTLB.
+ *
+ * Same replacement decisions as the original timestamp map (unique
+ * access ticks make LRU order identical to last-touch order, so the
+ * miss/eviction stream is bit-identical), but O(1) per operation: a
+ * fixed slot array threaded into an intrusive recency list plus a hash
+ * index, with a head shortcut for the common touch-the-MRU-page case.
+ * A set-associative clock array would be cheaper still, but it changes
+ * dtlb_miss counts and therefore the deterministic run artifacts.
+ */
 class Dtlb
 {
   public:
-    explicit Dtlb(int entries) : entries_(entries) {}
+    explicit Dtlb(int entries) : cap_(std::max(1, entries))
+    {
+        slots_.reserve(static_cast<size_t>(cap_));
+        index_.reserve(static_cast<size_t>(cap_) * 2);
+    }
 
     bool
     access(uint64_t page)
     {
-        ++tick_;
-        auto it = map_.find(page);
-        if (it != map_.end()) {
-            it->second = tick_;
-            return true;
-        }
-        return false;
+        if (head_ >= 0 && slots_[static_cast<size_t>(head_)].page == page)
+            return true; // already most-recent: no reorder needed
+        auto it = index_.find(page);
+        if (it == index_.end())
+            return false;
+        unlink(it->second);
+        linkFront(it->second);
+        return true;
     }
 
     void
     insert(uint64_t page)
     {
-        if (static_cast<int>(map_.size()) >= entries_) {
-            auto victim = map_.begin();
-            for (auto it = map_.begin(); it != map_.end(); ++it)
-                if (it->second < victim->second)
-                    victim = it;
-            map_.erase(victim);
+        if (static_cast<int>(slots_.size()) < cap_) {
+            int s = static_cast<int>(slots_.size());
+            slots_.push_back(Slot{page, -1, -1});
+            index_.emplace(page, s);
+            linkFront(s);
+            return;
         }
-        map_[page] = ++tick_;
+        int victim = tail_; // least-recently-touched entry
+        index_.erase(slots_[static_cast<size_t>(victim)].page);
+        unlink(victim);
+        slots_[static_cast<size_t>(victim)].page = page;
+        linkFront(victim);
+        index_.emplace(page, victim);
     }
 
   private:
-    int entries_;
-    uint64_t tick_ = 0;
-    std::map<uint64_t, uint64_t> map_;
+    struct Slot
+    {
+        uint64_t page;
+        int prev, next;
+    };
+
+    void
+    linkFront(int s)
+    {
+        Slot &sl = slots_[static_cast<size_t>(s)];
+        sl.prev = -1;
+        sl.next = head_;
+        if (head_ >= 0)
+            slots_[static_cast<size_t>(head_)].prev = s;
+        head_ = s;
+        if (tail_ < 0)
+            tail_ = s;
+    }
+    void
+    unlink(int s)
+    {
+        Slot &sl = slots_[static_cast<size_t>(s)];
+        if (sl.prev >= 0)
+            slots_[static_cast<size_t>(sl.prev)].next = sl.next;
+        else
+            head_ = sl.next;
+        if (sl.next >= 0)
+            slots_[static_cast<size_t>(sl.next)].prev = sl.prev;
+        else
+            tail_ = sl.prev;
+    }
+
+    int cap_;
+    int head_ = -1, tail_ = -1;
+    std::vector<Slot> slots_;
+    std::unordered_map<uint64_t, int> index_;
 };
 
 } // namespace
@@ -127,16 +155,28 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         return res;
     }
 
+    // Predecode: per-block issue groups in dense per-function arrays,
+    // built once for this run (DESIGN.md §12).
+    const DecodedProgram dec = DecodedProgram::forTiming(prog);
+
     // Execution state (architected + timing), parallel stacks.
     std::deque<Frame> frames;
     std::deque<TFrame> tframes;
     std::deque<int> frame_stacked; ///< register-stack frame sizes
+    std::vector<Frame> frame_pool;   ///< recycled architectural frames
+    std::vector<TFrame> tframe_pool; ///< recycled timing frames
 
     const uint64_t stack_top = Program::kStackTop - 64;
     frames.emplace_back(entry_fn,
                         stack_top - Frame::frameBytes(*entry_fn));
     auto push_tframe = [&](const Frame &f) {
-        tframes.emplace_back(f.gr.size(), f.fr.size(), f.pr.size());
+        if (tframe_pool.empty()) {
+            tframes.emplace_back(f.gr.size(), f.fr.size(), f.pr.size());
+        } else {
+            tframes.push_back(std::move(tframe_pool.back()));
+            tframe_pool.pop_back();
+            tframes.back().reset(f.gr.size(), f.fr.size(), f.pr.size());
+        }
     };
     push_tframe(frames.back());
     frame_stacked.push_back(entry_fn->stacked_regs);
@@ -151,62 +191,86 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     int64_t rse_logical = entry_fn->stacked_regs;
     int64_t rse_spilled = 0;
 
-    // Store ring for micropipe (cycle, address).
-    std::deque<std::pair<int64_t, uint64_t>> store_ring;
-
-    // Group caches per block (per function, block id).
-    std::map<std::pair<int, int>, std::vector<GroupInfo>> group_cache;
-    auto groups_of = [&](const Function &f,
-                         const BasicBlock &b)
-        -> const std::vector<GroupInfo> & {
-        auto key = std::make_pair(f.id, b.id);
-        auto it = group_cache.find(key);
-        if (it == group_cache.end())
-            it = group_cache.emplace(key, buildGroups(b)).first;
-        return it->second;
+    // Store ring for micropipe: the 16 most recent stores (cycle,
+    // address). Whether a load is charged does not depend on which
+    // in-window entry matches, so scan order is free and a plain
+    // cyclic overwrite array suffices.
+    struct StoreRec
+    {
+        int64_t cyc;
+        uint64_t addr;
     };
+    StoreRec store_ring[16];
+    uint32_t store_count = 0; ///< total stores pushed so far
 
     Function *fn = entry_fn;
+    const DecodedFunction *dfn = &dec.func(fn->id);
     BasicBlock *bb = fn->block(fn->entry);
     if (!bb) {
         res.error = "entry block missing";
         return res;
     }
-    size_t gi = 0; ///< group index within bb
+    const DecodedBlock *db = &dfn->block(bb->id);
+    uint32_t gi = 0; ///< group index within bb
+
+    // Pool bases for DecodedGroup spans; refreshed whenever `dfn`
+    // changes (call/return only).
+    const int32_t *gops_base = dfn->gops();
+    const uint64_t *gaddr_base = dfn->gaddrs();
+    const uint64_t *gline_base = dfn->glines();
 
     int64_t t_prev = -1;   ///< issue time of the previous group
     int64_t fe_time = 0;   ///< fetch-pipeline clock
-    std::deque<int64_t> issue_hist; ///< recent group issue times (IB)
+    // Recent group issue times (decoupling instruction buffer), as a
+    // fixed ring: head is the oldest of the last `ib_groups` entries.
     const size_t ib_groups =
         std::max<size_t>(1, mach.instr_buffer_ops / mach.issue_width);
+    std::vector<int64_t> issue_hist(ib_groups, 0);
+    size_t hist_n = 0, hist_head = 0;
 
     uint64_t safety = 0;
+
+    // Running total of all charged cycles: pm.total() maintained
+    // incrementally so the per-group budget check is O(1) instead of a
+    // sum over every cycle category (same trip point, same error).
+    uint64_t cycles_total = 0;
+    // Cache the per-function cycle-attribution slot: `fn` changes only
+    // at call/return, so one hash lookup per charge is wasted work.
+    uint64_t *func_cyc = nullptr;
+    int func_cyc_id = -1;
 
     auto charge = [&](CycleCat c, int64_t n) {
         if (n <= 0)
             return;
         pm.addCycles(c, static_cast<uint64_t>(n));
-        pm.func_cycles[fn->id] += static_cast<uint64_t>(n);
+        cycles_total += static_cast<uint64_t>(n);
+        if (func_cyc_id != fn->id) {
+            func_cyc = &pm.func_cycles[fn->id];
+            func_cyc_id = fn->id;
+        }
+        *func_cyc += static_cast<uint64_t>(n);
     };
+
+    // Scratch for gathering call arguments (reused across calls).
+    std::vector<GrVal> args;
 
     // Resume positions for returns: group index in caller's block.
     struct RetPos
     {
         int block;
-        size_t group;
+        uint32_t group;
     };
     std::deque<RetPos> ret_stack;
 
     while (true) {
-        if (pm.total() > opts.max_cycles || ++safety > (1ull << 34)) {
+        if (cycles_total > opts.max_cycles || ++safety > (1ull << 34)) {
             res.error = "cycle budget exceeded (" +
                         std::to_string(opts.max_cycles) + " cycles)";
             return res;
         }
 
         // End of block: fall through.
-        const std::vector<GroupInfo> &groups = groups_of(*fn, *bb);
-        if (gi >= groups.size()) {
+        if (gi >= db->ngroups) {
             if (bb->fallthrough < 0) {
                 res.error = "fell off block bb" + std::to_string(bb->id) +
                             " in " + fn->name;
@@ -217,19 +281,24 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 res.error = "fallthrough to dead block";
                 return res;
             }
+            db = &dfn->block(bb->id);
             gi = 0;
             continue;
         }
-        const GroupInfo &group = groups[gi];
+        const DecodedGroup &group = db->groups[gi];
+        const int32_t *gops = gops_base + group.op_off;
+        const uint64_t *gaddrs = gaddr_base + group.op_off;
+        const uint64_t *glines = gline_base + group.line_off;
         Frame &frame = frames.back();
         TFrame &tf = tframes.back();
 
         // ---- Front end: fetch this group's lines ----
         int64_t fetch_floor =
-            issue_hist.size() >= ib_groups ? issue_hist.front() : 0;
+            hist_n >= ib_groups ? issue_hist[hist_head] : 0;
         fe_time = std::max(fe_time, fetch_floor);
         int fe_cost = 1;
-        for (uint64_t line : group.lines) {
+        for (uint16_t li = 0; li < group.nlines; ++li) {
+            uint64_t line = glines[li];
             MemAccessResult fr2 = hier.fetch(line);
             ++pm.l1i_accesses;
             if (!fr2.l1_hit) {
@@ -265,26 +334,34 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 binding_is_load = is_load;
             }
         };
-        for (int oi : group.ops) {
-            const Instruction &inst = bb->instrs[oi];
-            if (inst.guard.id != 0)
-                consider(tf.ready_pr[inst.guard.id], base, false, false);
-            bool guard_true = frame.readPr(inst.guard);
+        auto consider_reg = [&](const Reg &r) {
+            if (r.cls == RegClass::Gr && r.id != 0) {
+                const RegT &t = tf.gr[r.id];
+                consider(t.ready, t.planned, t.f_unit, t.load);
+            } else if (r.cls == RegClass::Fr) {
+                const RegT &t = tf.fr[r.id];
+                consider(t.ready, t.planned, t.f_unit, t.load);
+            } else if (r.cls == RegClass::Pr && r.id != 0) {
+                consider(tf.ready_pr[r.id], base, false, false);
+            }
+        };
+        for (uint16_t mi = 0; mi < group.nops; ++mi) {
+            const int oi = gops[mi];
+            const DecodedInstr &di = db->dinstrs[oi];
+            if (di.guard.id != 0)
+                consider(tf.ready_pr[di.guard.id], base, false, false);
+            bool guard_true = frame.readPr(di.guard);
             if (!guard_true)
                 continue; // squashed ops do not stall on operands
-            for (const Operand &o : inst.srcs) {
-                if (!o.isReg())
-                    continue;
-                const Reg &r = o.reg;
-                if (r.cls == RegClass::Gr && r.id != 0) {
-                    consider(tf.ready_gr[r.id], tf.planned_gr[r.id],
-                             tf.f_unit_gr[r.id], tf.load_gr[r.id]);
-                } else if (r.cls == RegClass::Fr) {
-                    consider(tf.ready_fr[r.id], tf.planned_fr[r.id],
-                             tf.f_unit_fr[r.id], tf.load_fr[r.id]);
-                } else if (r.cls == RegClass::Pr && r.id != 0) {
-                    consider(tf.ready_pr[r.id], base, false, false);
-                }
+            if (di.flags & kDecCall) {
+                // Call argument lists live on the original instruction.
+                for (const Operand &o : di.orig->srcs)
+                    if (o.isReg())
+                        consider_reg(o.reg);
+            } else {
+                for (uint8_t si = 0; si < di.nsrcs; ++si)
+                    if (di.src[si].kind == DecodedOp::K::Reg)
+                        consider_reg(di.src[si].reg);
             }
         }
 
@@ -308,11 +385,15 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         }
         charge(CycleCat::FrontEndBubble, fe_stall);
         charge(CycleCat::Unstalled, 1);
-        pm.nop_ops += group.nops;
+        pm.nop_ops += group.nnops;
 
-        issue_hist.push_back(issue);
-        if (issue_hist.size() > ib_groups)
-            issue_hist.pop_front();
+        if (hist_n < ib_groups) {
+            issue_hist[hist_n++] = issue; // head stays at the oldest (0)
+        } else {
+            issue_hist[hist_head] = issue;
+            if (++hist_head == ib_groups)
+                hist_head = 0;
+        }
 
         int64_t post_penalty = 0; ///< serializing penalties after issue
 
@@ -322,14 +403,14 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         const Instruction *ctl_inst = nullptr;
         Effect ctl_eff;
 
-        for (size_t op_i = 0; op_i < group.ops.size(); ++op_i) {
-            int oi = group.ops[op_i];
-            uint64_t paddr = group.addrs[op_i];
-            Instruction &inst = bb->instrs[oi];
-            Effect eff = execInstr(prog, inst, frame, mem);
+        for (uint16_t op_i = 0; op_i < group.nops; ++op_i) {
+            int oi = gops[op_i];
+            uint64_t paddr = gaddrs[op_i];
+            const DecodedInstr &di = db->dinstrs[oi];
+            Effect eff = execDecoded(prog, di, frame, mem);
             if (eff.trap) {
-                res.error = "trap in " + fn->name + " at '" + inst.str() +
-                            "': " + eff.trap_msg;
+                res.error = "trap in " + fn->name + " at '" +
+                            di.orig->str() + "': " + eff.trap_msg;
                 return res;
             }
             if (eff.executed)
@@ -337,11 +418,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             else
                 ++pm.squashed_ops;
 
-            const OpcodeInfo &info = inst.info();
-
             // Result timing for executed, non-memory ops.
-            int actual_lat = info.latency;
-            int planned_lat = info.latency;
+            int actual_lat = di.latency;
+            int planned_lat = di.latency;
 
             // ---- Memory behaviour ----
             if (eff.executed && eff.is_mem) {
@@ -382,7 +461,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                             tlb_extra = mach.vhpt_walk_cycles;
                             dtlb.insert(page);
                         }
-                        bool fp = inst.op == Opcode::LDF;
+                        bool fp = di.op == Opcode::LDF;
                         MemAccessResult mr = hier.load(eff.addr, fp);
                         ++pm.l1d_accesses;
                         if (!mr.l1_hit && !fp)
@@ -391,7 +470,11 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                             std::max(planned_lat, mr.latency + tlb_extra);
 
                         // Micropipe: spurious store-to-load forwarding.
-                        for (auto &[sc, sa] : store_ring) {
+                        const uint32_t nst =
+                            store_count < 16 ? store_count : 16;
+                        for (uint32_t sk = 0; sk < nst; ++sk) {
+                            const int64_t sc = store_ring[sk].cyc;
+                            const uint64_t sa = store_ring[sk].addr;
                             if (issue - sc > mach.stlf_window)
                                 continue;
                             bool index_match = ((sa >> 3) & 0x7f) ==
@@ -419,46 +502,52 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                         dtlb.insert(page);
                     }
                     hier.store(eff.addr);
-                    store_ring.push_back({issue, eff.addr});
-                    if (store_ring.size() > 16)
-                        store_ring.pop_front();
+                    store_ring[store_count & 15u] =
+                        StoreRec{issue, eff.addr};
+                    ++store_count;
                 }
             }
 
             // ---- Result ready times ----
             if (eff.executed) {
-                bool is_f = info.fu == FuClass::F;
-                bool is_ld = info.is_load;
-                for (const Reg &d : inst.dests) {
+                bool is_f = di.fu == static_cast<uint8_t>(FuClass::F);
+                bool is_ld = (di.flags & kDecLoad) != 0;
+                auto mark_dest = [&](const Reg &d) {
                     if (d.cls == RegClass::Gr && d.id != 0) {
-                        tf.ready_gr[d.id] = issue + actual_lat;
-                        tf.planned_gr[d.id] = issue + planned_lat;
-                        tf.f_unit_gr[d.id] = is_f;
-                        tf.load_gr[d.id] = is_ld;
+                        tf.gr[d.id] = RegT{issue + actual_lat,
+                                           issue + planned_lat,
+                                           static_cast<uint8_t>(is_f),
+                                           static_cast<uint8_t>(is_ld)};
                     } else if (d.cls == RegClass::Fr) {
-                        tf.ready_fr[d.id] = issue + actual_lat;
-                        tf.planned_fr[d.id] = issue + planned_lat;
-                        tf.f_unit_fr[d.id] = is_f;
-                        tf.load_fr[d.id] = is_ld;
+                        tf.fr[d.id] = RegT{issue + actual_lat,
+                                           issue + planned_lat,
+                                           static_cast<uint8_t>(is_f),
+                                           static_cast<uint8_t>(is_ld)};
                     } else if (d.cls == RegClass::Pr && d.id != 0) {
                         // Available to same-group branches and to all
                         // next-group consumers.
                         tf.ready_pr[d.id] = issue;
                     }
-                }
+                };
+                if (di.dest0.valid())
+                    mark_dest(di.dest0);
+                if (di.dest1.valid())
+                    mark_dest(di.dest1);
             } else {
                 // unc compares clear their destinations even when
                 // squashed; the predicates are ready at issue.
-                if ((inst.op == Opcode::CMP || inst.op == Opcode::CMPI) &&
-                    inst.ctype == CmpType::Unc) {
-                    for (const Reg &d : inst.dests)
-                        if (d.cls == RegClass::Pr && d.id != 0)
-                            tf.ready_pr[d.id] = issue;
+                if ((di.op == Opcode::CMP || di.op == Opcode::CMPI) &&
+                    di.ctype == CmpType::Unc) {
+                    if (di.dest0.cls == RegClass::Pr && di.dest0.id != 0)
+                        tf.ready_pr[di.dest0.id] = issue;
+                    if (di.dest1.valid() &&
+                        di.dest1.cls == RegClass::Pr && di.dest1.id != 0)
+                        tf.ready_pr[di.dest1.id] = issue;
                 }
             }
 
             // ---- Control ----
-            if (inst.op == Opcode::BR && inst.hasGuard()) {
+            if (di.op == Opcode::BR && (di.flags & kDecHasGuard)) {
                 // Conditional branch: predict direction.
                 bool taken = eff.executed;
                 ++pm.branch_predictions;
@@ -470,14 +559,14 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                     charge(CycleCat::BrMispredFlush,
                            mach.mispredict_penalty);
                 }
-            } else if (inst.op == Opcode::CHK_S &&
+            } else if (di.op == Opcode::CHK_S &&
                        eff.ctl == Effect::Ctl::Branch) {
                 // Speculation check fired: flush + recovery cost.
                 post_penalty += mach.mispredict_penalty +
                                 opts.sentinel_recovery_cycles;
                 charge(CycleCat::BrMispredFlush, mach.mispredict_penalty);
                 charge(CycleCat::Kernel, opts.sentinel_recovery_cycles);
-            } else if (inst.op == Opcode::BR_ICALL && eff.executed) {
+            } else if (di.op == Opcode::BR_ICALL && eff.executed) {
                 ++pm.branch_predictions;
                 int ptarget = pred.predictTarget(paddr);
                 pred.updateTarget(paddr, eff.callee);
@@ -491,7 +580,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
             if (eff.ctl != Effect::Ctl::Next && eff.executed) {
                 ++pm.branches;
-                if (inst.isCall() || inst.isRet()) {
+                if (di.flags & (kDecCall | kDecRet)) {
                     post_penalty += mach.call_redirect_cycles;
                     charge(CycleCat::FrontEndBubble,
                            mach.call_redirect_cycles);
@@ -501,7 +590,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                                                      : Ctl::Ret;
                 ctl_target = eff.branch_target;
                 ctl_callee = eff.callee;
-                ctl_inst = &inst;
+                ctl_inst = di.orig;
                 ctl_eff = eff;
                 break; // a taken transfer ends the group
             }
@@ -522,6 +611,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 return res;
             }
             bb = nb;
+            db = &dfn->block(bb->id);
             gi = 0;
             break;
           }
@@ -541,7 +631,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 res.error = "arity mismatch calling " + callee->name;
                 return res;
             }
-            std::vector<GrVal> args(nargs);
+            args.resize(nargs);
             for (size_t i = 0; i < nargs; ++i) {
                 const Operand &o = ctl_inst->srcs[first_arg + i];
                 if (o.isReg())
@@ -557,8 +647,15 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             }
 
             ret_stack.push_back(RetPos{bb->id, gi + 1});
-            frames.emplace_back(callee,
-                                frame.sp - Frame::frameBytes(*callee));
+            const uint64_t callee_sp =
+                frame.sp - Frame::frameBytes(*callee);
+            if (frame_pool.empty()) {
+                frames.emplace_back(callee, callee_sp);
+            } else {
+                frames.push_back(std::move(frame_pool.back()));
+                frame_pool.pop_back();
+                frames.back().reset(callee, callee_sp);
+            }
             Frame &nf = frames.back();
             nf.ret_dest =
                 ctl_inst->dests.empty() ? Reg() : ctl_inst->dests[0];
@@ -568,7 +665,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             TFrame &ntf = tframes.back();
             for (const Reg &p : callee->params)
                 if (p.cls == RegClass::Gr && p.id != 0)
-                    ntf.ready_gr[p.id] = issue + 1;
+                    ntf.gr[p.id].ready = issue + 1;
 
             // Register stack engine.
             frame_stacked.push_back(callee->stacked_regs);
@@ -584,18 +681,25 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             }
 
             fn = callee;
+            dfn = &dec.func(fn->id);
+            gops_base = dfn->gops();
+            gaddr_base = dfn->gaddrs();
+            gline_base = dfn->glines();
             bb = fn->block(fn->entry);
             if (!bb) {
                 res.error = "callee without entry block";
                 return res;
             }
+            db = &dfn->block(bb->id);
             gi = 0;
             break;
           }
 
           case Ctl::Ret: {
-            Frame done = std::move(frames.back());
+            const Reg ret_dest = frames.back().ret_dest;
+            frame_pool.push_back(std::move(frames.back()));
             frames.pop_back();
+            tframe_pool.push_back(std::move(tframes.back()));
             tframes.pop_back();
             int my_stacked = frame_stacked.back();
             frame_stacked.pop_back();
@@ -624,23 +728,24 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             ret_stack.pop_back();
             Frame &caller = frames.back();
             fn = const_cast<Function *>(caller.fn);
-            if (done.ret_dest.valid()) {
-                caller.writeGr(done.ret_dest,
+            dfn = &dec.func(fn->id);
+            gops_base = dfn->gops();
+            gaddr_base = dfn->gaddrs();
+            gline_base = dfn->glines();
+            if (ret_dest.valid()) {
+                caller.writeGr(ret_dest,
                                ctl_eff.has_ret_val ? ctl_eff.ret_val
                                                    : GrVal{0, false});
                 TFrame &ctf = tframes.back();
-                if (done.ret_dest.id != 0) {
-                    ctf.ready_gr[done.ret_dest.id] = t_prev + 1;
-                    ctf.planned_gr[done.ret_dest.id] = t_prev + 1;
-                    ctf.f_unit_gr[done.ret_dest.id] = 0;
-                    ctf.load_gr[done.ret_dest.id] = 0;
-                }
+                if (ret_dest.id != 0)
+                    ctf.gr[ret_dest.id] = RegT{t_prev + 1, t_prev + 1, 0, 0};
             }
             bb = fn->block(rp.block);
             if (!bb) {
                 res.error = "return to dead block";
                 return res;
             }
+            db = &dfn->block(bb->id);
             gi = rp.group;
             break;
           }
