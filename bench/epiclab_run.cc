@@ -73,7 +73,16 @@ usage()
            "                                      boundaries (firewall "
            "demo)\n"
            "  --inject-rate <p>                   fire probability "
-           "(default 1.0)\n");
+           "(default 1.0)\n"
+           "  --inject-analysis                   admit spurious-"
+           "invalidate\n"
+           "                                      faults into the "
+           "rotation\n"
+           "  --analysis-mode <m>                 cached|recompute|"
+           "stale-check\n"
+           "                                      (default "
+           "$EPICLAB_ANALYSIS_MODE\n"
+           "                                      or cached)\n");
 }
 
 /** Write `text` to `path` or die with a user-level error. */
@@ -195,9 +204,10 @@ main(int argc, char **argv)
     Config cfg = Config::IlpCs;
     RunOptions opts;
     bool no_peel = false, no_ptr = false, cons_hb = false;
-    bool inject = false, pass_stats = false;
+    bool inject = false, inject_analysis = false, pass_stats = false;
     uint64_t inject_seed = 0;
     double inject_rate = 1.0;
+    AnalysisMode analysis_mode = envAnalysisMode();
     std::string json_path, trace_path;
 
     // Option values are parsed strictly (support/cli.h): a flag typo or
@@ -254,11 +264,20 @@ main(int argc, char **argv)
         } else if (a == "--inject-rate") {
             inject_rate =
                 parseFloatFlag("--inject-rate", value_of(i, a), 0.0, 1.0);
+        } else if (a == "--inject-analysis") {
+            inject_analysis = true;
+        } else if (a == "--analysis-mode") {
+            std::string m = value_of(i, a);
+            if (!parseAnalysisMode(m, &analysis_mode))
+                epic_fatal("--analysis-mode: unknown mode '", m,
+                           "' (cached|recompute|stale-check)");
         } else {
             epic_fatal("unknown option '", a, "' (see --help)");
         }
     }
     FaultInjector injector(inject_seed, inject_rate);
+    if (inject_analysis)
+        injector.enableAnalysisFaults(true);
     FaultInjector *inj = inject ? &injector : nullptr;
     opts.tweak = [=](CompileOptions &o) {
         if (no_peel)
@@ -267,6 +286,7 @@ main(int argc, char **argv)
             o.enable_pointer_analysis = false;
         if (cons_hb)
             o.hb_opts.conservative = true;
+        o.analysis_mode = analysis_mode;
         o.firewall.inject = inj;
     };
 

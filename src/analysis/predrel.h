@@ -39,6 +39,21 @@ class PredRelations
      */
     bool disjointAt(int pos, Reg p, Reg q) const;
 
+    /** Structural equality (the stale-analysis checker's diff). */
+    bool
+    operator==(const PredRelations &o) const
+    {
+        if (facts_.size() != o.facts_.size())
+            return false;
+        for (size_t i = 0; i < facts_.size(); ++i) {
+            const Fact &x = facts_[i], &y = o.facts_[i];
+            if (!(x.a == y.a) || !(x.b == y.b) || x.from != y.from ||
+                x.to != y.to)
+                return false;
+        }
+        return true;
+    }
+
   private:
     struct Fact
     {

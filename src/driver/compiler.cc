@@ -2,7 +2,6 @@
 
 #include <chrono>
 
-#include "analysis/cfg.h"
 #include "ir/verifier.h"
 #include "support/error.h"
 #include "support/faultinject.h"

@@ -28,6 +28,7 @@
 
 #include <memory>
 
+#include "analysis/manager.h"
 #include "driver/config.h"
 #include "driver/firewall.h"
 #include "ilp/hyperblock.h"
@@ -66,6 +67,10 @@ struct CompileOptions
     /// results commit indexed by function id, so any jobs value
     /// produces bit-identical output to jobs = 1.
     int jobs = 1;
+
+    /// Analysis-cache policy (Cached / ForceRecompute / StaleCheck).
+    /// Defaults to EPICLAB_ANALYSIS_MODE; --analysis-mode overrides.
+    AnalysisMode analysis_mode = envAnalysisMode();
 
     FirewallOptions firewall;
 

@@ -132,6 +132,9 @@ compileFunctionFirewalled(Program &prog, int fid,
     while (true) {
         FaultInjector *inj = clean_floor ? nullptr : opts.firewall.inject;
         auto work = orig->clone();
+        // Fresh manager per attempt: rollback and fallback-ladder
+        // re-entry start cold by construction, never from stale caches.
+        AnalysisManager am(*work, &aa, opts.analysis_mode);
         FunctionOutcome r;
         std::vector<const PassDesc *> passes = buildPipeline(rung, opts);
 
@@ -143,25 +146,38 @@ compileFunctionFirewalled(Program &prog, int fid,
         try {
             for (const PassDesc *p : passes) {
                 const int before = work->staticInstrCount();
+                const AnalysisCounters actr0 = am.counters();
+                am.beginPass(p->name);
                 const auto t0 = std::chrono::steady_clock::now();
                 {
                     TraceSpan span("compile.pass", p->name,
                                    passTraceArgs(fname, rung));
-                    p->run(*work, rung, opts, aa, r.stats);
+                    p->run(*work, rung, opts, am, r.stats);
                 }
                 PassStat &ps = pipe.at(p->name, rung);
                 ps.runs++;
                 ps.run_ms += msSince(t0);
                 ps.instr_delta += work->staticInstrCount() - before;
+                bool fault_here = false;
                 if (inj) {
                     int idx = inj->inject(*work, p->name,
-                                          configName(rung));
+                                          configName(rung), &am);
                     if (idx >= 0) {
                         live_faults.push_back(idx);
                         injected_here = true;
+                        fault_here = true;
                         report.faults_injected++;
                     }
                 }
+                // Pass boundary: trust the declared preserves set —
+                // unless a fault just mutated the IR behind the pass's
+                // back, in which case nothing cached can be trusted
+                // (and the stale checker must not blame the pass).
+                if (fault_here)
+                    am.invalidateAll();
+                else
+                    am.invalidateAllExcept(p->preserves);
+                ps.analysis += am.counters() - actr0;
                 const int sz = work->staticInstrCount();
                 if (p->growth_gate && sz > budget) {
                     std::ostringstream os;

@@ -62,6 +62,7 @@ PipelineStats::merge(const PipelineStats &o)
         mine.instr_delta += s.instr_delta;
         mine.run_ms += s.run_ms;
         mine.verify_ms += s.verify_ms;
+        mine.analysis += s.analysis;
     }
 }
 
@@ -78,9 +79,22 @@ std::string
 PipelineStats::counterStr() const
 {
     std::ostringstream os;
-    for (const PassStat &s : passes)
+    for (const PassStat &s : passes) {
         os << s.pass << " [" << configName(s.rung) << "] runs=" << s.runs
-           << " delta=" << s.instr_delta << "\n";
+           << " delta=" << s.instr_delta;
+        // Analysis counters are deterministic; emit the active kinds as
+        // kind=hits/misses/invalidations so stale invalidation behaviour
+        // shows up in bit-identity diffs too.
+        for (int k = 0; k < kNumAnalysisKinds; ++k) {
+            const int64_t h = s.analysis.hits[k];
+            const int64_t m = s.analysis.misses[k];
+            const int64_t inv = s.analysis.invalidations[k];
+            if (h || m || inv)
+                os << " " << analysisKindName(static_cast<AnalysisKind>(k))
+                   << "=" << h << "/" << m << "/" << inv;
+        }
+        os << "\n";
+    }
     return os.str();
 }
 
@@ -89,16 +103,23 @@ PipelineStats::str() const
 {
     std::ostringstream os;
     os << "per-pass pipeline statistics:\n";
-    char buf[160];
-    std::snprintf(buf, sizeof buf, "  %-24s %-8s %6s %10s %10s %10s\n",
-                  "pass", "rung", "runs", "delta", "run ms", "verify ms");
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "  %-24s %-8s %6s %10s %10s %10s %8s %8s %8s\n", "pass",
+                  "rung", "runs", "delta", "run ms", "verify ms", "a.hit",
+                  "a.miss", "a.inval");
     os << buf;
     for (const PassStat &s : passes) {
         std::snprintf(buf, sizeof buf,
-                      "  %-24s %-8s %6d %10lld %10.2f %10.2f\n",
+                      "  %-24s %-8s %6d %10lld %10.2f %10.2f %8lld "
+                      "%8lld %8lld\n",
                       s.pass.c_str(), configName(s.rung), s.runs,
                       static_cast<long long>(s.instr_delta), s.run_ms,
-                      s.verify_ms);
+                      s.verify_ms,
+                      static_cast<long long>(s.analysis.totalHits()),
+                      static_cast<long long>(s.analysis.totalMisses()),
+                      static_cast<long long>(
+                          s.analysis.totalInvalidations()));
         os << buf;
     }
     std::snprintf(buf, sizeof buf, "  %-24s %-8s %6s %10s %10.2f\n",
@@ -125,89 +146,104 @@ makeRegistry()
         return isIlp(rung);
     };
 
+    // The classical rounds and both region formers route every mid-pass
+    // mutation through the manager, so the caches they leave behind
+    // match the final IR by construction — they preserve whatever is
+    // still cached, and the next pass's entry queries hit.
     reg.push_back({"classical", always,
                    [](Function &f, Config, const CompileOptions &,
-                      const AliasAnalysis &aa, CompileStats &s) {
-                       s.classical += classicalOptimizeFunction(f, aa);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.classical += classicalOptimizeFunction(f, am);
                        s.instrs_after_classical = f.staticInstrCount();
                        s.instrs_after_regions = s.instrs_after_classical;
                    },
-                   true, true});
+                   true, true, kPreserveAll});
 
     // Hyperblocks first, then superblock merging, then peeling, then a
     // second round to merge the peeled iterations with their
     // surroundings (the Figure 3(c) peel-and-merge effect).
     reg.push_back({"hyperblock", ilp_only,
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.hb += formHyperblocks(f, opts.hb_opts);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.hb += formHyperblocks(f, am, opts.hb_opts);
                    },
-                   true, true});
+                   true, true, kPreserveAll});
     reg.push_back({"superblock", ilp_only,
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.sb += formSuperblocks(f, opts.sb_opts);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.sb += formSuperblocks(f, am, opts.sb_opts);
                    },
-                   true, true});
+                   true, true, kPreserveAll});
     reg.push_back({"peel",
                    [](Config rung, const CompileOptions &opts) {
                        return isIlp(rung) && opts.enable_peel;
                    },
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
+                      AnalysisManager &, CompileStats &s) {
                        PeelOptions peel = opts.peel_opts;
                        peel.enable_unroll = opts.enable_unroll;
                        s.peel += peelLoops(f, peel);
                    },
-                   true, true});
+                   // Peel mutates behind the manager's back (it takes
+                   // no manager), so nothing survives it.
+                   true, true, kPreserveNone});
     reg.push_back({"hyperblock-2", ilp_only,
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.hb += formHyperblocks(f, opts.hb_opts);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.hb += formHyperblocks(f, am, opts.hb_opts);
                    },
-                   true, true});
+                   true, true, kPreserveAll});
     reg.push_back({"superblock-2", ilp_only,
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.sb += formSuperblocks(f, opts.sb_opts);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.sb += formSuperblocks(f, am, opts.sb_opts);
                    },
-                   true, true});
+                   true, true, kPreserveAll});
     // Region formation exposes new classical opportunities.
     reg.push_back({"post-region classical", ilp_only,
                    [](Function &f, Config, const CompileOptions &,
-                      const AliasAnalysis &aa, CompileStats &s) {
-                       s.classical += classicalOptimizeFunction(f, aa, 2);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.classical += classicalOptimizeFunction(f, am, 2);
                        s.instrs_after_regions = f.staticInstrCount();
                    },
-                   true, true});
+                   true, true, kPreserveAll});
 
+    // Speculation hoists loads and inserts check code but never adds
+    // or removes an edge, so dominance and loop structure survive; the
+    // Cfg object dies (insertions shift its per-edge branch indices).
     reg.push_back({"speculate",
                    [](Config rung, const CompileOptions &) {
                        return rung == Config::IlpCs;
                    },
                    [](Function &f, Config, const CompileOptions &opts,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.spec += speculateFunction(f, opts.spec_opts);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.spec += speculateFunction(f, am, opts.spec_opts);
                    },
-                   true, true});
+                   true, true, kPreserveGraphShape});
 
+    // Register allocation renames operands and inserts spill code:
+    // instruction-level analyses die, and so does the Cfg (spill
+    // insertion shifts branch indices) — but the edge shape, hence
+    // dominance and loop nesting, is untouched.
     reg.push_back({"regalloc", always,
                    [](Function &f, Config, const CompileOptions &,
-                      const AliasAnalysis &, CompileStats &s) {
-                       s.ra += allocateRegisters(f);
+                      AnalysisManager &am, CompileStats &s) {
+                       s.ra += allocateRegisters(f, am);
                    },
-                   true, true});
+                   true, true, kPreserveGraphShape});
+    // Scheduling only stamps sched_cycle and rebuilds bundles — it
+    // never reorders b.instrs — so every analysis survives.
     reg.push_back({"schedule", always,
                    [](Function &f, Config rung, const CompileOptions &opts,
-                      const AliasAnalysis &aa, CompileStats &s) {
+                      AnalysisManager &am, CompileStats &s) {
                        // Degraded (and library) functions are scheduled
                        // like gcc-compiled code: one-bundle issue groups.
                        const MachineConfig mach =
                            rung == Config::Gcc ? MachineConfig::gccStyle()
                                                : opts.mach;
-                       s.sched += scheduleFunction(f, aa, mach);
+                       s.sched += scheduleFunction(f, am, mach);
                    },
-                   true, true});
+                   true, true, kPreserveAll});
     return reg;
 }
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/manager.h"
 #include "driver/config.h"
 #include "ilp/hyperblock.h"
 #include "ilp/peel.h"
@@ -78,6 +79,10 @@ struct PassStat
     int64_t instr_delta = 0; ///< net static-instruction change
     double run_ms = 0;       ///< wall time inside the pass
     double verify_ms = 0;    ///< wall time in the verifier gate
+    /// Analysis-cache activity attributed to this pass (queries made
+    /// while it ran plus the post-pass preserves-set invalidation).
+    /// Deterministic, like runs/instr_delta.
+    AnalysisCounters analysis;
 };
 
 /** Aggregated per-pass instrumentation, in canonical order. */
@@ -111,12 +116,18 @@ struct PassDesc
     std::string name;
     /// Does the pass run at `rung` under `opts`?
     std::function<bool(Config rung, const CompileOptions &opts)> enabled;
-    /// The function-local transform; counters go into `stats`.
+    /// The function-local transform; counters go into `stats`, analyses
+    /// are queried (and invalidated mid-pass, when the pass mutates and
+    /// re-queries) through the manager.
     std::function<void(Function &, Config rung, const CompileOptions &,
-                       const AliasAnalysis &, CompileStats &stats)>
+                       AnalysisManager &, CompileStats &stats)>
         run;
     bool verify_gate = true; ///< re-verify the IR after this pass
     bool growth_gate = true; ///< enforce the code-growth budget after it
+    /// Analyses still valid after the pass ran. The pipeline invalidates
+    /// exactly the complement at the pass boundary (and everything when
+    /// a fault was injected there — corrupted IR invalidates all bets).
+    AnalysisSet preserves = kPreserveNone;
 };
 
 /**

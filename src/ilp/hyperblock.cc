@@ -4,9 +4,7 @@
 #include <map>
 #include <optional>
 
-#include "analysis/cfg.h"
-#include "analysis/dom.h"
-#include "analysis/loops.h"
+#include "analysis/manager.h"
 #include "support/logging.h"
 
 namespace epic {
@@ -189,6 +187,14 @@ appendPredicated(Function &f, std::vector<Instruction> &out,
 HyperblockStats
 formHyperblocks(Function &f, const HyperblockOptions &opts)
 {
+    AnalysisManager am(f);
+    return formHyperblocks(f, am, opts);
+}
+
+HyperblockStats
+formHyperblocks(Function &f, AnalysisManager &am,
+                const HyperblockOptions &opts)
+{
     HyperblockStats stats;
     double min_ratio = opts.conservative ? 0.25 : opts.min_path_ratio;
 
@@ -196,9 +202,8 @@ formHyperblocks(Function &f, const HyperblockOptions &opts)
     int rounds = 0;
     while (changed && rounds++ < 256) {
         changed = false;
-        Cfg cfg(f);
-        DomTree dom(cfg);
-        LoopForest forest(cfg, dom);
+        const Cfg &cfg = am.cfg();
+        const LoopForest &forest = am.loopForest();
 
         for (int bid : cfg.rpo()) {
             BasicBlock *b = f.block(bid);
@@ -275,6 +280,7 @@ formHyperblocks(Function &f, const HyperblockOptions &opts)
                 f.eraseBlock(taken_id);
                 f.eraseBlock(fall_id);
                 ++stats.regions;
+                am.invalidateAll();
                 changed = true;
                 break;
             }
@@ -291,6 +297,7 @@ formHyperblocks(Function &f, const HyperblockOptions &opts)
                                  stats);
                 f.eraseBlock(taken_id);
                 ++stats.regions;
+                am.invalidateAll();
                 changed = true;
                 break;
             }
@@ -308,12 +315,13 @@ formHyperblocks(Function &f, const HyperblockOptions &opts)
                 b->fallthrough = taken_id;
                 f.eraseBlock(fall_id);
                 ++stats.regions;
+                am.invalidateAll();
                 changed = true;
                 break;
             }
         }
         if (changed)
-            pruneUnreachableBlocks(f);
+            pruneUnreachableBlocks(f, am);
     }
     return stats;
 }

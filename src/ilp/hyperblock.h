@@ -18,6 +18,8 @@
 
 namespace epic {
 
+class AnalysisManager;
+
 /** If-conversion tuning. */
 struct HyperblockOptions
 {
@@ -50,6 +52,13 @@ struct HyperblockStats
 
 /** If-convert one function to a fixpoint. */
 HyperblockStats formHyperblocks(Function &f,
+                                const HyperblockOptions &opts = {});
+
+/**
+ * Same, with CFG/loop-forest queries served by the manager: the final
+ * (fixpoint-confirming) round and a clean prune run entirely from cache.
+ */
+HyperblockStats formHyperblocks(Function &f, AnalysisManager &am,
                                 const HyperblockOptions &opts = {});
 
 /** If-convert every non-library function. */

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "analysis/cfg.h"
-#include "analysis/liveness.h"
+#include "analysis/manager.h"
 #include "support/logging.h"
 
 namespace epic {
@@ -72,9 +71,18 @@ dataDepsAllowHoist(const Function &f, const BasicBlock &b, int from,
 SpecStats
 speculateFunction(Function &f, const SpecOptions &opts)
 {
+    AnalysisManager am(f);
+    return speculateFunction(f, am, opts);
+}
+
+SpecStats
+speculateFunction(Function &f, AnalysisManager &am, const SpecOptions &opts)
+{
     SpecStats stats;
-    Cfg cfg(f);
-    Liveness live(cfg);
+    // Entry snapshot by design: the transform judges every block against
+    // liveness of the *unspeculated* function and never re-queries.
+    const Cfg &cfg = am.cfg();
+    const Liveness &live = am.liveness();
 
     for (auto &bp : f.blocks) {
         if (!bp || !cfg.reachable(bp->id))

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "analysis/cfg.h"
-#include "analysis/dom.h"
-#include "analysis/loops.h"
+#include "analysis/manager.h"
 #include "support/logging.h"
 
 namespace epic {
@@ -24,10 +22,11 @@ isLoopHeader(const LoopForest &forest, int bid)
 /**
  * Make the edge cur->succ a fall-through (or trailing unconditional
  * branch) edge so the trace can be linearized. Returns false when the
- * edge cannot be restructured.
+ * edge cannot be restructured. `*flipped` is set when the block was
+ * actually mutated (branch-flip path) — the no-op paths leave it alone.
  */
 bool
-linearizeEdge(BasicBlock &cur, int succ)
+linearizeEdge(BasicBlock &cur, int succ, bool *flipped)
 {
     if (cur.fallthrough == succ)
         return true;
@@ -75,6 +74,7 @@ linearizeEdge(BasicBlock &cur, int succ)
         last.target = cur.fallthrough;
         last.prof_taken = std::max(0.0, total - last.prof_taken);
         cur.fallthrough = succ;
+        *flipped = true;
         return true;
     }
     return false;
@@ -83,17 +83,33 @@ linearizeEdge(BasicBlock &cur, int succ)
 /**
  * Duplicate trace suffix [from..end) as off-trace copies and redirect
  * every predecessor of trace[from] other than trace[from-1] to the copy.
- * Returns instructions duplicated, or -1 when duplication was refused.
+ * `cfg` must reflect the current IR (the caller's side-entrance scan
+ * already needed it). Returns instructions duplicated, or -1 when
+ * duplication was refused.
  */
 int
-tailDuplicate(Function &f, std::vector<int> &trace, size_t from,
-              const SuperblockOptions &opts)
+tailDuplicate(Function &f, const Cfg &cfg, std::vector<int> &trace,
+              size_t from, const SuperblockOptions &opts)
 {
     int dup_cost = 0;
     for (size_t i = from; i < trace.size(); ++i)
         dup_cost += static_cast<int>(f.block(trace[i])->instrs.size());
     if (dup_cost > opts.max_dup_instrs)
         return -1;
+
+    // Fraction of trace[from]'s weight arriving via side entrances.
+    // (Read before any mutation; the copies created below are empty and
+    // edge-free, so the pre-copy CFG gives the same answer the old
+    // mid-duplication rebuild did.)
+    BasicBlock *head = f.block(trace[from]);
+    double internal_w = 0.0;
+    for (const CfgEdge &e : cfg.outEdges(trace[from - 1]))
+        if (e.to == trace[from])
+            internal_w += e.weight;
+    double ratio =
+        head->weight > 0
+            ? std::clamp(1.0 - internal_w / head->weight, 0.0, 1.0)
+            : 0.0;
 
     // Create copies.
     std::vector<int> copy_of(trace.size(), -1);
@@ -107,20 +123,6 @@ tailDuplicate(Function &f, std::vector<int> &trace, size_t from,
                 return copy_of[i];
         return tgt;
     };
-
-    // Fraction of trace[from]'s weight arriving via side entrances.
-    BasicBlock *head = f.block(trace[from]);
-    double internal_w = 0.0;
-    {
-        Cfg cfg(f);
-        for (const CfgEdge &e : cfg.outEdges(trace[from - 1]))
-            if (e.to == trace[from])
-                internal_w += e.weight;
-    }
-    double ratio =
-        head->weight > 0
-            ? std::clamp(1.0 - internal_w / head->weight, 0.0, 1.0)
-            : 0.0;
 
     for (size_t i = from; i < trace.size(); ++i) {
         const BasicBlock *orig = f.block(trace[i]);
@@ -169,15 +171,36 @@ tailDuplicate(Function &f, std::vector<int> &trace, size_t from,
 SuperblockStats
 formSuperblocks(Function &f, const SuperblockOptions &opts)
 {
+    AnalysisManager am(f);
+    return formSuperblocks(f, am, opts);
+}
+
+SuperblockStats
+formSuperblocks(Function &f, AnalysisManager &am,
+                const SuperblockOptions &opts)
+{
     SuperblockStats stats;
+
+    // Trace growth deliberately works from round-start analyses even as
+    // branch flips mutate the IR underneath (snapshot semantics,
+    // unchanged from the pre-manager code) — hence the *value* copies
+    // below. `dirty` records mutations since the cache last matched the
+    // IR; freshen() settles the debt right before any manager query.
+    bool dirty = false;
+    auto freshen = [&] {
+        if (dirty) {
+            am.invalidateAll();
+            dirty = false;
+        }
+    };
 
     bool formed_any = true;
     int rounds = 0;
     while (formed_any && rounds++ < 256) {
         formed_any = false;
-        Cfg cfg(f);
-        DomTree dom(cfg);
-        LoopForest forest(cfg, dom);
+        freshen();
+        const Cfg cfg = am.cfg();
+        const LoopForest forest = am.loopForest();
 
         // Seed order: heaviest blocks first.
         std::vector<int> seeds;
@@ -226,8 +249,11 @@ formSuperblocks(Function &f, const SuperblockOptions &opts)
                 int succ_size = static_cast<int>(sb->instrs.size());
                 if (trace_size + succ_size > opts.max_instrs)
                     break;
-                if (!linearizeEdge(*f.block(cur), succ))
+                bool flipped = false;
+                if (!linearizeEdge(*f.block(cur), succ, &flipped))
                     break;
+                if (flipped)
+                    dirty = true;
                 // If any branch other than a trailing unconditional jump
                 // still targets succ (superblocks can carry several
                 // exits to one target), merging would dangle — stop.
@@ -253,10 +279,15 @@ formSuperblocks(Function &f, const SuperblockOptions &opts)
             if (trace.size() < 2)
                 continue;
 
-            // Remove side entrances by tail duplication.
+            // Remove side entrances by tail duplication. Each step needs
+            // a CFG matching the current IR; when the previous step
+            // didn't duplicate (and trace growth didn't flip a branch),
+            // the manager serves the scan from cache instead of the
+            // per-iteration rebuild this loop used to do.
             size_t limit = trace.size();
             for (size_t i = 1; i < limit; ++i) {
-                Cfg fresh(f);
+                freshen();
+                const Cfg &fresh = am.cfg();
                 bool side_entrance = false;
                 for (int p : fresh.preds(trace[i]))
                     if (p != trace[i - 1])
@@ -267,7 +298,9 @@ formSuperblocks(Function &f, const SuperblockOptions &opts)
                     limit = i;
                     break;
                 }
-                int cost = tailDuplicate(f, trace, i, opts);
+                int cost = tailDuplicate(f, fresh, trace, i, opts);
+                if (cost >= 0)
+                    dirty = true;
                 if (cost < 0) {
                     limit = i;
                     break;
@@ -279,6 +312,9 @@ formSuperblocks(Function &f, const SuperblockOptions &opts)
                 continue;
 
             // Merge the (now single-entry) trace into its head block.
+            // Even an aborted merge may have dropped a trailing jump,
+            // so the cache is conservatively considered stale from here.
+            dirty = true;
             int merged_here = 0;
             BasicBlock *head = f.block(trace[0]);
             for (size_t i = 1; i < trace.size(); ++i) {
@@ -320,7 +356,8 @@ formSuperblocks(Function &f, const SuperblockOptions &opts)
             // The CFG changed; restart with a fresh pass.
             break;
         }
-        pruneUnreachableBlocks(f);
+        freshen();
+        pruneUnreachableBlocks(f, am);
     }
     return stats;
 }

@@ -3,10 +3,7 @@
 #include <map>
 #include <optional>
 
-#include "analysis/cfg.h"
-#include "analysis/dom.h"
-#include "analysis/liveness.h"
-#include "analysis/loops.h"
+#include "analysis/manager.h"
 #include "support/logging.h"
 
 namespace epic {
@@ -143,9 +140,10 @@ isPureAlu(const Instruction &inst)
 } // namespace
 
 OptStats
-localValueProp(Function &f)
+localValueProp(Function &f, LocalPropEffect *effect)
 {
     OptStats stats;
+    LocalPropEffect eff;
     Env env;
 
     for (auto &bp : f.blocks) {
@@ -181,10 +179,15 @@ localValueProp(Function &f)
                             }
                         }
                         ++stats.folded;
+                        eff.shape_changed = true;
                         continue; // drop the squashed instruction
                     }
                     inst.guard = kPrTrue; // known-true guard
                     ++stats.propagated;
+                    // Un-guarding a control transfer changes edge
+                    // structure (an unconditional BR ends the block).
+                    if (inst.target >= 0)
+                        eff.shape_changed = true;
                 }
             }
 
@@ -239,6 +242,7 @@ localValueProp(Function &f)
                 }
             }
             bool imm_form_ok = has_imm_form(inst.op);
+            const Opcode op_before_canon = inst.op;
 
             // Canonicalize reg->imm forms (add -> addi etc.).
             if (imm_form_ok && inst.srcs.size() == 2 &&
@@ -263,6 +267,8 @@ localValueProp(Function &f)
                 inst.srcs[0].kind == Operand::Kind::Imm) {
                 inst.op = Opcode::MOVI;
             }
+            if (inst.op != op_before_canon)
+                eff.mutated = true; // canonicalized: uncounted rewrite
 
             // 3. Fold fully-constant computations.
             bool folded = false;
@@ -344,6 +350,7 @@ localValueProp(Function &f)
                             out.push_back(mp);
                         }
                         ++stats.folded;
+                        eff.shape_changed = true; // 1 cmp -> 2 movp
                         continue;
                     }
                 }
@@ -382,8 +389,14 @@ localValueProp(Function &f)
         }
         if (block_ended && out.size() < b.instrs.size())
             b.fallthrough = -1;
+        if (out.size() != b.instrs.size())
+            eff.shape_changed = true;
         b.instrs = std::move(out);
     }
+    if (stats.total() > 0 || eff.shape_changed)
+        eff.mutated = true;
+    if (effect)
+        *effect = eff;
     return stats;
 }
 
@@ -522,12 +535,19 @@ localCse(Function &f, const AliasAnalysis &aa)
 OptStats
 deadCodeElim(Function &f)
 {
+    AnalysisManager am(f);
+    return deadCodeElim(f, am);
+}
+
+OptStats
+deadCodeElim(Function &f, AnalysisManager &am)
+{
     OptStats stats;
     bool changed = true;
     while (changed) {
         changed = false;
-        Cfg cfg(f);
-        Liveness live(cfg);
+        const Cfg &cfg = am.cfg();
+        const Liveness &live = am.liveness();
         for (int bid : cfg.rpo()) {
             BasicBlock &b = *f.block(bid);
             // Walk backwards tracking liveness precisely.
@@ -573,6 +593,7 @@ deadCodeElim(Function &f)
         }
         if (!changed)
             break;
+        am.invalidateAll();
     }
     return stats;
 }
@@ -580,10 +601,16 @@ deadCodeElim(Function &f)
 OptStats
 licm(Function &f, const AliasAnalysis &aa)
 {
+    AnalysisManager am(f, &aa);
+    return licm(f, am);
+}
+
+OptStats
+licm(Function &f, AnalysisManager &am)
+{
     OptStats stats;
-    Cfg cfg(f);
-    DomTree dom(cfg);
-    LoopForest forest(cfg, dom);
+    const AliasAnalysis &aa = am.alias();
+    const LoopForest &forest = am.loopForest();
 
     for (const Loop &loop : forest.loops()) {
         // Collect loop-wide facts.
@@ -678,6 +705,7 @@ licm(Function &f, const AliasAnalysis &aa)
                 pb->fallthrough = pre->id;
         }
         // Only handle one loop per invocation (the CFG changed).
+        am.invalidateAll();
         break;
     }
     return stats;
@@ -724,15 +752,41 @@ OptStats
 classicalOptimizeFunction(Function &f, const AliasAnalysis &aa,
                           int max_iters)
 {
+    AnalysisManager am(f, &aa);
+    return classicalOptimizeFunction(f, am, max_iters);
+}
+
+OptStats
+classicalOptimizeFunction(Function &f, AnalysisManager &am, int max_iters)
+{
     OptStats total;
     for (int iter = 0; iter < max_iters; ++iter) {
         OptStats round;
-        round += localValueProp(f);
-        round += localCse(f, aa);
-        round += peephole(f);
-        round += deadCodeElim(f);
-        round += licm(f, aa);
-        pruneUnreachableBlocks(f);
+        LocalPropEffect lvp;
+        round += localValueProp(f, &lvp);
+        // The effect report covers uncounted canonicalizations too, so
+        // it (unlike the stats) can gate invalidation: a clean round
+        // keeps every cache warm, and an in-place-only round keeps the
+        // block graph (Cfg edges and branch indices are untouched).
+        if (lvp.shape_changed)
+            am.invalidateAll();
+        else if (lvp.mutated)
+            am.invalidateAllExcept(kPreserveBlockGraph);
+        {
+            const OptStats s = localCse(f, am.alias());
+            if (s.total() > 0)
+                am.invalidateAll();
+            round += s;
+        }
+        {
+            const OptStats s = peephole(f);
+            if (s.total() > 0)
+                am.invalidateAll();
+            round += s;
+        }
+        round += deadCodeElim(f, am);
+        round += licm(f, am);
+        pruneUnreachableBlocks(f, am);
         total += round;
         if (round.total() == 0)
             break;

@@ -16,6 +16,8 @@
 
 namespace epic {
 
+class AnalysisManager;
+
 /** Counts of changes made, for diagnostics and tests. */
 struct OptStats
 {
@@ -48,17 +50,39 @@ struct OptStats
     }
 };
 
+/**
+ * What localValueProp actually did to the IR, for invalidation gating.
+ * Canonicalizations (ADD->ADDI, CMP->CMPI, MOV->MOVI) rewrite
+ * instructions without bumping any OptStats counter, so the counters
+ * alone cannot tell "clean round" from "mutated round".
+ */
+struct LocalPropEffect
+{
+    /// Any instruction rewritten, added or removed.
+    bool mutated = false;
+    /// The instruction *stream* changed shape (instructions added or
+    /// removed, a control transfer touched, or a fallthrough cleared) —
+    /// Cfg edge structure / branch indices may differ. When `mutated`
+    /// is set but this is not, every change was an in-place rewrite of
+    /// a non-transfer instruction and the block graph is intact.
+    bool shape_changed = false;
+};
+
 /** Local constant/copy propagation, folding, branch simplification. */
-OptStats localValueProp(Function &f);
+OptStats localValueProp(Function &f, LocalPropEffect *effect = nullptr);
 
 /** Local CSE including redundant-load elimination. */
 OptStats localCse(Function &f, const AliasAnalysis &aa);
 
 /** Global DCE (liveness based; predication aware). */
 OptStats deadCodeElim(Function &f);
+/** Same, querying CFG/liveness through the manager. */
+OptStats deadCodeElim(Function &f, AnalysisManager &am);
 
 /** Loop-invariant code motion (creates preheaders as needed). */
 OptStats licm(Function &f, const AliasAnalysis &aa);
+/** Same, querying the loop forest (and alias info) via the manager. */
+OptStats licm(Function &f, AnalysisManager &am);
 
 /** Strength reduction and algebraic simplification. */
 OptStats peephole(Function &f);
@@ -68,6 +92,9 @@ OptStats peephole(Function &f);
  * function (the unit the compilation firewall retries on fallback).
  */
 OptStats classicalOptimizeFunction(Function &f, const AliasAnalysis &aa,
+                                   int max_iters = 4);
+/** Same, with analyses cached across rounds via the manager. */
+OptStats classicalOptimizeFunction(Function &f, AnalysisManager &am,
                                    int max_iters = 4);
 
 /**

@@ -50,14 +50,13 @@ DepDag::addEdge(int from, int to, int lat, DepKind kind)
 }
 
 DepDag::DepDag(const Function &f, const BasicBlock &b,
-               const AliasAnalysis &aa, const MachineConfig &mach)
+               const AliasAnalysis &aa, const MachineConfig &mach,
+               const PredRelations &prel)
     : n_(static_cast<int>(b.instrs.size()))
 {
     preds_.resize(n_);
     succs_.resize(n_);
     heights_.assign(n_, 0);
-
-    PredRelations prel(b);
 
     auto disjoint = [&](int i, int j) {
         Reg gi = effectiveGuard(b.instrs[i]);

@@ -43,8 +43,10 @@ struct DagEdge
 class DepDag
 {
   public:
+    /** The block's predicate relations are supplied by the caller
+     *  (typically the AnalysisManager's per-block cache). */
     DepDag(const Function &f, const BasicBlock &b, const AliasAnalysis &aa,
-           const MachineConfig &mach);
+           const MachineConfig &mach, const PredRelations &prel);
 
     int size() const { return n_; }
     const std::vector<DagEdge> &edges() const { return edges_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "analysis/manager.h"
 #include "sched/dag.h"
 #include "support/logging.h"
 
@@ -119,7 +120,7 @@ struct GroupRes
 };
 
 SchedStats
-scheduleBlock(const Function &f, BasicBlock &b, const AliasAnalysis &aa,
+scheduleBlock(const Function &f, BasicBlock &b, AnalysisManager &am,
               const MachineConfig &mach)
 {
     SchedStats stats;
@@ -129,7 +130,8 @@ scheduleBlock(const Function &f, BasicBlock &b, const AliasAnalysis &aa,
     if (n == 0)
         return stats;
 
-    DepDag dag(f, b, aa, mach);
+    const PredRelations &prel = am.predRelations(b.id);
+    DepDag dag(f, b, am.alias(), mach, prel);
 
     std::vector<int> ready_cycle(n, 0);  ///< earliest legal cycle
     std::vector<int> unsched_preds(n, 0);
@@ -253,10 +255,17 @@ SchedStats
 scheduleFunction(Function &f, const AliasAnalysis &aa,
                  const MachineConfig &mach)
 {
+    AnalysisManager am(f, &aa);
+    return scheduleFunction(f, am, mach);
+}
+
+SchedStats
+scheduleFunction(Function &f, AnalysisManager &am, const MachineConfig &mach)
+{
     SchedStats total;
     for (auto &bp : f.blocks)
         if (bp)
-            total += scheduleBlock(f, *bp, aa, mach);
+            total += scheduleBlock(f, *bp, am, mach);
     return total;
 }
 

@@ -18,6 +18,8 @@
 
 namespace epic {
 
+class AnalysisManager;
+
 /** Scheduling statistics (per function or aggregated). */
 struct SchedStats
 {
@@ -55,6 +57,14 @@ struct SchedStats
 
 /** Schedule every block of a function into bundles. */
 SchedStats scheduleFunction(Function &f, const AliasAnalysis &aa,
+                            const MachineConfig &mach);
+
+/**
+ * Same, with per-block predicate relations (and alias info) served by
+ * the manager. Scheduling only stamps sched_cycle and rebuilds bundles,
+ * so it preserves every cached analysis.
+ */
+SchedStats scheduleFunction(Function &f, AnalysisManager &am,
                             const MachineConfig &mach);
 
 /** Schedule the whole program. */

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "analysis/cfg.h"
-#include "analysis/liveness.h"
+#include "analysis/manager.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -50,12 +49,19 @@ physPool(RegClass cls)
 RegAllocStats
 allocateRegisters(Function &f)
 {
+    AnalysisManager am(f);
+    return allocateRegisters(f, am);
+}
+
+RegAllocStats
+allocateRegisters(Function &f, AnalysisManager &am)
+{
     RegAllocStats stats;
     if (f.reg_allocated)
         return stats;
 
-    Cfg cfg(f);
-    Liveness live(cfg);
+    const Cfg &cfg = am.cfg();
+    const Liveness &live = am.liveness();
 
     // Global position numbering over blocks in id order.
     std::map<int, std::pair<int, int>> block_pos; // bid -> [start, end]

@@ -18,6 +18,8 @@
 
 namespace epic {
 
+class AnalysisManager;
+
 /** Allocation results (per function). */
 struct RegAllocStats
 {
@@ -43,6 +45,9 @@ struct RegAllocStats
 
 /** Allocate one function (idempotent: skips if already allocated). */
 RegAllocStats allocateRegisters(Function &f);
+
+/** Same, reading CFG/liveness through the manager. */
+RegAllocStats allocateRegisters(Function &f, AnalysisManager &am);
 
 /** Allocate every function in the program. */
 RegAllocStats allocateProgram(Program &prog);

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "analysis/manager.h"
 #include "support/rng.h"
 
 namespace epic {
@@ -18,6 +19,7 @@ faultKindName(FaultKind k)
       case FaultKind::RegOverflow: return "reg-overflow";
       case FaultKind::SpecWild: return "spec-wild";
       case FaultKind::PassThrow: return "pass-throw";
+      case FaultKind::SpuriousInvalidate: return "spurious-invalidate";
     }
     return "?";
 }
@@ -128,6 +130,9 @@ candidates(Function &f, FaultKind kind)
               case FaultKind::PassThrow:
                 ok = true;
                 break;
+              case FaultKind::SpuriousInvalidate:
+                ok = false; // no IR victim; handled before site choice
+                break;
             }
             if (ok)
                 out.push_back({bp.get(), i});
@@ -150,9 +155,22 @@ FaultInjector::restrictTo(std::string function, std::string pass)
     only_pass_ = std::move(pass);
 }
 
+void
+FaultInjector::enableAnalysisFaults(bool on)
+{
+    analysis_faults_ = on;
+}
+
+void
+FaultInjector::restrictKind(FaultKind k)
+{
+    has_restrict_kind_ = true;
+    restrict_kind_ = k;
+}
+
 int
 FaultInjector::inject(Function &f, const std::string &pass,
-                      const char *rung)
+                      const char *rung, AnalysisManager *am)
 {
     if (!only_function_.empty() && only_function_ != f.name)
         return -1;
@@ -168,17 +186,46 @@ FaultInjector::inject(Function &f, const std::string &pass,
     if (!(rng.nextDouble() < rate_))
         return -1;
 
-    static constexpr FaultKind kAll[] = {
-        FaultKind::BranchTarget, FaultKind::OperandSwap,
-        FaultKind::GuardCorrupt, FaultKind::RegOverflow,
-        FaultKind::SpecWild,     FaultKind::PassThrow,
-    };
-    const int kNum = 6;
-    int first = static_cast<int>(rng.nextBelow(kNum));
+    // Build the kind rotation. The default 6-kind layout (and therefore
+    // every seed-derived choice made from it) is unchanged unless
+    // analysis faults were explicitly enabled or a kind was pinned.
+    FaultKind kinds[8];
+    int knum = 0;
+    if (has_restrict_kind_) {
+        kinds[knum++] = restrict_kind_;
+    } else {
+        kinds[knum++] = FaultKind::BranchTarget;
+        kinds[knum++] = FaultKind::OperandSwap;
+        kinds[knum++] = FaultKind::GuardCorrupt;
+        kinds[knum++] = FaultKind::RegOverflow;
+        kinds[knum++] = FaultKind::SpecWild;
+        kinds[knum++] = FaultKind::PassThrow;
+        if (analysis_faults_)
+            kinds[knum++] = FaultKind::SpuriousInvalidate;
+    }
+    int first = static_cast<int>(rng.nextBelow(knum));
 
     // Rotate deterministically past kinds with no victim in this IR.
-    for (int k = 0; k < kNum; ++k) {
-        FaultKind kind = kAll[(first + k) % kNum];
+    for (int k = 0; k < knum; ++k) {
+        FaultKind kind = kinds[(first + k) % knum];
+
+        if (kind == FaultKind::SpuriousInvalidate) {
+            if (!am)
+                continue; // no manager at this boundary: not applicable
+            FaultRecord rec;
+            rec.function = f.name;
+            rec.pass = pass;
+            rec.rung = rung;
+            rec.kind = kind;
+            rec.detail = "analysis caches dropped (spurious invalidation)";
+            rec.caught = true; // benign by construction: a cache drop
+                               // can only cost recomputation
+            am->invalidateAll();
+            std::lock_guard<std::mutex> lock(mu_);
+            records_.push_back(std::move(rec));
+            return static_cast<int>(records_.size()) - 1;
+        }
+
         auto sites = candidates(f, kind);
         if (sites.empty())
             continue;

@@ -21,7 +21,13 @@
  *  - SpecWild:     mark a side-effecting operation control-speculative
  *    (a mis-speculated store — wild speculation),
  *  - PassThrow:    raise an InjectedFault from inside the pass boundary
- *    (a pass that crashes instead of producing bad code).
+ *    (a pass that crashes instead of producing bad code),
+ *  - SpuriousInvalidate: drop every cached analysis in the pass's
+ *    AnalysisManager (opt-in via enableAnalysisFaults()). This one is
+ *    benign by construction — the invalidation contract says a cache
+ *    drop can only cost recomputation, never change results — and
+ *    injecting it proves the compiler's output is independent of the
+ *    invalidation schedule.
  *
  * Injection is fully deterministic: whether a site fires, which fault
  * kind it applies and which instruction it hits are all pure functions
@@ -42,6 +48,8 @@
 
 namespace epic {
 
+class AnalysisManager;
+
 /** Kinds of IR corruption the engine can apply. */
 enum class FaultKind {
     BranchTarget,
@@ -50,6 +58,9 @@ enum class FaultKind {
     RegOverflow,
     SpecWild,
     PassThrow,
+    /// Not an IR corruption: spuriously drops the analysis caches.
+    /// Excluded from the default rotation (enableAnalysisFaults()).
+    SpuriousInvalidate,
 };
 
 /** Printable fault-kind name. */
@@ -102,13 +113,27 @@ class FaultInjector
     void restrictTo(std::string function, std::string pass);
 
     /**
+     * Admit SpuriousInvalidate into the kind rotation. Off by default so
+     * the base corruption rotation (and every seed-derived choice in it)
+     * is unchanged for existing experiments.
+     */
+    void enableAnalysisFaults(bool on = true);
+
+    /** Restrict the rotation to exactly one fault kind. */
+    void restrictKind(FaultKind k);
+
+    /**
      * Called by the firewall after a pass has run. When the site fires,
      * corrupts `f` in place and returns the index of the new
      * FaultRecord; returns -1 when the site stays quiet or no
      * applicable corruption point exists. PassThrow faults record
      * themselves (pre-marked caught) and then throw InjectedFault.
+     * SpuriousInvalidate faults need `am` (skipped when null) and drop
+     * its caches instead of touching the IR; they record pre-marked
+     * caught, being benign by construction.
      */
-    int inject(Function &f, const std::string &pass, const char *rung);
+    int inject(Function &f, const std::string &pass, const char *rung,
+               AnalysisManager *am = nullptr);
 
     /** Mark a fired fault as caught by a gate / absorbed by fallback. */
     void markCaught(int idx);
@@ -130,6 +155,9 @@ class FaultInjector
     double rate_;
     std::string only_function_;
     std::string only_pass_;
+    bool analysis_faults_ = false;
+    bool has_restrict_kind_ = false;
+    FaultKind restrict_kind_ = FaultKind::BranchTarget;
     mutable std::mutex mu_;
     mutable std::vector<FaultRecord> records_;
 };

@@ -151,6 +151,7 @@ recordCompile(StatsRegistry &reg, const CompileStats &stats,
     reg.setInt("compile.sched.groups", stats.sched.groups);
     reg.setInt("compile.sched.nops", stats.sched.nops);
 
+    int64_t ana_hits = 0, ana_misses = 0, ana_invals = 0;
     for (const PassStat &s : pipe.passes) {
         const std::string base = "compile.pass." + pathComponent(s.pass) +
                                  "." + configName(s.rung);
@@ -158,7 +159,29 @@ recordCompile(StatsRegistry &reg, const CompileStats &stats,
         reg.setInt(base + ".instr_delta", s.instr_delta);
         reg.setFloat(base + ".run_ms", s.run_ms, kStatVolatile);
         reg.setFloat(base + ".verify_ms", s.verify_ms, kStatVolatile);
+        // Analysis-cache activity per pass x kind; quiet kinds are
+        // omitted to keep the artifact from ballooning. Deterministic
+        // (hit/miss accounting is mode-invariant by design).
+        for (int k = 0; k < kNumAnalysisKinds; ++k) {
+            const int64_t h = s.analysis.hits[k];
+            const int64_t m = s.analysis.misses[k];
+            const int64_t inv = s.analysis.invalidations[k];
+            ana_hits += h;
+            ana_misses += m;
+            ana_invals += inv;
+            if (!h && !m && !inv)
+                continue;
+            const std::string kbase =
+                base + ".analysis." +
+                analysisKindName(static_cast<AnalysisKind>(k));
+            reg.setInt(kbase + ".hits", h);
+            reg.setInt(kbase + ".misses", m);
+            reg.setInt(kbase + ".invalidations", inv);
+        }
     }
+    reg.setInt("compile.analysis.hits", ana_hits);
+    reg.setInt("compile.analysis.misses", ana_misses);
+    reg.setInt("compile.analysis.invalidations", ana_invals);
 
     // In a clean compilation (no abandoned rungs) the per-pass deltas,
     // inline included, account for every instruction of source→final.
