@@ -10,7 +10,11 @@
  *               [--json <path>] [--trace <path>]
  *               [--spec general|sentinel] [--profile-on-ref]
  *               [--no-peel] [--no-pointer-analysis] [--conservative-hb]
- *               [--inject <seed>] [--inject-rate <p>]
+ *               [--inject <seed>] [--inject-rate <p>] [--inject-sim]
+ *               [--deadline-ms N] [--max-instrs N] [--max-cycles N]
+ *               [--max-depth N] [--max-mem-pages N] [--retries N]
+ *               [--no-ladder] [--checkpoint-every N] [--resume]
+ *               [--only <substr[,substr...]>]
  *
  * The --all report is byte-identical for every --jobs value (parallel
  * results merge in workload/config order), so `--all --jobs 1` vs
@@ -20,10 +24,19 @@
  * timeline is made of wall times and is therefore never part of any
  * byte-identity check.
  *
+ * Fleet supervision (--all + any supervision flag): SIGINT/SIGTERM
+ * request a cooperative stop — in-flight simulations wind down at
+ * their next poll site, completed records are already durable in the
+ * `<json>.manifest` sidecar (each append fsync'd), and the process
+ * exits 130 without writing a final artifact. A later run with
+ * --resume skips every manifest-recorded task and reassembles a final
+ * artifact byte-identical to an uninterrupted run.
+ *
  * Unknown flags and malformed numeric values are fatal: a typo must
  * kill the run at the parser, not silently select a benchmark or a
  * zero job count.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,9 +46,13 @@
 #include "driver/experiment.h"
 #include "support/cli.h"
 #include "support/faultinject.h"
+#include "support/io.h"
 #include "support/logging.h"
+#include "support/supervision/manifest.h"
+#include "support/supervision/supervise.h"
 #include "support/telemetry/artifact.h"
 #include "support/telemetry/trace.h"
+#include "support/threadpool.h"
 
 using namespace epic;
 
@@ -82,20 +99,28 @@ usage()
            "stale-check\n"
            "                                      (default "
            "$EPICLAB_ANALYSIS_MODE\n"
-           "                                      or cached)\n");
-}
-
-/** Write `text` to `path` or die with a user-level error. */
-void
-writeFileOrDie(const std::string &path, const std::string &text)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        epic_fatal("cannot open '", path, "' for writing");
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
-                    text.size();
-    if (std::fclose(f) != 0 || !ok)
-        epic_fatal("short write to '", path, "'");
+           "                                      or cached)\n"
+           "\nsupervision (any of these arms the run-supervision "
+           "layer):\n"
+           "  --deadline-ms <N>                   per-attempt wall "
+           "deadline\n"
+           "  --max-instrs <N> --max-cycles <N>   dynamic budgets\n"
+           "  --max-depth <N> --max-mem-pages <N>\n"
+           "  --retries <N>                       detailed-sim attempts "
+           "(default 2)\n"
+           "  --no-ladder                         no functional-only/"
+           "skip fallback\n"
+           "  --checkpoint-every <N>              sim checkpoint "
+           "interval (ops)\n"
+           "  --inject-sim                        sim-layer chaos "
+           "(with --inject)\n"
+           "  --resume                            skip tasks recorded "
+           "in the\n"
+           "                                      <json>.manifest "
+           "sidecar\n"
+           "  --only <substr[,substr...]>         restrict --all to "
+           "matching\n"
+           "                                      workloads\n");
 }
 
 /**
@@ -117,11 +142,38 @@ reportViolations(const std::vector<std::string> &violations)
  * invariant under --jobs.
  */
 int
-runAll(const RunOptions &opts, bool pass_stats,
-       const std::string &json_path)
+runAll(RunOptions &opts, bool pass_stats, const std::string &json_path)
 {
     const auto t0 = std::chrono::steady_clock::now();
+
+    // Fleet supervision: durable manifest sidecar + cooperative stop.
+    RunManifest manifest;
+    if (opts.supervise && !json_path.empty()) {
+        const std::string mpath = json_path + ".manifest";
+        const size_t loaded = manifest.open(mpath);
+        if (opts.resume && loaded)
+            fprintf(stderr,
+                    "resume: %zu completed record(s) in %s\n", loaded,
+                    mpath.c_str());
+        opts.manifest = &manifest;
+    }
+    if (opts.supervise)
+        installStopSignalHandlers();
+
     std::vector<WorkloadRuns> suite = runSuite(standardConfigs(), opts);
+    if (suite.empty())
+        epic_fatal("--only matched no workloads (see --list)");
+
+    if (supervisionActive() && stopRequested()) {
+        // Completed records are already durable (fsync'd appends); a
+        // partial final artifact would only shadow them. Exit like an
+        // interrupted shell command.
+        fprintf(stderr,
+                "interrupted: %zu record(s) durable in manifest; rerun "
+                "with --resume\n",
+                manifest.size());
+        return 130;
+    }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -167,7 +219,7 @@ runAll(const RunOptions &opts, bool pass_stats,
         std::vector<std::string> violations;
         const std::string doc =
             suiteArtifact(suite, standardConfigs(), &violations);
-        writeFileOrDie(json_path, doc);
+        atomicWriteFileOrDie(json_path, doc);
         invariants_ok = reportViolations(violations);
     }
 
@@ -175,6 +227,11 @@ runAll(const RunOptions &opts, bool pass_stats,
     // stay byte-identical across --jobs values.
     fprintf(stderr, "suite wall clock: %.1f s (jobs=%d)\n", wall_s,
             opts.jobs);
+    if (ThreadPool::exceptionsDropped() || ThreadPool::hungTasks())
+        fprintf(stderr,
+                "pool: %llu exception(s) dropped, %llu hung task(s)\n",
+                (unsigned long long)ThreadPool::exceptionsDropped(),
+                (unsigned long long)ThreadPool::hungTasks());
     return mismatched == 0 && invariants_ok ? 0 : 1;
 }
 
@@ -205,6 +262,7 @@ main(int argc, char **argv)
     RunOptions opts;
     bool no_peel = false, no_ptr = false, cons_hb = false;
     bool inject = false, inject_analysis = false, pass_stats = false;
+    bool inject_sim = false;
     uint64_t inject_seed = 0;
     double inject_rate = 1.0;
     AnalysisMode analysis_mode = envAnalysisMode();
@@ -266,6 +324,67 @@ main(int argc, char **argv)
                 parseFloatFlag("--inject-rate", value_of(i, a), 0.0, 1.0);
         } else if (a == "--inject-analysis") {
             inject_analysis = true;
+        } else if (a == "--inject-sim") {
+            inject_sim = true;
+            opts.supervise = true;
+        } else if (a == "--deadline-ms") {
+            opts.supervision.deadline_ms =
+                parseIntFlag("--deadline-ms", value_of(i, a), 1,
+                             INT64_MAX);
+            opts.supervise = true;
+        } else if (a == "--max-instrs") {
+            opts.supervision.max_instrs = static_cast<uint64_t>(
+                parseIntFlag("--max-instrs", value_of(i, a), 1,
+                             INT64_MAX));
+            opts.supervise = true;
+        } else if (a == "--max-cycles") {
+            opts.supervision.max_cycles = static_cast<uint64_t>(
+                parseIntFlag("--max-cycles", value_of(i, a), 1,
+                             INT64_MAX));
+            opts.supervise = true;
+        } else if (a == "--max-depth") {
+            opts.supervision.max_depth = static_cast<int>(
+                parseIntFlag("--max-depth", value_of(i, a), 1,
+                             1 << 20));
+            opts.supervise = true;
+        } else if (a == "--max-mem-pages") {
+            opts.supervision.max_mem_pages = static_cast<uint64_t>(
+                parseIntFlag("--max-mem-pages", value_of(i, a), 1,
+                             INT64_MAX));
+            opts.supervise = true;
+        } else if (a == "--retries") {
+            opts.supervision.max_attempts = static_cast<int>(
+                parseIntFlag("--retries", value_of(i, a), 1, 100));
+            opts.supervise = true;
+        } else if (a == "--no-ladder") {
+            opts.supervision.ladder = false;
+            opts.supervise = true;
+        } else if (a == "--checkpoint-every") {
+            opts.supervision.checkpoint_every = static_cast<uint64_t>(
+                parseIntFlag("--checkpoint-every", value_of(i, a), 1,
+                             INT64_MAX));
+            opts.supervise = true;
+        } else if (a == "--resume") {
+            opts.resume = true;
+            opts.supervise = true;
+        } else if (a == "--only") {
+            std::string list = value_of(i, a);
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                const size_t comma = list.find(',', pos);
+                const std::string pat =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (!pat.empty())
+                    opts.only.push_back(pat);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            if (opts.only.empty())
+                epic_fatal("--only requires at least one non-empty "
+                           "workload substring");
         } else if (a == "--analysis-mode") {
             std::string m = value_of(i, a);
             if (!parseAnalysisMode(m, &analysis_mode))
@@ -278,6 +397,13 @@ main(int argc, char **argv)
     FaultInjector injector(inject_seed, inject_rate);
     if (inject_analysis)
         injector.enableAnalysisFaults(true);
+    if (inject_sim) {
+        if (!inject)
+            epic_fatal("--inject-sim needs --inject <seed> for the "
+                       "deterministic fault plan");
+        injector.enableSimFaults(true);
+        opts.sim_inject = &injector;
+    }
     FaultInjector *inj = inject ? &injector : nullptr;
     opts.tweak = [=](CompileOptions &o) {
         if (no_peel)
@@ -289,6 +415,16 @@ main(int argc, char **argv)
         o.analysis_mode = analysis_mode;
         o.firewall.inject = inj;
     };
+
+    if (opts.resume && json_path.empty())
+        epic_fatal("--resume needs --json <path> (the manifest lives "
+                   "in <path>.manifest)");
+    // Pool-side hung-task watchdog: the safety net behind the
+    // cooperative deadline poll. Warn at 10x the per-attempt deadline
+    // (min 1 s) — cooperative reclaim should long since have fired.
+    if (opts.supervision.deadline_ms > 0)
+        ThreadPool::setHungTaskThresholdMs(
+            std::max<int64_t>(1000, 10 * opts.supervision.deadline_ms));
 
     if (!trace_path.empty())
         TraceRecorder::global().enable();
@@ -316,9 +452,32 @@ main(int argc, char **argv)
         return finish(1);
     }
 
+    if (opts.supervise) {
+        installStopSignalHandlers();
+        // Source-truth checksum, so the supervisor's validation-aware
+        // retry catches silent corruption in single-run mode too (the
+        // suite path gets this from runWorkload's source run).
+        auto src = w->build();
+        src->layoutData();
+        Memory mem;
+        mem.initFromProgram(*src);
+        w->write_input(*src, mem, opts.run_input);
+        InterpResult truth = interpret(*src, mem, {});
+        if (truth.ok)
+            opts.expected_checksum = truth.ret_value;
+    }
     ConfigRun r = runConfig(*w, cfg, opts);
     if (!r.fallback.clean())
         printf("%s\n", r.fallback.str().c_str());
+    if (opts.supervise && r.sim_attempts > 0)
+        printf("supervision: %s after %d attempt(s), status %s%s\n",
+               r.sim_rung, r.sim_attempts, runStatusName(r.sim_status),
+               r.ckpt_instrs
+                   ? (" (checkpoint @ op " +
+                      std::to_string(r.ckpt_instrs) + ", " +
+                      std::to_string(r.ckpt_bytes) + " bytes)")
+                         .c_str()
+                   : "");
     if (inj && injector.fired()) {
         printf("fault injection: %d fired, %d escaped a gate\n",
                injector.fired(), injector.escaped());
@@ -330,14 +489,18 @@ main(int argc, char **argv)
         printf("\n");
     }
     if (!json_path.empty()) {
-        // Single-run record: no source-truth interpretation happens in
-        // this mode, so source_checksum is recorded as 0.
+        // Single-run record: unsupervised runs skip the source-truth
+        // interpretation, so source_checksum is recorded as 0 there.
         std::vector<std::string> violations;
         StatsRegistry reg = buildRunRegistry(r);
         for (const std::string &v : reg.checkInvariants())
             violations.push_back(w->name + " [" +
                                  configName(r.config) + "]: " + v);
-        writeFileOrDie(json_path, runRecordJson(w->name, 0, r) + "\n");
+        atomicWriteFileOrDie(
+            json_path,
+            runRecordJson(w->name, opts.expected_checksum.value_or(0),
+                          r) +
+                "\n");
         if (!reportViolations(violations))
             return finish(1);
     }

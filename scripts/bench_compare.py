@@ -16,16 +16,40 @@ scan, a lost cache), not single-digit drift.
 """
 import argparse
 import json
+import math
 import sys
 
 
+class CompareError(Exception):
+    """A malformed input that must fail the gate with a clear message.
+
+    A benchmark file with missing fields or NaN measurements would
+    otherwise either traceback (unreadable CI logs) or — worse for a
+    regression gate — produce a NaN ratio that compares False against
+    every threshold and silently passes.
+    """
+
+
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    runs = data.get("benchmarks", [])
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise CompareError(f"cannot read benchmark file: {e}")
+    except json.JSONDecodeError as e:
+        raise CompareError(f"{path} is not valid JSON: {e}")
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise CompareError(
+            f"{path}: no 'benchmarks' array (not a google-benchmark "
+            "--benchmark_out file?)")
+    runs = data["benchmarks"]
     # Prefer median aggregates; fall back to ordinary iteration entries.
+    for b in runs:
+        if "name" not in b:
+            raise CompareError(f"{path}: benchmark entry without a "
+                               f"'name' field: {b}")
     medians = {
-        b["run_name"]: b
+        b.get("run_name", b["name"]): b
         for b in runs
         if b.get("run_type") == "aggregate"
         and b.get("aggregate_name") == "median"
@@ -39,11 +63,22 @@ def load(path):
     }
 
 
-def throughput(entry):
+def throughput(name, entry):
     if "items_per_second" in entry:
-        return float(entry["items_per_second"])
-    rt = float(entry["real_time"])
-    return 1.0 / rt if rt > 0 else 0.0
+        v = entry["items_per_second"]
+    elif "real_time" in entry:
+        rt = entry["real_time"]
+        if not isinstance(rt, (int, float)) or not math.isfinite(rt):
+            raise CompareError(f"{name}: real_time is not a finite "
+                               f"number: {rt!r}")
+        v = 1.0 / rt if rt > 0 else 0.0
+    else:
+        raise CompareError(f"{name}: neither items_per_second nor "
+                           "real_time present")
+    if not isinstance(v, (int, float)) or not math.isfinite(v):
+        raise CompareError(f"{name}: throughput is not a finite "
+                           f"number: {v!r}")
+    return float(v)
 
 
 def main():
@@ -54,8 +89,16 @@ def main():
                     help="fractional items/sec loss that fails (0.25 = 25%%)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+        return compare(base, cur, args)
+    except CompareError as e:
+        print(f"bench_compare: FAIL: {e}", file=sys.stderr)
+        return 1
+
+
+def compare(base, cur, args):
     common = sorted(set(base) & set(cur))
     if not common:
         print("bench_compare: no common benchmarks between "
@@ -66,7 +109,7 @@ def main():
     print(f"{'benchmark':40s} {'baseline':>12s} {'current':>12s} "
           f"{'ratio':>7s}")
     for name in common:
-        b, c = throughput(base[name]), throughput(cur[name])
+        b, c = throughput(name, base[name]), throughput(name, cur[name])
         ratio = c / b if b > 0 else float("inf")
         flag = ""
         if ratio < 1.0 - args.max_regress:

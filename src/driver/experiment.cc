@@ -1,6 +1,13 @@
 #include "driver/experiment.h"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/checkpoint.h"
+#include "support/faultinject.h"
 #include "support/logging.h"
+#include "support/supervision/manifest.h"
+#include "support/telemetry/artifact.h"
 #include "support/telemetry/trace.h"
 #include "support/threadpool.h"
 
@@ -34,6 +41,219 @@ buildProfiled(const Workload &w, const RunOptions &opts,
     return prog;
 }
 
+/** RAII arm/disarm for the per-task deadline poll. */
+struct SupervisionScope
+{
+    explicit SupervisionScope(bool on) : on_(on)
+    {
+        if (on_)
+            armSupervision();
+    }
+    ~SupervisionScope()
+    {
+        if (on_)
+            disarmSupervision();
+    }
+    SupervisionScope(const SupervisionScope &) = delete;
+    SupervisionScope &operator=(const SupervisionScope &) = delete;
+    bool on_;
+};
+
+/** A stop request observable at this poll site? */
+bool
+stopped()
+{
+    return supervisionActive() && stopRequested();
+}
+
+/**
+ * Manifest key for one (workload x config) task: human-readable prefix
+ * plus a fingerprint of everything that determines the record bytes —
+ * the workload's content signature, the configuration, the input/spec
+ * model choices and the artifact schema version. A record is only
+ * reused when all of them match.
+ */
+std::string
+manifestKey(const Workload &w, Config cfg, const RunOptions &o)
+{
+    uint64_t h = fnv1a(kRunSchemaVersion);
+    h = fnv1a(w.signature, h);
+    h = fnv1a(o.spec_model == SpecModel::Sentinel ? "sentinel"
+                                                  : "general",
+              h);
+    h = fnv1a(std::to_string(static_cast<int>(o.profile_input)), h);
+    h = fnv1a(std::to_string(static_cast<int>(o.run_input)), h);
+    return w.name + "|" + std::string(configName(cfg)) + "|" +
+           hashHex(h);
+}
+
+/** Did a stored manifest record complete successfully? */
+bool
+recordSaysOk(const std::string &rec)
+{
+    return rec.find("\"ok\":true") != std::string::npos;
+}
+
+/** Architected checksum carried by a stored manifest record. */
+int64_t
+recordChecksum(const std::string &rec)
+{
+    static const char *const kTag = "\"checksum\":";
+    const size_t p = rec.find(kTag);
+    if (p == std::string::npos)
+        return 0;
+    return std::strtoll(rec.c_str() + p + std::strlen(kTag), nullptr,
+                        10);
+}
+
+/** Fresh input image for the compiled program. */
+void
+buildImage(const Workload &w, const Program &prog, Memory &mem,
+           const RunOptions &opts)
+{
+    mem.initFromProgram(prog);
+    w.write_input(const_cast<Program &>(prog), mem, opts.run_input);
+}
+
+/**
+ * Supervised simulation of a compiled program: budgets + deadline,
+ * validation-aware bounded retry of the detailed sim, then the
+ * degradation ladder (functional-only, then skip-with-record) —
+ * mirroring the compile firewall's rung discipline at the sim layer.
+ */
+void
+superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
+             Program &prog, ConfigRun &out)
+{
+    const SupervisionOptions &sup = opts.supervision;
+    SupervisionScope scope(sup.deadline_ms > 0);
+
+    TimingOptions base;
+    base.spec_model = opts.spec_model;
+    if (sup.max_cycles)
+        base.max_cycles = sup.max_cycles;
+    if (sup.max_depth)
+        base.max_depth = sup.max_depth;
+    base.max_mem_pages = sup.max_mem_pages;
+    base.checkpoint_every = sup.checkpoint_every;
+
+    // Sim-layer chaos: the plan (and whether it fires) is a pure
+    // function of (seed, workload, rung); it corrupts the *first*
+    // attempt only — all three kinds model transient faults.
+    SimFaultPlan plan;
+    if (opts.sim_inject)
+        plan = opts.sim_inject->simPlan(w.name, configName(cfg));
+
+    const int max_attempts = std::max(1, sup.max_attempts);
+    TimingResult r;
+    SimCheckpoint ckpt;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        Memory mem;
+        buildImage(w, prog, mem, opts);
+        TimingOptions topts = base;
+        topts.deadline_ns = deadlineFromNowMs(sup.deadline_ms);
+        if (sup.checkpoint_every)
+            topts.checkpoint_out = &ckpt;
+        if (attempt == 0 && plan.fire) {
+            switch (plan.kind) {
+              case FaultKind::SimDecodeCorrupt:
+                topts.corrupt_decode = true;
+                break;
+              case FaultKind::SimMemBitFlip:
+                mem.flipBit(plan.mem_bit_sel);
+                break;
+              default: // SimHang
+                topts.hang_at_instr = plan.hang_at_instr;
+                topts.hang_ms = plan.hang_ms;
+                break;
+            }
+        }
+        r = simulate(prog, mem, topts);
+        out.sim_attempts = attempt + 1;
+        // Validation-aware retry: a detailed sim that "succeeds" with
+        // the wrong architected result is a silent fault.
+        if (r.ok && opts.expected_checksum &&
+            r.ret_value != *opts.expected_checksum)
+            r.fail(RunStatus::Faulted,
+                   "checksum mismatch (" + std::to_string(r.ret_value) +
+                       " vs " +
+                       std::to_string(*opts.expected_checksum) + ")");
+        if (r.ok || stopped())
+            break;
+        if (r.status == RunStatus::BudgetExceeded)
+            break; // deterministic exhaustion: a retry cannot help
+    }
+    if (ckpt.valid()) {
+        out.ckpt_instrs = ckpt.instrs;
+        out.ckpt_bytes = ckpt.data.size();
+    }
+
+    if (r.ok) {
+        out.ok = true;
+        out.checksum = r.ret_value;
+        out.pm = std::move(r.pm);
+        out.sim_status = RunStatus::Ok;
+    } else if (sup.ladder && !stopped()) {
+        // Rung 2: functional-only. Execute the compiled program in
+        // scheduled order through the interpreter — architected result
+        // (checksum) without the timing model that failed.
+        Memory mem;
+        buildImage(w, prog, mem, opts);
+        InterpOptions io;
+        io.scheduled_order = true;
+        if (sup.max_instrs)
+            io.max_instrs = sup.max_instrs;
+        if (sup.max_depth)
+            io.max_depth = sup.max_depth;
+        io.max_mem_pages = sup.max_mem_pages;
+        io.deadline_ns = deadlineFromNowMs(sup.deadline_ms);
+        auto fr = interpret(prog, mem, io);
+        if (fr.ok) {
+            out.ok = true;
+            out.checksum = fr.ret_value;
+            out.pm = Perfmon{};
+            out.sim_rung = "functional";
+            out.sim_status = RunStatus::Ok;
+            out.error = std::string(configName(cfg)) +
+                        " detailed sim quarantined after " +
+                        std::to_string(out.sim_attempts) +
+                        " attempt(s): " + r.error +
+                        " (functional-only result)";
+        } else {
+            // Rung 3: skip with a structured record.
+            out.ok = false;
+            out.sim_rung = "skipped";
+            out.sim_status = fr.status;
+            out.error = std::string(configName(cfg)) +
+                        " quarantined after " +
+                        std::to_string(out.sim_attempts) +
+                        " attempt(s): detailed (" + r.error +
+                        "); functional (" + fr.error + ")";
+        }
+    } else {
+        out.ok = false;
+        out.sim_status = r.status;
+        out.error = std::string(configName(cfg)) +
+                    " simulation failed: " + r.error;
+    }
+
+    // Containment accounting for the injected fault: caught when the
+    // supervisor *detected* it (retry/degrade/structured failure) or
+    // validation proves the accepted result correct anyway. A fault
+    // that yields an accepted wrong result would stay uncaught —
+    // escaped — which is exactly what the chaos suite asserts against.
+    if (plan.record >= 0) {
+        const bool detected = out.sim_attempts > 1 ||
+                              std::strcmp(out.sim_rung, "detailed") !=
+                                  0 ||
+                              !out.ok;
+        const bool proven = out.ok && opts.expected_checksum &&
+                            out.checksum == *opts.expected_checksum;
+        if (detected || proven)
+            opts.sim_inject->markCaught(plan.record);
+    }
+}
+
 } // namespace
 
 ConfigRun
@@ -60,6 +280,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     }
     if (!src) {
         out.error = err;
+        out.sim_status = RunStatus::Faulted;
         return out;
     }
 
@@ -76,13 +297,21 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     out.instrs_final = c.instrs_final;
 
     TraceSpan sim_span("experiment.phase", phase_label("simulate"));
+    if (opts.supervise) {
+        superviseSim(w, cfg, opts, *c.prog, out);
+        out.prog = std::shared_ptr<Program>(std::move(c.prog));
+        return out;
+    }
+
     Memory mem;
     mem.initFromProgram(*c.prog);
     w.write_input(*c.prog, mem, opts.run_input);
     TimingOptions topts;
     topts.spec_model = opts.spec_model;
     auto r = simulate(*c.prog, mem, topts);
+    out.sim_attempts = 1;
     if (!r.ok) {
+        out.sim_status = r.status;
         out.error = std::string(configName(cfg)) +
                     " simulation failed: " + r.error;
         return out;
@@ -98,13 +327,29 @@ std::vector<WorkloadRuns>
 runSuite(const std::vector<Config> &configs, const RunOptions &opts,
          const std::function<void(const WorkloadRuns &)> &progress)
 {
-    const std::vector<Workload> &suite = allWorkloads();
+    const std::vector<Workload> &all = allWorkloads();
+    // --only substring filters (suite order is preserved).
+    std::vector<const Workload *> suite;
+    for (const Workload &w : all) {
+        bool take = opts.only.empty();
+        for (const std::string &pat : opts.only)
+            if (w.name.find(pat) != std::string::npos)
+                take = true;
+        if (take)
+            suite.push_back(&w);
+    }
+
     std::vector<WorkloadRuns> out(suite.size());
     // Workloads fan out over the pool; results land in suite order, so
     // the report is byte-identical to a serial run. Progress feedback
     // streams per workload when serial, after the join when parallel.
     parallelFor(opts.jobs, static_cast<int>(suite.size()), [&](int i) {
-        out[i] = runWorkload(suite[i], configs, opts);
+        if (stopped()) {
+            out[i].name = suite[i]->name;
+            out[i].error = "interrupted by stop request";
+            return;
+        }
+        out[i] = runWorkload(*suite[i], configs, opts);
         if (progress && opts.jobs <= 1)
             progress(out[i]);
     });
@@ -120,6 +365,11 @@ runWorkload(const Workload &w, const std::vector<Config> &configs,
 {
     WorkloadRuns out;
     out.name = w.name;
+
+    if (stopped()) {
+        out.error = "interrupted by stop request";
+        return out;
+    }
 
     // Source truth: functional run of the unoptimized program on the
     // measurement input.
@@ -144,13 +394,55 @@ runWorkload(const Workload &w, const std::vector<Config> &configs,
         out.source_checksum = r.ret_value;
     }
 
+    // Supervised runs validate every accepted result against the
+    // source truth (silent-corruption detection drives retry).
+    RunOptions wopts = opts;
+    if (opts.supervise)
+        wopts.expected_checksum = out.source_checksum;
+
     // Configurations are independent (each builds its own profiled
     // source); fan them out, then merge and report in `configs` order
     // so the aggregate — and even the warning stream — is identical to
     // a serial run.
     std::vector<ConfigRun> results(configs.size());
-    parallelFor(opts.jobs, static_cast<int>(configs.size()),
-                [&](int i) { results[i] = runConfig(w, configs[i], opts); });
+    parallelFor(
+        opts.jobs, static_cast<int>(configs.size()), [&](int i) {
+            const Config cfg = configs[i];
+            const std::string key =
+                opts.manifest ? manifestKey(w, cfg, opts)
+                              : std::string();
+            if (opts.manifest && opts.resume) {
+                if (const std::string *rec = opts.manifest->find(key)) {
+                    ConfigRun r;
+                    r.config = cfg;
+                    r.resumed = true;
+                    r.record_json = *rec;
+                    r.ok = recordSaysOk(*rec);
+                    r.checksum = recordChecksum(*rec);
+                    if (!r.ok)
+                        r.error = "failed in a previous run (resumed "
+                                  "manifest record)";
+                    results[i] = std::move(r);
+                    return;
+                }
+            }
+            if (stopped()) {
+                results[i].config = cfg;
+                results[i].sim_status = RunStatus::Deadline;
+                results[i].error = "interrupted by stop request";
+                return;
+            }
+            results[i] = runConfig(w, cfg, wopts);
+            // Durable completion record — appended (and fsync'd) the
+            // moment the task finishes, so a later kill -9 cannot lose
+            // it. Results produced after a stop request are not
+            // recorded: they may be partial (Deadline) and will simply
+            // re-run on resume.
+            if (opts.manifest && !(stopped() && !results[i].ok))
+                opts.manifest->record(
+                    key, runRecordJson(w.name, out.source_checksum,
+                                       results[i]));
+        });
 
     out.all_match = true;
     for (size_t i = 0; i < configs.size(); ++i) {

@@ -12,13 +12,18 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "driver/compiler.h"
 #include "sim/interp.h"
 #include "sim/timing.h"
+#include "support/supervision/supervise.h"
 #include "workloads/workload.h"
 
 namespace epic {
+
+class FaultInjector;
+class RunManifest;
 
 /** Options for a workload run. */
 struct RunOptions
@@ -33,6 +38,33 @@ struct RunOptions
     int jobs = 1;
     /// Hook to tweak compile options per configuration (ablations).
     std::function<void(CompileOptions &)> tweak;
+
+    // ---- Run supervision (support/supervision/supervise.h) ----
+    /// Arm the supervision layer: budgets/deadline below, validation-
+    /// aware bounded retry, and the sim degradation ladder. Off by
+    /// default — the legacy single-attempt behaviour (and its artifact
+    /// bytes) are completely unchanged.
+    bool supervise = false;
+    SupervisionOptions supervision;
+    /// Known-good architected checksum for this workload (set by
+    /// runWorkload from the source-truth run): a supervised detailed
+    /// sim whose result disagrees is treated as Faulted and retried.
+    std::optional<int64_t> expected_checksum;
+    /// Sim-layer chaos injection (FaultInjector::simPlan); null = off.
+    /// Faults are applied to the first attempt only (transient model).
+    FaultInjector *sim_inject = nullptr;
+
+    // ---- Crash-safe resumable fleet runs ----
+    /// Durable per-run manifest; completed (workload x config) records
+    /// are appended as they finish (fsync'd — they survive kill -9).
+    RunManifest *manifest = nullptr;
+    /// With a manifest: tasks whose key already has a record are not
+    /// re-run; the stored record is emitted verbatim in the artifact,
+    /// keeping the resumed artifact byte-identical to an uninterrupted
+    /// run.
+    bool resume = false;
+    /// Workload-name substring filters; empty = the whole suite.
+    std::vector<std::string> only;
 };
 
 /** One configuration's full outcome. */
@@ -56,6 +88,23 @@ struct ConfigRun
 
     /// The compiled program (kept for function-level attribution).
     std::shared_ptr<Program> prog;
+
+    // ---- Supervision outcome (defaults reproduce legacy behaviour) ----
+    /// Structured status of the accepted result (or last failure).
+    RunStatus sim_status = RunStatus::Ok;
+    /// Which ladder rung produced it: "detailed" (full timing sim),
+    /// "functional" (architected result only, pm is zero), "skipped"
+    /// (quarantined, ok = false).
+    const char *sim_rung = "detailed";
+    /// Detailed-sim attempts consumed (>= 1 once a sim ran).
+    int sim_attempts = 0;
+    /// Checkpoints taken / last blob size (supervision.checkpoint_*).
+    uint64_t ckpt_instrs = 0;
+    uint64_t ckpt_bytes = 0;
+    /// Restored from the fleet manifest instead of re-run; record_json
+    /// then holds the stored JSONL record verbatim.
+    bool resumed = false;
+    std::string record_json;
 };
 
 /** Outcome across configurations, plus the source-truth checksum. */

@@ -1,0 +1,235 @@
+#include "sim/checkpoint.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/caches.h"
+#include "sim/memory.h"
+#include "sim/perfmon.h"
+#include "sim/predictor.h"
+#include "support/logging.h"
+
+namespace epic {
+
+void
+CkptReader::need(size_t n) const
+{
+    if (data_.size() - pos_ < n)
+        epic_panic("corrupt checkpoint: need ", n, " bytes at offset ",
+                   pos_, ", blob has ", data_.size());
+}
+
+void
+CkptReader::expectEnd() const
+{
+    if (!atEnd())
+        epic_panic("corrupt checkpoint: ", data_.size() - pos_,
+                   " trailing bytes");
+}
+
+// ---- Memory -------------------------------------------------------------
+
+void
+Memory::saveState(CkptWriter &w) const
+{
+    std::vector<uint64_t> pns;
+    pns.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        pns.push_back(kv.first);
+    std::sort(pns.begin(), pns.end());
+    w.u64(pns.size());
+    for (const uint64_t pn : pns) {
+        w.u64(pn);
+        w.raw(pages_.at(pn).get(), kPageSize);
+    }
+}
+
+void
+Memory::loadState(CkptReader &r)
+{
+    pages_.clear();
+    cache_pn_ = {~0ull, ~0ull};
+    cache_page_ = {nullptr, nullptr};
+    cache_mru_ = 0;
+    const uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t pn = r.u64();
+        auto page = std::make_unique<uint8_t[]>(kPageSize);
+        r.raw(page.get(), kPageSize);
+        pages_.emplace(pn, std::move(page));
+    }
+}
+
+// ---- Cache / MemHierarchy ----------------------------------------------
+
+void
+Cache::saveState(CkptWriter &w) const
+{
+    w.u64(tick_);
+    w.u64(accesses_);
+    w.u64(misses_);
+    w.u64(ways_.size());
+    for (const Way &way : ways_) {
+        w.u64(way.tag);
+        w.u64(way.lru);
+        w.u8(way.valid ? 1 : 0);
+    }
+}
+
+void
+Cache::loadState(CkptReader &r)
+{
+    tick_ = r.u64();
+    accesses_ = r.u64();
+    misses_ = r.u64();
+    const uint64_t n = r.u64();
+    epic_assert(n == ways_.size(),
+                "checkpoint cache geometry mismatch: blob has ", n,
+                " ways, cache has ", ways_.size());
+    for (Way &way : ways_) {
+        way.tag = r.u64();
+        way.lru = r.u64();
+        way.valid = r.u8() != 0;
+    }
+}
+
+void
+MemHierarchy::saveState(CkptWriter &w) const
+{
+    l1i_.saveState(w);
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+}
+
+void
+MemHierarchy::loadState(CkptReader &r)
+{
+    l1i_.loadState(r);
+    l1d_.loadState(r);
+    l2_.loadState(r);
+    l3_.loadState(r);
+}
+
+// ---- BranchPredictor ----------------------------------------------------
+
+void
+BranchPredictor::saveState(CkptWriter &w) const
+{
+    w.u32(history_);
+    w.u64(table_.size());
+    w.raw(table_.data(), table_.size());
+    std::vector<std::pair<uint64_t, int>> btb(btb_.begin(), btb_.end());
+    std::sort(btb.begin(), btb.end());
+    w.u64(btb.size());
+    for (const auto &kv : btb) {
+        w.u64(kv.first);
+        w.i64(kv.second);
+    }
+}
+
+void
+BranchPredictor::loadState(CkptReader &r)
+{
+    history_ = r.u32();
+    const uint64_t tn = r.u64();
+    epic_assert(tn == table_.size(),
+                "checkpoint predictor geometry mismatch");
+    r.raw(table_.data(), table_.size());
+    btb_.clear();
+    const uint64_t bn = r.u64();
+    for (uint64_t i = 0; i < bn; ++i) {
+        const uint64_t addr = r.u64();
+        btb_[addr] = static_cast<int>(r.i64());
+    }
+}
+
+// ---- Perfmon ------------------------------------------------------------
+
+void
+saveState(CkptWriter &w, const Perfmon &pm)
+{
+    for (const uint64_t c : pm.cycles)
+        w.u64(c);
+    w.u64(pm.useful_ops);
+    w.u64(pm.squashed_ops);
+    w.u64(pm.nop_ops);
+    w.u64(pm.kernel_ops);
+    w.u64(pm.branches);
+    w.u64(pm.branch_predictions);
+    w.u64(pm.mispredictions);
+    w.u64(pm.loads);
+    w.u64(pm.stores);
+    w.u64(pm.l1d_accesses);
+    w.u64(pm.l1d_misses);
+    w.u64(pm.l1i_accesses);
+    w.u64(pm.l1i_misses);
+    w.u64(pm.l2_accesses);
+    w.u64(pm.l2_misses);
+    w.u64(pm.l2i_misses);
+    w.u64(pm.l3_accesses);
+    w.u64(pm.l3_misses);
+    w.u64(pm.dtlb_misses);
+    w.u64(pm.vhpt_walks);
+    w.u64(pm.wild_loads);
+    w.u64(pm.null_page_loads);
+    w.u64(pm.stlf_conflicts);
+    w.u64(pm.rse_spill_regs);
+    w.u64(pm.rse_fill_regs);
+    w.u64(pm.l1i_miss_taildup);
+    w.u64(pm.l1i_miss_peel_remainder);
+    w.u64(pm.l2i_miss_taildup);
+    w.u64(pm.l2i_miss_peel_remainder);
+    std::vector<std::pair<int, uint64_t>> fc(pm.func_cycles.begin(),
+                                             pm.func_cycles.end());
+    std::sort(fc.begin(), fc.end());
+    w.u64(fc.size());
+    for (const auto &kv : fc) {
+        w.i64(kv.first);
+        w.u64(kv.second);
+    }
+}
+
+void
+loadState(CkptReader &r, Perfmon &pm)
+{
+    for (uint64_t &c : pm.cycles)
+        c = r.u64();
+    pm.useful_ops = r.u64();
+    pm.squashed_ops = r.u64();
+    pm.nop_ops = r.u64();
+    pm.kernel_ops = r.u64();
+    pm.branches = r.u64();
+    pm.branch_predictions = r.u64();
+    pm.mispredictions = r.u64();
+    pm.loads = r.u64();
+    pm.stores = r.u64();
+    pm.l1d_accesses = r.u64();
+    pm.l1d_misses = r.u64();
+    pm.l1i_accesses = r.u64();
+    pm.l1i_misses = r.u64();
+    pm.l2_accesses = r.u64();
+    pm.l2_misses = r.u64();
+    pm.l2i_misses = r.u64();
+    pm.l3_accesses = r.u64();
+    pm.l3_misses = r.u64();
+    pm.dtlb_misses = r.u64();
+    pm.vhpt_walks = r.u64();
+    pm.wild_loads = r.u64();
+    pm.null_page_loads = r.u64();
+    pm.stlf_conflicts = r.u64();
+    pm.rse_spill_regs = r.u64();
+    pm.rse_fill_regs = r.u64();
+    pm.l1i_miss_taildup = r.u64();
+    pm.l1i_miss_peel_remainder = r.u64();
+    pm.l2i_miss_taildup = r.u64();
+    pm.l2i_miss_peel_remainder = r.u64();
+    pm.func_cycles.clear();
+    const uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        const int fn = static_cast<int>(r.i64());
+        pm.func_cycles[fn] = r.u64();
+    }
+}
+
+} // namespace epic

@@ -6,6 +6,7 @@
 
 #include "sim/decode.h"
 #include "support/logging.h"
+#include "support/supervision/supervise.h"
 #include "support/telemetry/trace.h"
 
 /*
@@ -38,7 +39,17 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
                                                : "functional-run");
     Function *entry_fn = prog.func(prog.entry_func);
     if (!entry_fn) {
-        res.error = "no entry function";
+        res.fail(RunStatus::Faulted, "no entry function");
+        return res;
+    }
+
+    // Heap high-water budget: the image is fully mapped before the run
+    // (simulated stores never map new pages), so entry is the high water.
+    if (opts.max_mem_pages != 0 && mem.mappedPages() > opts.max_mem_pages) {
+        res.fail(RunStatus::BudgetExceeded,
+                 "memory page budget exceeded (" +
+                     std::to_string(mem.mappedPages()) + " > " +
+                     std::to_string(opts.max_mem_pages) + " pages)");
         return res;
     }
 
@@ -67,10 +78,27 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         bb->weight += 1;
     }
 
+    // Supervision poll at block entry — the interpreter's group-boundary
+    // equivalent: one relaxed load per block when disarmed; stop-request
+    // plus a strided clock check when armed.
+    uint32_t sup_poll = 0;
     auto enter_block = [&](int bid) -> bool {
+        if (__builtin_expect(supervisionActive(), 0)) {
+            if (stopRequested()) {
+                res.fail(RunStatus::Deadline, "interrupted by stop request");
+                return false;
+            }
+            if (opts.deadline_ns != 0 && (sup_poll++ & 1023u) == 0 &&
+                steadyNowNs() > opts.deadline_ns) {
+                res.fail(RunStatus::Deadline,
+                         "wall-clock deadline exceeded");
+                return false;
+            }
+        }
         bb = fn->block(bid);
         if (!bb) {
-            res.error = "jump to dead block in " + fn->name;
+            res.fail(RunStatus::Faulted,
+                     "jump to dead block in " + fn->name);
             return false;
         }
         const DecodedBlock &db = dfn->block(bid);
@@ -147,9 +175,10 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
                 inst.prof_callees[it->second].second += 1;
         }
         if (static_cast<int>(stack.size()) >= opts.max_depth) {
-            res.error = "call depth limit exceeded (" +
-                        std::to_string(opts.max_depth) + ") in " +
-                        fn->name;
+            res.fail(RunStatus::BudgetExceeded,
+                     "call depth limit exceeded (" +
+                         std::to_string(opts.max_depth) + ") in " +
+                         fn->name);
             return false;
         }
         Function *callee = prog.func(eff.callee);
@@ -160,7 +189,8 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         size_t first_arg = di.op == Opcode::BR_ICALL ? 1 : 0;
         size_t nargs = inst.srcs.size() - first_arg;
         if (nargs != callee->params.size()) {
-            res.error = "arity mismatch calling " + callee->name;
+            res.fail(RunStatus::Faulted,
+                     "arity mismatch calling " + callee->name);
             return false;
         }
         args.resize(nargs);
@@ -200,8 +230,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         frame_pool.push_back(std::move(stack.back()));
         stack.pop_back();
         if (stack.empty()) {
-            res.ok = true;
-            res.ret_value = eff.has_ret_val ? eff.ret_val.v : 0;
+            res.succeed(eff.has_ret_val ? eff.ret_val.v : 0);
             return false;
         }
         Frame &caller = stack.back();
@@ -389,8 +418,9 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 
     block_end: {
         if (bb->fallthrough < 0) {
-            res.error = "fell off block bb" + std::to_string(bb->id) +
-                        " in " + fn->name;
+            res.fail(RunStatus::Faulted,
+                     "fell off block bb" + std::to_string(bb->id) +
+                         " in " + fn->name);
             return res;
         }
         if (!enter_block(bb->fallthrough))
@@ -399,14 +429,16 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
     }
 
     budget_exhausted: {
-        res.error = "dynamic instruction budget exceeded (" +
-                    std::to_string(opts.max_instrs) + " instrs)";
+        res.fail(RunStatus::BudgetExceeded,
+                 "dynamic instruction budget exceeded (" +
+                     std::to_string(opts.max_instrs) + " instrs)");
         return res;
     }
 
     trap_exit: {
-        res.error = "trap in " + fn->name + " at '" + di->orig->str() +
-                    "': " + ceff.trap_msg;
+        res.fail(RunStatus::Faulted,
+                 "trap in " + fn->name + " at '" + di->orig->str() +
+                     "': " + ceff.trap_msg);
         return res;
     }
 
@@ -417,16 +449,18 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 
     while (true) {
         if (res.dyn_instrs >= opts.max_instrs) {
-            res.error = "dynamic instruction budget exceeded (" +
-                        std::to_string(opts.max_instrs) + " instrs)";
+            res.fail(RunStatus::BudgetExceeded,
+                     "dynamic instruction budget exceeded (" +
+                         std::to_string(opts.max_instrs) + " instrs)");
             return res;
         }
 
         // Fall off the end of the block?
         if (pos >= order_len) {
             if (bb->fallthrough < 0) {
-                res.error = "fell off block bb" + std::to_string(bb->id) +
-                            " in " + fn->name;
+                res.fail(RunStatus::Faulted,
+                         "fell off block bb" + std::to_string(bb->id) +
+                             " in " + fn->name);
                 return res;
             }
             if (!enter_block(bb->fallthrough))
@@ -440,8 +474,9 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
 
         count_instr(eff);
         if (eff.trap) {
-            res.error = "trap in " + fn->name + " at '" + di.orig->str() +
-                        "': " + eff.trap_msg;
+            res.fail(RunStatus::Faulted,
+                     "trap in " + fn->name + " at '" + di.orig->str() +
+                         "': " + eff.trap_msg);
             return res;
         }
         count_mem(eff);

@@ -36,6 +36,12 @@ struct InterpOptions
     uint64_t max_instrs = 2'000'000'000ull;
     /// Call-depth limit.
     int max_depth = 16384;
+    /// Heap high-water budget in mapped 16 KB pages (0 = unlimited).
+    uint64_t max_mem_pages = 0;
+    /// Absolute steady-clock deadline, ns (0 = none). Polled at block
+    /// boundaries only while supervision is armed (one relaxed load per
+    /// block when disarmed — see support/supervision/supervise.h).
+    int64_t deadline_ns = 0;
 };
 
 /** Outcome of a functional run. */

@@ -153,6 +153,24 @@ Memory::readBytes(uint64_t addr, uint8_t *out, uint64_t len) const
     }
 }
 
+uint64_t
+Memory::flipBit(uint64_t sel)
+{
+    epic_assert(!pages_.empty(), "flipBit on an empty memory image");
+    std::vector<uint64_t> pns;
+    pns.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        pns.push_back(kv.first);
+    std::sort(pns.begin(), pns.end());
+    const uint64_t pn = pns[sel % pns.size()];
+    // Knuth multiplicative spread keeps nearby selectors from landing
+    // on the same byte of the same page.
+    const uint64_t off = (sel * 2654435761ull) % kPageSize;
+    const int bit = static_cast<int>(sel % 8);
+    pages_.at(pn).get()[off] ^= static_cast<uint8_t>(1u << bit);
+    return (pn << kPageBits) + off;
+}
+
 void
 Memory::initFromProgram(const Program &prog)
 {

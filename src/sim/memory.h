@@ -28,6 +28,8 @@
 
 namespace epic {
 
+class CkptReader;
+class CkptWriter;
 class Program;
 
 /** Sparse byte-addressable memory with 16 KB pages. */
@@ -110,8 +112,21 @@ class Memory
     /** Build the initial image for a program: data symbols + stack. */
     void initFromProgram(const Program &prog);
 
-    /** Number of mapped pages (footprint diagnostics). */
+    /** Number of mapped pages (footprint diagnostics + heap budget). */
     size_t mappedPages() const { return pages_.size(); }
+
+    /**
+     * Chaos injection (support/faultinject.h): flip one bit of the
+     * mapped image, chosen deterministically by `sel` over the sorted
+     * page list. Returns the affected byte address. Requires at least
+     * one mapped page.
+     */
+    uint64_t flipBit(uint64_t sel);
+
+    /** Checkpoint the full page set (sorted page order: deterministic
+     *  blob) / restore it, replacing current contents. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     uint8_t *pageFor(uint64_t addr, bool create);

@@ -13,6 +13,9 @@
 
 namespace epic {
 
+class CkptReader;
+class CkptWriter;
+
 /** gshare direction predictor. */
 class BranchPredictor
 {
@@ -56,6 +59,11 @@ class BranchPredictor
     {
         btb_[addr] = target;
     }
+
+    /** Checkpoint history/counters/BTB (BTB in sorted address order so
+     *  identical predictor state yields an identical blob). */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     uint32_t

@@ -16,12 +16,60 @@
 
 namespace epic {
 
+/**
+ * Structured outcome classification of a simulator run. Where the
+ * `error` string is for humans, the status is for the supervisor: it
+ * decides retry/degrade/skip policy and is recorded in telemetry, so
+ * a runaway or faulted task is a *categorized* experiment outcome,
+ * never a fatal exit.
+ */
+enum class RunStatus : uint8_t {
+    Ok,             ///< run completed; ret_value is the checksum
+    Faulted,        ///< trap / structural failure (bad IR, arity, ...)
+    BudgetExceeded, ///< instr/cycle/depth/heap budget exhausted
+    Deadline,       ///< cooperative wall-clock deadline or stop request
+};
+
+/** Printable status name (stable, used in telemetry + reports). */
+inline const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Faulted: return "faulted";
+      case RunStatus::BudgetExceeded: return "budget-exceeded";
+      case RunStatus::Deadline: return "deadline";
+    }
+    return "?";
+}
+
 /** Shared fields of InterpResult / TimingResult. */
 struct RunResult
 {
     bool ok = false;
+    /// Structured failure class; meaningful only when !ok (defaults to
+    /// Faulted so legacy error paths stay classified).
+    RunStatus status = RunStatus::Faulted;
     std::string error;     ///< why the run did not complete (when !ok)
     int64_t ret_value = 0; ///< architected result (checksum)
+
+    /** Mark the run failed with a structured status + message. */
+    void
+    fail(RunStatus s, std::string msg)
+    {
+        ok = false;
+        status = s;
+        error = std::move(msg);
+    }
+
+    /** Mark the run completed. */
+    void
+    succeed(int64_t value)
+    {
+        ok = true;
+        status = RunStatus::Ok;
+        ret_value = value;
+    }
 };
 
 } // namespace epic

@@ -1,15 +1,19 @@
 #include "sim/timing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/caches.h"
+#include "sim/checkpoint.h"
 #include "sim/decode.h"
 #include "sim/exec_core.h"
 #include "sim/predictor.h"
 #include "support/logging.h"
+#include "support/supervision/supervise.h"
 #include "support/telemetry/trace.h"
 
 namespace epic {
@@ -101,6 +105,34 @@ class Dtlb
         index_.emplace(page, victim);
     }
 
+    /** Checkpoint the recency list LRU-first: replaying insert() in
+     *  that order reconstructs the exact replacement state. */
+    void
+    saveState(CkptWriter &w) const
+    {
+        std::vector<uint64_t> pages;
+        pages.reserve(slots_.size());
+        for (int s = tail_; s >= 0;
+             s = slots_[static_cast<size_t>(s)].prev)
+            pages.push_back(slots_[static_cast<size_t>(s)].page);
+        w.u64(pages.size());
+        for (const uint64_t p : pages)
+            w.u64(p);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        slots_.clear();
+        index_.clear();
+        head_ = tail_ = -1;
+        const uint64_t n = r.u64();
+        epic_assert(n <= static_cast<uint64_t>(cap_),
+                    "checkpoint DTLB geometry mismatch");
+        for (uint64_t i = 0; i < n; ++i)
+            insert(r.u64());
+    }
+
   private:
     struct Slot
     {
@@ -151,13 +183,47 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
     Function *entry_fn = prog.func(prog.entry_func);
     if (!entry_fn) {
-        res.error = "no entry function";
+        res.fail(RunStatus::Faulted, "no entry function");
+        return res;
+    }
+
+    // Heap high-water budget: the image is fully mapped before the run
+    // (pages are never mapped mid-simulation), so entry *is* the high
+    // water mark.
+    if (opts.max_mem_pages != 0 && mem.mappedPages() > opts.max_mem_pages) {
+        res.fail(RunStatus::BudgetExceeded,
+                 "memory page budget exceeded (" +
+                     std::to_string(mem.mappedPages()) + " > " +
+                     std::to_string(opts.max_mem_pages) + " pages)");
         return res;
     }
 
     // Predecode: per-block issue groups in dense per-function arrays,
     // built once for this run (DESIGN.md §12).
-    const DecodedProgram dec = DecodedProgram::forTiming(prog);
+    DecodedProgram dec = DecodedProgram::forTiming(prog);
+
+    // Injected decode corruption: poison the entry function's first
+    // value-returning BR_RET in the decoded tables. The program then
+    // runs to completion with a wrong architected result — exactly the
+    // silent-corruption failure mode checksum validation must catch.
+    if (opts.corrupt_decode) {
+        bool done = false;
+        for (auto &bp : entry_fn->blocks) {
+            if (!bp || done)
+                continue;
+            for (size_t i = 0; i < bp->instrs.size() && !done; ++i) {
+                if (bp->instrs[i].op != Opcode::BR_RET ||
+                    bp->instrs[i].srcs.empty())
+                    continue;
+                auto &victim = const_cast<DecodedInstr &>(
+                    dec.func(entry_fn->id).block(bp->id).dinstrs[i]);
+                victim.src[0].kind = DecodedOp::K::Imm;
+                victim.src[0].imm =
+                    static_cast<int64_t>(0xDEADBEEFDEADBEEFull);
+                done = true;
+            }
+        }
+    }
 
     // Execution state (architected + timing), parallel stacks.
     std::deque<Frame> frames;
@@ -200,14 +266,14 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         int64_t cyc;
         uint64_t addr;
     };
-    StoreRec store_ring[16];
-    uint32_t store_count = 0; ///< total stores pushed so far
+    StoreRec store_ring[16] = {}; ///< zeroed: checkpoints serialize it
+    uint32_t store_count = 0;     ///< total stores pushed so far
 
     Function *fn = entry_fn;
     const DecodedFunction *dfn = &dec.func(fn->id);
     BasicBlock *bb = fn->block(fn->entry);
     if (!bb) {
-        res.error = "entry block missing";
+        res.fail(RunStatus::Faulted, "entry block missing");
         return res;
     }
     const DecodedBlock *db = &dfn->block(bb->id);
@@ -262,23 +328,260 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     };
     std::deque<RetPos> ret_stack;
 
+    // ---- Checkpoint/restore (sim/checkpoint.h) ----
+    // The entire loop state above is serialized at a deterministic
+    // retired-op boundary; restore rebuilds it exactly, so the resumed
+    // run's counters finish byte-identical to an uninterrupted one.
+    auto retiredOps = [&]() { return pm.useful_ops + pm.squashed_ops; };
+
+    auto saveCheckpoint = [&](SimCheckpoint &ck) {
+        CkptWriter w;
+        mem.saveState(w);
+        hier.saveState(w);
+        pred.saveState(w);
+        dtlb.saveState(w);
+        saveState(w, pm);
+        w.u64(frames.size());
+        for (const Frame &f : frames) {
+            w.i64(f.fn->id);
+            w.u64(f.gr.size());
+            for (const GrVal &g : f.gr) {
+                w.i64(g.v);
+                w.u8(g.nat ? 1 : 0);
+            }
+            w.u64(f.fr.size());
+            for (const double d : f.fr)
+                w.f64(d);
+            w.u64(f.pr.size());
+            w.raw(f.pr.data(), f.pr.size());
+            w.i64(f.ret_block);
+            w.i64(f.ret_pos);
+            w.u8(static_cast<uint8_t>(f.ret_dest.cls));
+            w.i64(f.ret_dest.id);
+            w.u64(f.sp);
+        }
+        w.u64(tframes.size());
+        for (const TFrame &t : tframes) {
+            auto put = [&w](const std::vector<RegT> &v) {
+                w.u64(v.size());
+                for (const RegT &rt : v) {
+                    w.i64(rt.ready);
+                    w.i64(rt.planned);
+                    w.u8(rt.f_unit);
+                    w.u8(rt.load);
+                }
+            };
+            put(t.gr);
+            put(t.fr);
+            w.u64(t.ready_pr.size());
+            for (const int64_t p : t.ready_pr)
+                w.i64(p);
+        }
+        w.u64(frame_stacked.size());
+        for (const int s : frame_stacked)
+            w.i64(s);
+        w.u64(ret_stack.size());
+        for (const RetPos &rp : ret_stack) {
+            w.i64(rp.block);
+            w.u64(rp.group);
+        }
+        w.i64(rse_logical);
+        w.i64(rse_spilled);
+        for (const StoreRec &sr : store_ring) {
+            w.i64(sr.cyc);
+            w.u64(sr.addr);
+        }
+        w.u32(store_count);
+        w.u64(issue_hist.size());
+        for (const int64_t t : issue_hist)
+            w.i64(t);
+        w.u64(hist_n);
+        w.u64(hist_head);
+        w.i64(fe_time);
+        w.i64(t_prev);
+        w.u64(safety);
+        w.u64(cycles_total);
+        w.i64(fn->id);
+        w.i64(bb->id);
+        w.u64(gi);
+        ck.data = w.take();
+        ck.instrs = retiredOps();
+    };
+
+    auto restoreCheckpoint = [&](const SimCheckpoint &ck) {
+        CkptReader r(ck.data);
+        mem.loadState(r);
+        hier.loadState(r);
+        pred.loadState(r);
+        dtlb.loadState(r);
+        loadState(r, pm);
+        frames.clear();
+        const uint64_t nframes = r.u64();
+        for (uint64_t i = 0; i < nframes; ++i) {
+            Function *ffn = prog.func(static_cast<int>(r.i64()));
+            epic_assert(ffn, "checkpoint frame for missing function");
+            frames.emplace_back(ffn, 0);
+            Frame &f = frames.back();
+            f.gr.resize(r.u64());
+            for (GrVal &g : f.gr) {
+                g.v = r.i64();
+                g.nat = r.u8() != 0;
+            }
+            f.fr.resize(r.u64());
+            for (double &d : f.fr)
+                d = r.f64();
+            f.pr.resize(r.u64());
+            r.raw(f.pr.data(), f.pr.size());
+            f.ret_block = static_cast<int>(r.i64());
+            f.ret_pos = static_cast<int>(r.i64());
+            f.ret_dest.cls = static_cast<RegClass>(r.u8());
+            f.ret_dest.id = static_cast<int32_t>(r.i64());
+            f.sp = r.u64();
+        }
+        tframes.clear();
+        const uint64_t ntf = r.u64();
+        for (uint64_t i = 0; i < ntf; ++i) {
+            tframes.emplace_back(0, 0, 0);
+            TFrame &t = tframes.back();
+            auto get = [&r](std::vector<RegT> &v) {
+                v.resize(r.u64());
+                for (RegT &rt : v) {
+                    rt.ready = r.i64();
+                    rt.planned = r.i64();
+                    rt.f_unit = r.u8();
+                    rt.load = r.u8();
+                }
+            };
+            get(t.gr);
+            get(t.fr);
+            t.ready_pr.resize(r.u64());
+            for (int64_t &p : t.ready_pr)
+                p = r.i64();
+        }
+        frame_stacked.clear();
+        const uint64_t nstk = r.u64();
+        for (uint64_t i = 0; i < nstk; ++i)
+            frame_stacked.push_back(static_cast<int>(r.i64()));
+        ret_stack.clear();
+        const uint64_t nret = r.u64();
+        for (uint64_t i = 0; i < nret; ++i) {
+            RetPos rp;
+            rp.block = static_cast<int>(r.i64());
+            rp.group = static_cast<uint32_t>(r.u64());
+            ret_stack.push_back(rp);
+        }
+        rse_logical = r.i64();
+        rse_spilled = r.i64();
+        for (StoreRec &sr : store_ring) {
+            sr.cyc = r.i64();
+            sr.addr = r.u64();
+        }
+        store_count = r.u32();
+        const uint64_t nh = r.u64();
+        epic_assert(nh == issue_hist.size(),
+                    "checkpoint machine-config mismatch");
+        for (int64_t &t : issue_hist)
+            t = r.i64();
+        hist_n = r.u64();
+        hist_head = r.u64();
+        fe_time = r.i64();
+        t_prev = r.i64();
+        safety = r.u64();
+        cycles_total = r.u64();
+        const int cur_fn = static_cast<int>(r.i64());
+        const int cur_bb = static_cast<int>(r.i64());
+        gi = static_cast<uint32_t>(r.u64());
+        r.expectEnd();
+        fn = prog.func(cur_fn);
+        epic_assert(fn, "checkpoint resumes missing function");
+        dfn = &dec.func(fn->id);
+        gops_base = dfn->gops();
+        gaddr_base = dfn->gaddrs();
+        gline_base = dfn->glines();
+        bb = fn->block(cur_bb);
+        epic_assert(bb, "checkpoint resumes missing block");
+        db = &dfn->block(bb->id);
+        func_cyc = nullptr;
+        func_cyc_id = -1;
+    };
+
+    if (opts.resume_from && opts.resume_from->valid())
+        restoreCheckpoint(*opts.resume_from);
+
+    const bool ckpt_enabled =
+        opts.checkpoint_every != 0 && opts.checkpoint_out != nullptr;
+    uint64_t next_ckpt =
+        ckpt_enabled ? (retiredOps() / opts.checkpoint_every + 1) *
+                           opts.checkpoint_every
+                     : ~0ull;
+    bool hang_pending = opts.hang_at_instr != 0;
+    uint32_t sup_poll = 0;
+
     while (true) {
         if (cycles_total > opts.max_cycles || ++safety > (1ull << 34)) {
-            res.error = "cycle budget exceeded (" +
-                        std::to_string(opts.max_cycles) + " cycles)";
+            res.fail(RunStatus::BudgetExceeded,
+                     "cycle budget exceeded (" +
+                         std::to_string(opts.max_cycles) + " cycles)");
             return res;
+        }
+
+        // Supervision poll at the group boundary: one relaxed load when
+        // disarmed; stop-request plus a strided clock check when armed.
+        if (__builtin_expect(supervisionActive(), 0)) {
+            if (stopRequested()) {
+                res.fail(RunStatus::Deadline,
+                         "interrupted by stop request");
+                return res;
+            }
+            if (opts.deadline_ns != 0 && (sup_poll++ & 1023u) == 0 &&
+                steadyNowNs() > opts.deadline_ns) {
+                res.fail(RunStatus::Deadline,
+                         "wall-clock deadline exceeded");
+                return res;
+            }
+        }
+
+        // Injected hang (chaos testing): stall at the boundary until
+        // the watchdog (stop request / deadline) fires or it elapses.
+        if (__builtin_expect(hang_pending, 0) &&
+            retiredOps() >= opts.hang_at_instr) {
+            hang_pending = false;
+            const int64_t hang_end =
+                steadyNowNs() + opts.hang_ms * 1000000;
+            auto watchdog_fired = [&]() {
+                return stopRequested() ||
+                       (opts.deadline_ns != 0 &&
+                        steadyNowNs() > opts.deadline_ns);
+            };
+            while (steadyNowNs() < hang_end && !watchdog_fired())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            if (watchdog_fired()) {
+                res.fail(RunStatus::Deadline,
+                         "wall-clock deadline exceeded (injected hang)");
+                return res;
+            }
+        }
+
+        // Deterministic checkpoint boundary (retired-op multiples).
+        if (__builtin_expect(ckpt_enabled, 0) &&
+            retiredOps() >= next_ckpt) {
+            saveCheckpoint(*opts.checkpoint_out);
+            next_ckpt = (retiredOps() / opts.checkpoint_every + 1) *
+                        opts.checkpoint_every;
         }
 
         // End of block: fall through.
         if (gi >= db->ngroups) {
             if (bb->fallthrough < 0) {
-                res.error = "fell off block bb" + std::to_string(bb->id) +
-                            " in " + fn->name;
+                res.fail(RunStatus::Faulted,
+                         "fell off block bb" + std::to_string(bb->id) +
+                             " in " + fn->name);
                 return res;
             }
             bb = fn->block(bb->fallthrough);
             if (!bb) {
-                res.error = "fallthrough to dead block";
+                res.fail(RunStatus::Faulted, "fallthrough to dead block");
                 return res;
             }
             db = &dfn->block(bb->id);
@@ -409,8 +712,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             const DecodedInstr &di = db->dinstrs[oi];
             Effect eff = execDecoded(prog, di, frame, mem);
             if (eff.trap) {
-                res.error = "trap in " + fn->name + " at '" +
-                            di.orig->str() + "': " + eff.trap_msg;
+                res.fail(RunStatus::Faulted,
+                         "trap in " + fn->name + " at '" +
+                             di.orig->str() + "': " + eff.trap_msg);
                 return res;
             }
             if (eff.executed)
@@ -607,7 +911,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
           case Ctl::Branch: {
             BasicBlock *nb = fn->block(ctl_target);
             if (!nb) {
-                res.error = "branch to dead block";
+                res.fail(RunStatus::Faulted, "branch to dead block");
                 return res;
             }
             bb = nb;
@@ -618,8 +922,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
           case Ctl::Call: {
             if (static_cast<int>(frames.size()) >= opts.max_depth) {
-                res.error = "call depth limit exceeded (" +
-                            std::to_string(opts.max_depth) + ")";
+                res.fail(RunStatus::BudgetExceeded,
+                         "call depth limit exceeded (" +
+                             std::to_string(opts.max_depth) + ")");
                 return res;
             }
             Function *callee = prog.func(ctl_callee);
@@ -628,7 +933,8 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 ctl_inst->op == Opcode::BR_ICALL ? 1 : 0;
             size_t nargs = ctl_inst->srcs.size() - first_arg;
             if (nargs != callee->params.size()) {
-                res.error = "arity mismatch calling " + callee->name;
+                res.fail(RunStatus::Faulted,
+                         "arity mismatch calling " + callee->name);
                 return res;
             }
             args.resize(nargs);
@@ -687,7 +993,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             gline_base = dfn->glines();
             bb = fn->block(fn->entry);
             if (!bb) {
-                res.error = "callee without entry block";
+                res.fail(RunStatus::Faulted, "callee without entry block");
                 return res;
             }
             db = &dfn->block(bb->id);
@@ -706,9 +1012,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
             rse_logical -= my_stacked;
             if (frames.empty()) {
-                res.ok = true;
-                res.ret_value =
-                    ctl_eff.has_ret_val ? ctl_eff.ret_val.v : 0;
+                res.succeed(ctl_eff.has_ret_val ? ctl_eff.ret_val.v : 0);
                 return res;
             }
             // RSE fill: the caller's frame must be resident again.
@@ -742,7 +1046,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             }
             bb = fn->block(rp.block);
             if (!bb) {
-                res.error = "return to dead block";
+                res.fail(RunStatus::Faulted, "return to dead block");
                 return res;
             }
             db = &dfn->block(bb->id);

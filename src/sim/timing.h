@@ -32,6 +32,8 @@
 
 namespace epic {
 
+struct SimCheckpoint;
+
 /** OS support model for control speculation. */
 enum class SpecModel { General, Sentinel };
 
@@ -45,6 +47,38 @@ struct TimingOptions
     /// Extra cost charged per recovered (NaT-deferred) load under the
     /// sentinel model (recovery block execution).
     int sentinel_recovery_cycles = 40;
+
+    // ---- Supervision (see support/supervision/supervise.h) ----
+    /// Heap high-water budget in mapped 16 KB pages (0 = unlimited).
+    uint64_t max_mem_pages = 0;
+    /// Absolute steady-clock deadline, ns (0 = none). Polled at group
+    /// boundaries only while supervision is armed; the disarmed cost is
+    /// one relaxed load per group.
+    int64_t deadline_ns = 0;
+
+    // ---- Checkpoint/restore (sim/checkpoint.h) ----
+    /// Snapshot the full machine + loop state into *checkpoint_out each
+    /// time the retired-op count crosses a multiple of this (0 = never).
+    /// The boundary is deterministic: restore-then-run finishes with
+    /// counters byte-identical to the uninterrupted run.
+    uint64_t checkpoint_every = 0;
+    SimCheckpoint *checkpoint_out = nullptr;
+    /// Start from this checkpoint instead of program entry. The same
+    /// compiled program must be passed; `mem` contents are replaced by
+    /// the checkpointed image.
+    const SimCheckpoint *resume_from = nullptr;
+
+    // ---- Chaos injection (support/faultinject.h drives these) ----
+    /// Injected hang: once retired ops reach `hang_at_instr` (> 0),
+    /// stall the host thread for `hang_ms`, leaving early only when a
+    /// stop request or the deadline fires — exercises the watchdog.
+    uint64_t hang_at_instr = 0;
+    int64_t hang_ms = 0;
+    /// Injected decode-record corruption: poison the entry function's
+    /// return-value operand in the predecoded tables (the IR is left
+    /// intact), so the run completes with a detectably wrong checksum —
+    /// the silent-corruption case validation-aware retry must catch.
+    bool corrupt_decode = false;
 };
 
 /** Result of a timing run. */

@@ -20,8 +20,19 @@ faultKindName(FaultKind k)
       case FaultKind::SpecWild: return "spec-wild";
       case FaultKind::PassThrow: return "pass-throw";
       case FaultKind::SpuriousInvalidate: return "spurious-invalidate";
+      case FaultKind::SimDecodeCorrupt: return "sim-decode-corrupt";
+      case FaultKind::SimMemBitFlip: return "sim-mem-bitflip";
+      case FaultKind::SimHang: return "sim-hang";
     }
     return "?";
+}
+
+/** Sim-layer kinds have no compile-site victim and vice versa. */
+static bool
+isSimKind(FaultKind k)
+{
+    return k == FaultKind::SimDecodeCorrupt ||
+           k == FaultKind::SimMemBitFlip || k == FaultKind::SimHang;
 }
 
 namespace {
@@ -131,7 +142,10 @@ candidates(Function &f, FaultKind kind)
                 ok = true;
                 break;
               case FaultKind::SpuriousInvalidate:
-                ok = false; // no IR victim; handled before site choice
+              case FaultKind::SimDecodeCorrupt:
+              case FaultKind::SimMemBitFlip:
+              case FaultKind::SimHang:
+                ok = false; // no IR victim at a compile-site boundary
                 break;
             }
             if (ok)
@@ -168,10 +182,78 @@ FaultInjector::restrictKind(FaultKind k)
     restrict_kind_ = k;
 }
 
+void
+FaultInjector::enableSimFaults(bool on)
+{
+    sim_faults_ = on;
+}
+
+SimFaultPlan
+FaultInjector::simPlan(const std::string &workload, const char *rung)
+{
+    SimFaultPlan plan;
+    if (!sim_faults_)
+        return plan;
+    if (has_restrict_kind_ && !isSimKind(restrict_kind_))
+        return plan;
+    if (!only_function_.empty() && only_function_ != workload)
+        return plan;
+    if (!only_pass_.empty() && only_pass_ != "sim")
+        return plan;
+
+    // Same determinism discipline as inject(): everything about the
+    // fault is a pure function of (seed, workload, rung).
+    uint64_t h = mixStr(mixStr(mixStr(seed_, workload), "sim"),
+                        std::string(rung));
+    Rng rng(h);
+    if (!(rng.nextDouble() < rate_))
+        return plan;
+
+    FaultKind kinds[3] = {FaultKind::SimDecodeCorrupt,
+                          FaultKind::SimMemBitFlip, FaultKind::SimHang};
+    int knum = 3;
+    if (has_restrict_kind_) {
+        kinds[0] = restrict_kind_;
+        knum = 1;
+    }
+    plan.fire = true;
+    plan.kind = kinds[rng.nextBelow(knum)];
+
+    FaultRecord rec;
+    rec.function = workload;
+    rec.pass = "sim";
+    rec.rung = rung;
+    rec.kind = plan.kind;
+    switch (plan.kind) {
+      case FaultKind::SimDecodeCorrupt:
+        rec.detail = "decoded return-value record poisoned";
+        break;
+      case FaultKind::SimMemBitFlip:
+        plan.mem_bit_sel = rng.next();
+        rec.detail = "one bit of the input image flipped (sel " +
+                     std::to_string(plan.mem_bit_sel) + ")";
+        break;
+      case FaultKind::SimHang:
+      default:
+        // Stall early (after ~1000 retired ops) for far longer than any
+        // sane per-task deadline; the watchdog must reclaim the task.
+        plan.hang_at_instr = 1000;
+        plan.hang_ms = 60'000;
+        rec.detail = "simulation thread stalled at op 1000";
+        break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(rec));
+    plan.record = static_cast<int>(records_.size()) - 1;
+    return plan;
+}
+
 int
 FaultInjector::inject(Function &f, const std::string &pass,
                       const char *rung, AnalysisManager *am)
 {
+    if (has_restrict_kind_ && isSimKind(restrict_kind_))
+        return -1; // pinned to a sim-layer kind: compile sites are quiet
     if (!only_function_.empty() && only_function_ != f.name)
         return -1;
     if (!only_pass_.empty() && only_pass_ != pass)
@@ -275,7 +357,8 @@ FaultInjector::inject(Function &f, const std::string &pass,
             detail << "side-effecting op marked speculative";
             break;
           case FaultKind::PassThrow:
-            break; // handled above
+          default:
+            break; // handled above / not a compile-site kind
         }
         rec.detail = detail.str();
         std::lock_guard<std::mutex> lock(mu_);

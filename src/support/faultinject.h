@@ -61,6 +61,17 @@ enum class FaultKind {
     /// Not an IR corruption: spuriously drops the analysis caches.
     /// Excluded from the default rotation (enableAnalysisFaults()).
     SpuriousInvalidate,
+
+    // ---- Sim-layer sites (enableSimFaults(); simPlan()) ----
+    /// Poison a decoded instruction record: the run completes with a
+    /// wrong checksum (silent corruption; caught by validation).
+    SimDecodeCorrupt,
+    /// Flip one bit of the initialized memory image (transient fault;
+    /// caught by a trap or by checksum validation, cleared on retry).
+    SimMemBitFlip,
+    /// Stall the simulation thread mid-run (caught by the watchdog
+    /// deadline, never by a verifier gate).
+    SimHang,
 };
 
 /** Printable fault-kind name. */
@@ -83,6 +94,21 @@ struct FaultRecord
     FaultKind kind = FaultKind::BranchTarget;
     std::string detail; ///< what was corrupted, human-readable
     bool caught = false; ///< rejected by a gate / absorbed by fallback
+};
+
+/**
+ * Deterministic plan for one sim-layer site (a workload x config task's
+ * detailed simulation). Applied to the *first* attempt only — all three
+ * kinds model transient faults, so the supervised retry runs clean.
+ */
+struct SimFaultPlan
+{
+    bool fire = false;
+    FaultKind kind = FaultKind::SimDecodeCorrupt;
+    uint64_t mem_bit_sel = 0;   ///< Memory::flipBit selector
+    uint64_t hang_at_instr = 0; ///< TimingOptions::hang_at_instr
+    int64_t hang_ms = 0;        ///< TimingOptions::hang_ms
+    int record = -1;            ///< index for markCaught()
 };
 
 /**
@@ -123,6 +149,22 @@ class FaultInjector
     void restrictKind(FaultKind k);
 
     /**
+     * Admit the sim-layer sites: simPlan() stays quiet until this is
+     * called, so compile-side experiments are unchanged.
+     */
+    void enableSimFaults(bool on = true);
+
+    /**
+     * Sim-layer site: the detailed simulation of one workload under one
+     * configuration rung. Whether it fires, the fault kind and its
+     * parameters are pure functions of (seed, workload, rung) — the
+     * same determinism contract as inject(). Fired plans get a
+     * FaultRecord (pass "sim", initially uncaught); the supervisor
+     * calls markCaught(plan.record) once the fault was contained.
+     */
+    SimFaultPlan simPlan(const std::string &workload, const char *rung);
+
+    /**
      * Called by the firewall after a pass has run. When the site fires,
      * corrupts `f` in place and returns the index of the new
      * FaultRecord; returns -1 when the site stays quiet or no
@@ -156,6 +198,7 @@ class FaultInjector
     std::string only_function_;
     std::string only_pass_;
     bool analysis_faults_ = false;
+    bool sim_faults_ = false;
     bool has_restrict_kind_ = false;
     FaultKind restrict_kind_ = FaultKind::BranchTarget;
     mutable std::mutex mu_;

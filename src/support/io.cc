@@ -1,0 +1,130 @@
+#include "support/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+std::string
+errnoStr()
+{
+    return std::strerror(errno);
+}
+
+/** fsync the directory containing `path` (best effort: some
+ *  filesystems refuse O_RDONLY directory fsync; a failure there does
+ *  not un-write the rename, so it is not an error). */
+void
+syncParentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string *err)
+{
+    // Unique per process: concurrent writers of *different* runs never
+    // trample each other's temp file; same-path writers race to a
+    // last-rename-wins complete file, which is still never truncated.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = "open '" + tmp + "': " + errnoStr();
+        return false;
+    }
+    size_t off = 0;
+    while (off < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + off, contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "write '" + tmp + "': " + errnoStr();
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        if (err)
+            *err = "fsync '" + tmp + "': " + errnoStr();
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err)
+            *err = "rename '" + tmp + "' -> '" + path + "': " + errnoStr();
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    syncParentDir(path);
+    return true;
+}
+
+void
+atomicWriteFileOrDie(const std::string &path, const std::string &contents)
+{
+    std::string err;
+    if (!atomicWriteFile(path, contents, &err))
+        epic_fatal("cannot write '", path, "': ", err);
+}
+
+bool
+appendLineSync(const std::string &path, const std::string &line,
+               std::string *err)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = "open '" + path + "': " + errnoStr();
+        return false;
+    }
+    size_t off = 0;
+    bool ok = true;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = "append '" + path + "': " + errnoStr();
+            ok = false;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (ok && ::fsync(fd) != 0) {
+        if (err)
+            *err = "fsync '" + path + "': " + errnoStr();
+        ok = false;
+    }
+    ::close(fd);
+    return ok;
+}
+
+} // namespace epic

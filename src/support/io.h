@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Crash-safe file writes for run artifacts.
+ *
+ * Every JSONL/BENCH/trace artifact the harness emits goes through
+ * atomicWriteFile(): the contents land in a temporary sibling file,
+ * are fsync'd, and only then renamed over the final path. A process
+ * killed at any instant therefore leaves either the previous complete
+ * artifact or the new complete artifact at the final path — never a
+ * truncated one (the half-written temp file is garbage with a
+ * recognizable suffix, not a plausible artifact).
+ */
+#ifndef EPIC_SUPPORT_IO_H
+#define EPIC_SUPPORT_IO_H
+
+#include <string>
+
+namespace epic {
+
+/**
+ * Atomically replace `path` with `contents` (temp + fsync + rename).
+ * Returns false and fills `err` (when non-null) on any I/O failure;
+ * the final path is left untouched in that case.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &contents,
+                     std::string *err = nullptr);
+
+/** atomicWriteFile or epic_fatal with the failing path and reason. */
+void atomicWriteFileOrDie(const std::string &path,
+                          const std::string &contents);
+
+/**
+ * Append `line` (which must include its trailing newline) to the file
+ * at `path`, creating it if needed, and fsync before returning — the
+ * append discipline of the fleet manifest: after this returns, the
+ * record survives kill -9. Returns false (err filled) on I/O failure.
+ */
+bool appendLineSync(const std::string &path, const std::string &line,
+                    std::string *err = nullptr);
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_IO_H

@@ -1,0 +1,82 @@
+#include "support/supervision/supervise.h"
+
+#include <chrono>
+
+#include <csignal>
+
+namespace epic {
+
+namespace detail {
+std::atomic<uint32_t> g_supervision_armed{0};
+std::atomic<uint32_t> g_stop_requested{0};
+} // namespace detail
+
+void
+armSupervision()
+{
+    detail::g_supervision_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+disarmSupervision()
+{
+    detail::g_supervision_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+requestStop()
+{
+    // Relaxed stores only: safe from a signal handler. Poll sites gate
+    // on supervisionActive(), so the handler installer arms once.
+    detail::g_stop_requested.store(1, std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    detail::g_stop_requested.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void
+stopSignalHandler(int)
+{
+    requestStop();
+}
+
+} // namespace
+
+void
+installStopSignalHandlers()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    armSupervision(); // permanent: handlers stay for process lifetime
+    struct sigaction sa;
+    sa.sa_handler = stopSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls too
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+deadlineFromNowMs(int64_t ms)
+{
+    if (ms <= 0)
+        return 0;
+    return steadyNowNs() + ms * 1000000;
+}
+
+} // namespace epic

@@ -1,9 +1,10 @@
 #include "support/telemetry/artifact.h"
 
-#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "driver/experiment.h"
+#include "support/io.h"
 #include "support/logging.h"
 #include "support/telemetry/trace.h"
 
@@ -218,6 +219,30 @@ recordFallback(StatsRegistry &reg, const FallbackReport &fb)
                    "firewall.fallbacks_total");
 }
 
+void
+recordSupervision(StatsRegistry &reg, const ConfigRun &r)
+{
+    // Quiet runs (single detailed attempt, no checkpoint) register
+    // nothing: legacy artifacts keep their exact bytes, and supervised
+    // clean runs stay byte-identical to unsupervised ones — which is
+    // what lets a resumed chaos run diff clean against a reference.
+    const bool detailed = std::strcmp(r.sim_rung, "detailed") == 0;
+    if (r.sim_attempts <= 1 && detailed && r.ckpt_instrs == 0 &&
+        r.sim_status == RunStatus::Ok)
+        return;
+    reg.setInt("supervision.attempts", r.sim_attempts);
+    reg.setInt("supervision.status", static_cast<int>(r.sim_status));
+    for (const char *rung : {"detailed", "functional", "skipped"})
+        reg.setInt(std::string("supervision.rung.") + rung,
+                   std::strcmp(r.sim_rung, rung) == 0 ? 1 : 0);
+    if (r.ckpt_instrs) {
+        reg.setInt("supervision.checkpoint_instrs",
+                   static_cast<int64_t>(r.ckpt_instrs));
+        reg.setInt("supervision.checkpoint_bytes",
+                   static_cast<int64_t>(r.ckpt_bytes));
+    }
+}
+
 StatsRegistry
 buildRunRegistry(const ConfigRun &r)
 {
@@ -227,6 +252,7 @@ buildRunRegistry(const ConfigRun &r)
     recordCompile(reg, r.stats, r.pipeline, r.instrs_source,
                   r.instrs_final, r.fallback.clean());
     recordFallback(reg, r.fallback);
+    recordSupervision(reg, r);
     return reg;
 }
 
@@ -258,6 +284,14 @@ suiteArtifact(const std::vector<WorkloadRuns> &suite,
             if (it == runs.by_config.end())
                 continue;
             const ConfigRun &r = it->second;
+            if (r.resumed && !r.record_json.empty()) {
+                // Crash-safe resume: the record was produced (and its
+                // invariants checked) by the interrupted run; emitting
+                // it verbatim keeps the resumed artifact byte-identical
+                // to an uninterrupted one.
+                os << r.record_json << "\n";
+                continue;
+            }
             os << runRecordJson(runs.name, runs.source_checksum, r)
                << "\n";
             if (violations) {
@@ -278,13 +312,9 @@ writeSuiteArtifact(const std::string &path,
 {
     std::vector<std::string> violations;
     const std::string doc = suiteArtifact(suite, configs, &violations);
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        epic_fatal("cannot open '", path, "' for writing");
-    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
-                    doc.size();
-    if (std::fclose(f) != 0 || !ok)
-        epic_fatal("short write to '", path, "'");
+    // Atomic replace: a crash mid-write leaves the previous complete
+    // artifact (or none), never a truncated one.
+    atomicWriteFileOrDie(path, doc);
     for (const std::string &v : violations)
         epic_warn("telemetry ", v);
     return violations.empty();

@@ -59,6 +59,13 @@ void recordCompile(StatsRegistry &reg, const CompileStats &stats,
 /** Register firewall outcome under `firewall.*` (+ rung invariant). */
 void recordFallback(StatsRegistry &reg, const FallbackReport &fb);
 
+/**
+ * Register supervision outcome under `supervision.*` — only when the
+ * run was eventful (retried, degraded, failed, or checkpointed), so
+ * quiet runs keep their legacy artifact bytes.
+ */
+void recordSupervision(StatsRegistry &reg, const ConfigRun &r);
+
 /** Full registry for one configuration run (all of the above). */
 StatsRegistry buildRunRegistry(const ConfigRun &r);
 

@@ -1,8 +1,9 @@
 #include "support/telemetry/trace.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
+
+#include "support/io.h"
 
 namespace epic {
 
@@ -128,13 +129,9 @@ TraceRecorder::json() const
 bool
 TraceRecorder::writeFile(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    const std::string doc = json();
-    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
-                    doc.size();
-    return std::fclose(f) == 0 && ok;
+    // Atomic replace (support/io.h): a kill mid-write never leaves a
+    // truncated trace at the final path.
+    return atomicWriteFile(path, json());
 }
 
 TraceSpan::TraceSpan(const char *cat, std::string name,

@@ -1,7 +1,11 @@
 #include "support/threadpool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
+#include "support/logging.h"
+#include "support/supervision/supervise.h"
 #include "support/telemetry/trace.h"
 
 namespace epic {
@@ -10,7 +14,42 @@ namespace {
 
 thread_local bool t_inside_worker = false;
 
+std::atomic<int64_t> g_hung_threshold_ms{0};
+std::atomic<uint64_t> g_exceptions_dropped{0};
+std::atomic<uint64_t> g_hung_tasks{0};
+
 } // namespace
+
+void
+ThreadPool::setHungTaskThresholdMs(int64_t ms)
+{
+    g_hung_threshold_ms.store(ms, std::memory_order_relaxed);
+}
+
+int64_t
+ThreadPool::hungTaskThresholdMs()
+{
+    return g_hung_threshold_ms.load(std::memory_order_relaxed);
+}
+
+uint64_t
+ThreadPool::exceptionsDropped()
+{
+    return g_exceptions_dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t
+ThreadPool::hungTasks()
+{
+    return g_hung_tasks.load(std::memory_order_relaxed);
+}
+
+void
+ThreadPool::resetSupervisionCounters()
+{
+    g_exceptions_dropped.store(0, std::memory_order_relaxed);
+    g_hung_tasks.store(0, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(int threads)
 {
@@ -36,7 +75,7 @@ ThreadPool::submit(std::function<void()> job)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queue_.push_back(std::move(job));
+        queue_.push_back({next_id_++, std::move(job)});
     }
     work_cv_.notify_one();
 }
@@ -45,12 +84,42 @@ void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-    if (first_error_) {
-        std::exception_ptr e = first_error_;
-        first_error_ = nullptr;
+    const auto idle = [this] { return queue_.empty() && running_.empty(); };
+    // With hung-task detection armed, wake periodically to check the
+    // age of in-flight tasks; otherwise a single blocking wait.
+    while (!idle()) {
+        const int64_t threshold_ms = hungTaskThresholdMs();
+        if (threshold_ms <= 0) {
+            idle_cv_.wait(lock, idle);
+            break;
+        }
+        idle_cv_.wait_for(lock, std::chrono::milliseconds(100));
+        const int64_t now = steadyNowNs();
+        for (Running &r : running_) {
+            if (r.warned ||
+                now - r.start_ns < threshold_ms * 1'000'000)
+                continue;
+            r.warned = true;
+            g_hung_tasks.fetch_add(1, std::memory_order_relaxed);
+            epic_warn("pool task #", r.id, " running for ",
+                      (now - r.start_ns) / 1'000'000,
+                      " ms (threshold ", threshold_ms,
+                      " ms): possible hang");
+        }
+    }
+    if (first_error_task_ >= 0) {
+        const int task = first_error_task_;
+        const uint64_t dropped = dropped_;
+        std::string msg = "pool task #" + std::to_string(task) +
+                          " failed: " + first_error_what_;
+        if (dropped)
+            msg += " (+" + std::to_string(dropped) +
+                   " more task exception(s) dropped)";
+        first_error_task_ = -1;
+        first_error_what_.clear();
+        dropped_ = 0;
         lock.unlock();
-        std::rethrow_exception(e);
+        throw PoolTaskError(msg, task, dropped);
     }
 }
 
@@ -58,6 +127,21 @@ bool
 ThreadPool::insideWorker()
 {
     return t_inside_worker;
+}
+
+void
+ThreadPool::noteFailure(int id, const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_task_ < 0) {
+        first_error_task_ = id;
+        first_error_what_ = what;
+        return;
+    }
+    ++dropped_;
+    g_exceptions_dropped.fetch_add(1, std::memory_order_relaxed);
+    epic_warn("pool task #", id, " exception dropped (task #",
+              first_error_task_, " already failed): ", what);
 }
 
 void
@@ -69,22 +153,27 @@ ThreadPool::workerLoop()
         work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
         if (queue_.empty())
             return; // stop_ set and nothing left to drain
-        std::function<void()> job = std::move(queue_.front());
+        Job job = std::move(queue_.front());
         queue_.pop_front();
-        ++active_;
+        running_.push_back({job.id, steadyNowNs(), false});
         lock.unlock();
         try {
             TraceSpan span("pool", "task");
-            job();
+            job.fn();
+        } catch (const std::exception &e) {
+            noteFailure(job.id, e.what());
         } catch (...) {
-            lock.lock();
-            if (!first_error_)
-                first_error_ = std::current_exception();
-            lock.unlock();
+            noteFailure(job.id, "non-standard exception");
         }
         lock.lock();
-        --active_;
-        if (queue_.empty() && active_ == 0)
+        for (size_t i = 0; i < running_.size(); ++i) {
+            if (running_[i].id == job.id) {
+                running_.erase(running_.begin() +
+                               static_cast<ptrdiff_t>(i));
+                break;
+            }
+        }
+        if (queue_.empty() && running_.empty())
             idle_cv_.notify_all();
     }
 }
