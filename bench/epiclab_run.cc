@@ -44,6 +44,7 @@
 #include <string>
 
 #include "driver/experiment.h"
+#include "support/arena.h"
 #include "support/cli.h"
 #include "support/faultinject.h"
 #include "support/io.h"
@@ -121,6 +122,23 @@ usage()
            "  --only <substr[,substr...]>         restrict --all to "
            "matching\n"
            "                                      workloads\n");
+}
+
+/**
+ * Process-wide arena summary for --pass-stats (human-facing; totals are
+ * aggregated across every arena the process created, compile and sim
+ * side alike).
+ */
+void
+printArenaStats()
+{
+    const ArenaGlobalCounters &ac = arenaGlobalCounters();
+    printf("\narena: %llu bytes allocated across %llu chunk(s); "
+           "%llu rollback(s) reclaimed %llu bytes\n",
+           (unsigned long long)ac.bytes_allocated.load(),
+           (unsigned long long)ac.chunks.load(),
+           (unsigned long long)ac.rollbacks.load(),
+           (unsigned long long)ac.bytes_reclaimed.load());
 }
 
 /**
@@ -209,8 +227,10 @@ runAll(RunOptions &opts, bool pass_stats, const std::string &json_path)
             printf("%s", runs.fallback.str().c_str());
         pipe.merge(runs.pipeline);
     }
-    if (pass_stats)
+    if (pass_stats) {
         printf("\n%s", pipe.str().c_str());
+        printArenaStats();
+    }
 
     bool invariants_ok = true;
     if (!json_path.empty()) {
@@ -558,8 +578,10 @@ main(int argc, char **argv)
            r.stats.spec.moved, r.stats.spec.promoted,
            r.stats.spec.spec_loads, r.stats.ra.gr_used,
            r.stats.ra.spilled);
-    if (pass_stats)
+    if (pass_stats) {
         printf("\n%s", r.pipeline.str().c_str());
+        printArenaStats();
+    }
 
     printf("\nhottest functions:\n");
     std::vector<std::pair<uint64_t, int>> hot;

@@ -129,7 +129,7 @@ main()
             if (inst.attr & kAttrRemainder)
                 ++rem;
         }
-        printf("  bb%-3d %3zu instrs  weight %-9.0f %s%s%s\n", bb->id,
+        printf("  bb%-3d %3u instrs  weight %-9.0f %s%s%s\n", bb->id,
                bb->instrs.size(), bb->weight,
                peel ? "peel-copy " : "", rem ? "remainder " : "",
                bb->cold ? "(cold)" : "");

@@ -1,29 +1,39 @@
 #include "analysis/dom.h"
 
+#include <algorithm>
+
 namespace epic {
 
-DomTree::DomTree(const Cfg &cfg)
+DomTree::DomTree(const Cfg &cfg, Arena *arena)
 {
-    const auto &rpo = cfg.rpo();
-    int n = cfg.maxBlockId();
-    idom_.assign(n, -1);
-    rpo_index_.assign(n, -1);
+    if (!arena) {
+        own_ = std::make_unique<Arena>(size_t{4} << 10);
+        arena = own_.get();
+    }
+    Arena &a = *arena;
+
+    const auto rpo = cfg.rpo();
+    n_ = cfg.maxBlockId();
+    idom_ = a.allocArray<int32_t>(n_);
+    rpo_index_ = a.allocArray<int32_t>(n_);
+    std::fill(idom_, idom_ + n_, -1);
+    std::fill(rpo_index_, rpo_index_ + n_, -1);
     for (size_t i = 0; i < rpo.size(); ++i)
-        rpo_index_[rpo[i]] = static_cast<int>(i);
+        rpo_index_[rpo[i]] = static_cast<int32_t>(i);
 
     if (rpo.empty())
         return;
     int entry = rpo[0];
     idom_[entry] = entry;
 
-    auto intersect = [&](int a, int b) {
-        while (a != b) {
-            while (rpo_index_[a] > rpo_index_[b])
-                a = idom_[a];
-            while (rpo_index_[b] > rpo_index_[a])
-                b = idom_[b];
+    auto intersect = [&](int a2, int b2) {
+        while (a2 != b2) {
+            while (rpo_index_[a2] > rpo_index_[b2])
+                a2 = idom_[a2];
+            while (rpo_index_[b2] > rpo_index_[a2])
+                b2 = idom_[b2];
         }
-        return a;
+        return a2;
     };
 
     bool changed = true;
@@ -47,12 +57,21 @@ DomTree::DomTree(const Cfg &cfg)
     idom_[entry] = -1;
 }
 
+DomTree::DomTree(const DomTree &o)
+    : own_(std::make_unique<Arena>(size_t{4} << 10)), n_(o.n_)
+{
+    idom_ = own_->allocArray<int32_t>(n_);
+    rpo_index_ = own_->allocArray<int32_t>(n_);
+    std::copy(o.idom_, o.idom_ + n_, idom_);
+    std::copy(o.rpo_index_, o.rpo_index_ + n_, rpo_index_);
+}
+
 bool
 DomTree::dominates(int a, int b) const
 {
     if (a == b)
         return true;
-    if (b < 0 || b >= static_cast<int>(idom_.size()))
+    if (b < 0 || b >= n_)
         return false;
     int x = idom_[b];
     while (x >= 0) {

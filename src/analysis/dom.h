@@ -1,13 +1,19 @@
 /**
  * @file
  * Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) over a Cfg.
+ *
+ * Like the Cfg, the tables are flat arena arrays (the manager's arena
+ * or a private one) and the object itself is a relocatable POD bundle
+ * (DESIGN.md §16).
  */
 #ifndef EPIC_ANALYSIS_DOM_H
 #define EPIC_ANALYSIS_DOM_H
 
-#include <vector>
+#include <cstdint>
+#include <memory>
 
 #include "analysis/cfg.h"
+#include "support/arena.h"
 
 namespace epic {
 
@@ -15,22 +21,41 @@ namespace epic {
 class DomTree
 {
   public:
-    explicit DomTree(const Cfg &cfg);
+    /** Standalone construction: arrays live in a private arena. */
+    explicit DomTree(const Cfg &cfg) : DomTree(cfg, nullptr) {}
+
+    /** Manager construction: arrays live in `arena` (null: private). */
+    DomTree(const Cfg &cfg, Arena *arena);
+
+    /** Deep copy into a fresh private arena (snapshot semantics). */
+    DomTree(const DomTree &o);
+    DomTree &
+    operator=(const DomTree &o)
+    {
+        if (this != &o) {
+            DomTree tmp(o);
+            *this = std::move(tmp);
+        }
+        return *this;
+    }
+    DomTree(DomTree &&) noexcept = default;
+    DomTree &operator=(DomTree &&) noexcept = default;
 
     /** Immediate dominator of a block (-1 for entry / unreachable). */
-    int idom(int bid) const
+    int
+    idom(int bid) const
     {
-        return bid >= 0 && bid < static_cast<int>(idom_.size())
-                   ? idom_[bid]
-                   : -1;
+        return bid >= 0 && bid < n_ ? idom_[bid] : -1;
     }
 
     /** True if a dominates b (reflexive). */
     bool dominates(int a, int b) const;
 
   private:
-    std::vector<int> idom_;
-    std::vector<int> rpo_index_;
+    std::unique_ptr<Arena> own_; ///< null when borrowing the manager's
+    int32_t n_ = 0;
+    int32_t *idom_ = nullptr;
+    int32_t *rpo_index_ = nullptr;
 };
 
 } // namespace epic

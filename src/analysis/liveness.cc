@@ -127,8 +127,8 @@ Liveness::Liveness(const Cfg &cfg) : cfg_(&cfg)
     bool changed = true;
     while (changed) {
         changed = false;
-        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
-            int bid = *it;
+        for (uint32_t ri = rpo.size(); ri-- > 0;) {
+            int bid = rpo[ri];
             const BasicBlock *b = f.block(bid);
             // live-out stays the conservative union over all successors
             // (its consumers — allocation extension, promotion's

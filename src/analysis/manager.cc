@@ -133,16 +133,28 @@ sameEdge(const CfgEdge &a, const CfgEdge &b)
 }
 
 bool
+sameSpan(Span<const int32_t> a, Span<const int32_t> b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (uint32_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+bool
 sameCfg(const Cfg &a, const Cfg &b)
 {
-    if (a.maxBlockId() != b.maxBlockId() || a.rpo() != b.rpo())
+    if (a.maxBlockId() != b.maxBlockId() || !sameSpan(a.rpo(), b.rpo()))
         return false;
     for (int bid = 0; bid < a.maxBlockId(); ++bid) {
         if (a.reachable(bid) != b.reachable(bid))
             return false;
-        if (a.succs(bid) != b.succs(bid) || a.preds(bid) != b.preds(bid))
+        if (!sameSpan(a.succs(bid), b.succs(bid)) ||
+            !sameSpan(a.preds(bid), b.preds(bid)))
             return false;
-        const auto &ea = a.outEdges(bid), &eb = b.outEdges(bid);
+        const auto ea = a.outEdges(bid), eb = b.outEdges(bid);
         if (ea.size() != eb.size())
             return false;
         for (size_t i = 0; i < ea.size(); ++i)
@@ -198,8 +210,20 @@ sameLoops(const LoopForest &a, const LoopForest &b)
 AnalysisManager::AnalysisManager(const Function &f,
                                  const AliasAnalysis *aa,
                                  AnalysisMode mode)
-    : f_(&f), aa_(aa), mode_(mode)
+    : f_(&f), aa_(aa), mode_(mode), arena_(size_t{32} << 10),
+      base_(arena_.mark())
 {
+}
+
+void
+AnalysisManager::maybeRollbackArena()
+{
+    // Cfg and DomTree are the arena-resident analyses today; once both
+    // are gone nothing points into the arena and a single watermark
+    // rollback reclaims every table (and all abandoned garbage from
+    // in-place refreshes) for the next compute cycle.
+    if (!cfg_ && !dom_ && arena_.liveBytes() > base_.live)
+        arena_.rollbackTo(base_);
 }
 
 const AliasAnalysis &
@@ -228,15 +252,16 @@ AnalysisManager::cfg()
     const int idx = static_cast<int>(AnalysisKind::Cfg);
     if (!cfg_) {
         ++counters_.misses[idx];
-        cfg_ = std::make_unique<Cfg>(*f_);
+        cfg_ = std::make_unique<Cfg>(*f_, &arena_);
         return *cfg_;
     }
     ++counters_.hits[idx];
     if (mode_ == AnalysisMode::ForceRecompute) {
         // Assign in place: outstanding references (and the cached
         // Liveness's internal Cfg pointer) stay valid and see the
-        // freshly recomputed value.
-        *cfg_ = Cfg(*f_);
+        // freshly recomputed value. The old tables become arena garbage
+        // until the next full-drop rollback.
+        *cfg_ = Cfg(*f_, &arena_);
     } else if (mode_ == AnalysisMode::StaleCheck) {
         Cfg fresh(*f_);
         if (!sameCfg(*cfg_, fresh))
@@ -252,7 +277,7 @@ AnalysisManager::domTree()
     if (!dom_) {
         const Cfg &c = cfg(); // counted dependency query
         ++counters_.misses[idx];
-        dom_ = std::make_unique<DomTree>(c);
+        dom_ = std::make_unique<DomTree>(c, &arena_);
         return *dom_;
     }
     ++counters_.hits[idx];
@@ -260,7 +285,7 @@ AnalysisManager::domTree()
         // Scratch Cfg, uncounted: hit-path recomputes must not perturb
         // the counters relative to Cached mode.
         Cfg scratch(*f_);
-        *dom_ = DomTree(scratch);
+        *dom_ = DomTree(scratch, &arena_);
     } else if (mode_ == AnalysisMode::StaleCheck) {
         Cfg scratch(*f_);
         DomTree fresh(scratch);
@@ -286,7 +311,7 @@ AnalysisManager::liveness()
     if (mode_ == AnalysisMode::ForceRecompute) {
         // Refresh the dependency in place first so the recomputed
         // Liveness points at (and reads) current-IR structure.
-        *cfg_ = Cfg(*f_);
+        *cfg_ = Cfg(*f_, &arena_);
         *live_ = Liveness(*cfg_);
     } else if (mode_ == AnalysisMode::StaleCheck) {
         Cfg scratch(*f_);
@@ -357,12 +382,14 @@ AnalysisManager::dropKind(AnalysisKind k)
         if (cfg_) {
             cfg_.reset();
             ++counters_.invalidations[idx];
+            maybeRollbackArena();
         }
         break;
       case AnalysisKind::Dom:
         if (dom_) {
             dom_.reset();
             ++counters_.invalidations[idx];
+            maybeRollbackArena();
         }
         break;
       case AnalysisKind::Liveness:

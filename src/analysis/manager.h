@@ -195,6 +195,13 @@ class AnalysisManager
 
     const AnalysisCounters &counters() const { return counters_; }
 
+    /// Allocation activity of the manager's analysis arena (for the
+    /// driver's compile.arena.* accounting).
+    const ArenaCounters &arenaCounters() const
+    {
+        return arena_.counters();
+    }
+
   private:
     void dropKind(AnalysisKind k);
     [[noreturn]] void stalePanic(AnalysisKind k) const;
@@ -204,6 +211,21 @@ class AnalysisManager
     AnalysisMode mode_;
     std::string pass_;
     AnalysisCounters counters_;
+
+    /**
+     * Backing store for the arena-resident analyses (Cfg, DomTree).
+     * When the last of them is dropped the arena is rolled back to
+     * `base_` in one watermark operation, so repeated
+     * invalidate/recompute cycles within a compilation attempt reuse
+     * the same chunks instead of re-mallocing table storage
+     * (DESIGN.md §16). Scratch recomputes in ForceRecompute /
+     * StaleCheck modes deliberately use private arenas and never touch
+     * this one.
+     */
+    Arena arena_;
+    Arena::Mark base_;
+    /// Roll the arena back if no cached analysis references it anymore.
+    void maybeRollbackArena();
 
     std::unique_ptr<Cfg> cfg_;
     std::unique_ptr<DomTree> dom_;

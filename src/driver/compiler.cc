@@ -156,12 +156,24 @@ compileProgram(const Program &source, const CompileOptions &opts)
     const int nfuncs = static_cast<int>(prog.funcs.size());
     std::vector<FunctionOutcome> outcomes(nfuncs);
     std::vector<FallbackReport> reports(nfuncs);
+    // Arena-budget exhaustion is a structured resource outcome, not a
+    // compile bug: it must not kill sibling workers or depend on the
+    // schedule. Each worker records its own, and the lowest function id
+    // wins deterministically — any --jobs value reports the same error.
+    std::vector<std::unique_ptr<ArenaBudgetExceeded>> budget_errs(nfuncs);
     parallelFor(opts.jobs, nfuncs, [&](int fid) {
         if (!prog.funcs[fid])
             return;
-        outcomes[fid] = compileFunctionFirewalled(prog, fid, opts, aa,
-                                                  reports[fid]);
+        try {
+            outcomes[fid] = compileFunctionFirewalled(prog, fid, opts,
+                                                      aa, reports[fid]);
+        } catch (const ArenaBudgetExceeded &e) {
+            budget_errs[fid] = std::make_unique<ArenaBudgetExceeded>(e);
+        }
     });
+    for (int fid = 0; fid < nfuncs; ++fid)
+        if (budget_errs[fid])
+            throw *budget_errs[fid];
     for (int fid = 0; fid < nfuncs; ++fid) {
         if (!prog.funcs[fid])
             continue;

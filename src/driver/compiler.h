@@ -72,6 +72,13 @@ struct CompileOptions
     /// Defaults to EPICLAB_ANALYSIS_MODE; --analysis-mode overrides.
     AnalysisMode analysis_mode = envAnalysisMode();
 
+    /// Hard budget on each function's IR arena, in the supervision
+    /// layer's 16K pages (0 = unlimited). Wired from --max-mem-pages so
+    /// the flag covers compile-side memory exactly like sim heap pages:
+    /// exhaustion surfaces as RunStatus::BudgetExceeded, never a
+    /// bad_alloc abort.
+    uint64_t max_arena_pages = 0;
+
     FirewallOptions firewall;
 
     /** Defaults for a configuration. */

@@ -286,9 +286,20 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
 
     CompileOptions copts = CompileOptions::forConfig(cfg);
     copts.jobs = opts.jobs;
+    // --max-mem-pages covers compile-side arenas like sim heap pages.
+    copts.max_arena_pages = opts.supervision.max_mem_pages;
     if (opts.tweak)
         opts.tweak(copts);
-    Compiled c = compileProgram(*src, copts);
+    Compiled c;
+    try {
+        c = compileProgram(*src, copts);
+    } catch (const ArenaBudgetExceeded &e) {
+        out.ok = false;
+        out.sim_status = RunStatus::BudgetExceeded;
+        out.error = std::string(configName(cfg)) +
+                    " compilation exceeded the arena budget: " + e.what();
+        return out;
+    }
 
     out.fallback = c.fallback;
     out.stats = c.stats;

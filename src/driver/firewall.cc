@@ -127,11 +127,30 @@ compileFunctionFirewalled(Program &prog, int fid,
 
     PipelineStats pipe; ///< survives rollbacks: attempts cost real time
 
+    // Per-function arena budget: supervision pages are 16K, matching
+    // the simulator's heap accounting unit.
+    const uint64_t arena_budget = opts.max_arena_pages * (uint64_t{16} << 10);
+    const bool recycle =
+        opts.firewall.snapshot == SnapshotStrategy::kWatermark;
+    // Arena activity of abandoned deep clones (their arenas die with
+    // them); the recycling strategy accumulates inside `work` instead.
+    ArenaCounters abandoned_arena;
+
+    std::unique_ptr<Function> work;
     Config rung = start;
     bool clean_floor = false; ///< final Gcc attempt, injector disarmed
     while (true) {
         FaultInjector *inj = clean_floor ? nullptr : opts.firewall.inject;
-        auto work = orig->clone();
+        if (work && recycle) {
+            // Watermark strategy: discard the failed attempt with one
+            // O(1) arena rollback and re-copy the source into the
+            // retained chunks — a warm retry performs no chunk mallocs.
+            orig->cloneInto(*work);
+        } else {
+            if (work)
+                abandoned_arena += work->arena().counters();
+            work = orig->clone(arena_budget);
+        }
         // Fresh manager per attempt: rollback and fallback-ladder
         // re-entry start cold by construction, never from stale caches.
         AnalysisManager am(*work, &aa, opts.analysis_mode);
@@ -220,6 +239,9 @@ compileFunctionFirewalled(Program &prog, int fid,
 
         if (ok) {
             // Commit: the verified clone replaces the source function.
+            r.stats.arena += abandoned_arena;
+            r.stats.arena += work->arena().counters();
+            r.stats.arena += am.arenaCounters();
             prog.funcs[fid] = std::move(work);
             for (size_t i = first_event; i < report.events.size(); ++i)
                 report.events[i].final_config = rung;

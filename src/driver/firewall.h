@@ -23,6 +23,7 @@
 #ifndef EPIC_DRIVER_FIREWALL_H
 #define EPIC_DRIVER_FIREWALL_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -66,12 +67,32 @@ struct FallbackReport
     std::string str() const;
 };
 
+/**
+ * How the firewall snapshots per-attempt transactional state
+ * (DESIGN.md §16).
+ *
+ *  - kWatermark (default): one work clone per function, *recycled*
+ *    across rung attempts — abandoning a failed attempt is one O(1)
+ *    arena watermark rollback, and the retained chunks make the retry's
+ *    re-clone malloc-free. The committed IR is bit-identical to
+ *    kDeepClone's (the equivalence suite asserts it under fault
+ *    injection).
+ *  - kDeepClone: a fresh clone (fresh arena) per attempt — the legacy
+ *    strategy, kept as the A/B reference and debugging aid.
+ */
+enum class SnapshotStrategy : uint8_t {
+    kDeepClone,
+    kWatermark,
+};
+
 /** Firewall knobs, part of CompileOptions. */
 struct FirewallOptions
 {
     /// When false, any gate failure is fatal (the legacy verifyOrDie
     /// behaviour) instead of degrading the function.
     bool enabled = true;
+    /// Per-attempt snapshot strategy (see SnapshotStrategy).
+    SnapshotStrategy snapshot = SnapshotStrategy::kWatermark;
     /// Budget overrun: a rung fails when a pass grows the function past
     /// max(min_growth_instrs, growth_budget * original size).
     double growth_budget = 64.0;

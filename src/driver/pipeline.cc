@@ -21,6 +21,7 @@ CompileStats::operator+=(const CompileStats &o)
     sched += o.sched;
     instrs_after_classical += o.instrs_after_classical;
     instrs_after_regions += o.instrs_after_regions;
+    arena += o.arena;
     return *this;
 }
 

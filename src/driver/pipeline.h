@@ -35,6 +35,7 @@
 
 #include "analysis/manager.h"
 #include "driver/config.h"
+#include "support/arena.h"
 #include "ilp/hyperblock.h"
 #include "ilp/peel.h"
 #include "ilp/speculate.h"
@@ -66,6 +67,12 @@ struct CompileStats
     SchedStats sched;
     int instrs_after_classical = 0;
     int instrs_after_regions = 0;
+    /// Arena activity of the committed compilation (function arena of
+    /// the landed attempt, all rung attempts included when the firewall
+    /// recycles the work clone, plus the analysis-manager arena).
+    /// Per-arena and merged in function-id order, hence --jobs
+    /// invariant like every other counter here.
+    ArenaCounters arena;
 
     CompileStats &operator+=(const CompileStats &o);
 };

@@ -129,7 +129,7 @@ convertible(const BasicBlock &x, const HyperblockOptions &opts,
  * combined guard via the unc/and compare idiom.
  */
 void
-appendPredicated(Function &f, std::vector<Instruction> &out,
+appendPredicated(Function &f, ArenaVec<Instruction> &out,
                  const BasicBlock &x, Reg cond, const RegionCmp &rc,
                  bool cond_is_true_side, HyperblockStats &stats)
 {

@@ -72,7 +72,7 @@ layoutProgram(Program &prog, const LayoutOptions &opts)
 
         for (auto &bp : f.blocks)
             if (bp && !placed[bp->id])
-                cold_list.push_back({&f, bp.get()});
+                cold_list.push_back({&f, bp});
     }
 
     stats.text_bytes = cursor - Program::kTextBase;

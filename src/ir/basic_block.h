@@ -20,7 +20,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "ir/handles.h"
 #include "ir/instruction.h"
+#include "support/arena.h"
 
 namespace epic {
 
@@ -40,18 +42,26 @@ struct Bundle
     uint64_t addr = 0;       ///< code address (layout pass)
 };
 
-/** A scheduling block. */
+/**
+ * A scheduling block. Lives in (and allocates from) its owning
+ * function's arena: the block object itself is arena-created, and the
+ * instruction/bundle arrays are ArenaVecs bound to the same arena, so a
+ * whole function is torn down by one watermark rollback.
+ */
 class BasicBlock
 {
   public:
-    explicit BasicBlock(int block_id) : id(block_id) {}
+    BasicBlock(BlockId block_id, Arena *a)
+        : id(block_id), instrs(a), bundles(a)
+    {
+    }
 
-    int id;
-    std::vector<Instruction> instrs;
+    BlockId id;
+    ArenaVec<Instruction> instrs;
 
     /// Fall-through successor block id; -1 when the block ends in an
     /// unconditional branch or return.
-    int fallthrough = -1;
+    BlockId fallthrough = kNoBlock;
 
     /// Profile: number of times this block executed in the training run.
     double weight = 0.0;
@@ -60,14 +70,14 @@ class BasicBlock
     bool cold = false;
 
     /// Post-scheduling bundle sequence (empty before scheduling).
-    std::vector<Bundle> bundles;
+    ArenaVec<Bundle> bundles;
 
     /** Append an instruction; returns its index. */
-    int
-    append(Instruction inst)
+    InstrId
+    append(const Instruction &inst)
     {
-        instrs.push_back(std::move(inst));
-        return static_cast<int>(instrs.size()) - 1;
+        instrs.push_back(inst);
+        return static_cast<InstrId>(instrs.size()) - 1;
     }
 
     /** True if the block has been scheduled into bundles. */

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "ir/basic_block.h"
+#include "ir/handles.h"
 #include "ir/reg.h"
+#include "support/arena.h"
 
 namespace epic {
 
@@ -30,12 +32,25 @@ enum FuncAttr : uint32_t {
     kFuncNoInline = 1u << 2,
 };
 
-/** A compiled or to-be-compiled function. */
+/**
+ * A compiled or to-be-compiled function.
+ *
+ * Owns a bump arena holding every per-node IR object: the BasicBlock
+ * objects, their instruction/bundle arrays, and instruction profile
+ * spans (DESIGN.md §16). `blocks` stores plain arena pointers indexed
+ * by BlockId; nothing in the IR graph is individually freed — storage
+ * is reclaimed wholesale when the function dies or when the firewall
+ * rolls the arena back to rebuild a failed attempt in place.
+ */
 class Function
 {
+    /// Declared first so it outlives (and constructs before) every
+    /// arena-bound member below.
+    Arena arena_;
+
   public:
     Function(int func_id, std::string func_name)
-        : id(func_id), name(std::move(func_name))
+        : id(func_id), name(std::move(func_name)), blocks(&arena_)
     {
         next_virt_.fill(kFirstVirtual);
     }
@@ -48,10 +63,11 @@ class Function
     /// register allocation; rewritten by the allocator).
     std::vector<Reg> params;
 
-    int entry = 0; ///< entry block id
+    BlockId entry = 0; ///< entry block id
 
-    /// Blocks indexed by id; deleted blocks leave a null slot.
-    std::vector<std::unique_ptr<BasicBlock>> blocks;
+    /// Blocks indexed by id; deleted blocks leave a null slot. The
+    /// pointees live in arena().
+    ArenaVec<BasicBlock *> blocks;
 
     /// Profile: number of invocations in the training run.
     double weight = 0.0;
@@ -84,28 +100,32 @@ class Function
             n = reg_id + 1;
     }
 
+    /** The bump arena every IR node of this function lives in. */
+    Arena &arena() { return arena_; }
+    const Arena &arena() const { return arena_; }
+
     /** Create a new (empty) block; returns a non-owning pointer. */
     BasicBlock *
     newBlock()
     {
-        int bid = static_cast<int>(blocks.size());
-        blocks.push_back(std::make_unique<BasicBlock>(bid));
-        return blocks[bid].get();
+        BlockId bid = static_cast<BlockId>(blocks.size());
+        blocks.push_back(arena_.create<BasicBlock>(bid, &arena_));
+        return blocks[bid];
     }
 
     /** Access a block by id (null if deleted). */
     BasicBlock *
-    block(int bid)
+    block(BlockId bid)
     {
-        return bid >= 0 && bid < static_cast<int>(blocks.size())
-                   ? blocks[bid].get()
+        return bid >= 0 && bid < static_cast<BlockId>(blocks.size())
+                   ? blocks[bid]
                    : nullptr;
     }
     const BasicBlock *
-    block(int bid) const
+    block(BlockId bid) const
     {
-        return bid >= 0 && bid < static_cast<int>(blocks.size())
-                   ? blocks[bid].get()
+        return bid >= 0 && bid < static_cast<BlockId>(blocks.size())
+                   ? blocks[bid]
                    : nullptr;
     }
 
@@ -120,18 +140,29 @@ class Function
 
     /** Remove a block (slot becomes null; ids of others are stable). */
     void
-    eraseBlock(int bid)
+    eraseBlock(BlockId bid)
     {
-        if (bid >= 0 && bid < static_cast<int>(blocks.size()))
-            blocks[bid].reset();
+        if (bid >= 0 && bid < static_cast<BlockId>(blocks.size()))
+            blocks[bid] = nullptr;
     }
 
     /**
-     * Deep-copy this function (same id). The compilation firewall
-     * transforms the copy and commits it back only after every pass
-     * verifies; Program::clone also builds on this.
+     * Deep-copy this function (same id) into a fresh arena. The
+     * compilation firewall transforms the copy and commits it back only
+     * after every pass verifies; Program::clone also builds on this.
+     * `arena_byte_budget` (0 = unlimited) caps the copy's arena so the
+     * whole attempt — clone included — honors --max-mem-pages.
      */
-    std::unique_ptr<Function> clone() const;
+    std::unique_ptr<Function> clone(uint64_t arena_byte_budget = 0) const;
+
+    /**
+     * Rebuild `dst` as a copy of this function, reusing dst's arena:
+     * the arena is rolled back to empty (one O(1) watermark rollback,
+     * retained chunks are reused) and the blocks are bulk-copied in.
+     * This is the firewall's retry path — a failed attempt's storage is
+     * recycled with zero frees and, once warm, zero mallocs.
+     */
+    void cloneInto(Function &dst) const;
 
   private:
     /// Next virtual register id per register class.

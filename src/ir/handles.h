@@ -1,0 +1,28 @@
+/**
+ * @file
+ * 32-bit index handles for IR entities (DESIGN.md §16).
+ *
+ * Blocks and instructions live in arena-backed dense arrays owned by
+ * their Function; they are addressed by position, not by owning
+ * pointer. These aliases name those positions in signatures. A handle
+ * is stable across passes (deleted blocks leave a null slot rather than
+ * renumbering) and meaningful only relative to its owning function —
+ * kNoBlock / kNoInstr (-1) is the universal "none" value, matching the
+ * IR's historical use of `int` ids.
+ */
+#ifndef EPIC_IR_HANDLES_H
+#define EPIC_IR_HANDLES_H
+
+#include <cstdint>
+
+namespace epic {
+
+using BlockId = int32_t; ///< index into Function::blocks (-1: none)
+using InstrId = int32_t; ///< index into BasicBlock::instrs (-1: none)
+
+inline constexpr BlockId kNoBlock = -1;
+inline constexpr InstrId kNoInstr = -1;
+
+} // namespace epic
+
+#endif // EPIC_IR_HANDLES_H

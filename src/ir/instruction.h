@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "ir/handles.h"
 #include "ir/opcode.h"
 #include "ir/reg.h"
+#include "support/arena.h"
+#include "support/smallvec.h"
 
 namespace epic {
 
@@ -99,21 +101,42 @@ enum InstrAttr : uint32_t {
     kAttrUnrolled = 1u << 7,   ///< loop-unroll copy
 };
 
-/** One IR instruction. */
+/** Profile annotation entry for indirect calls. */
+struct ProfCallee
+{
+    int32_t callee = -1;
+    double count = 0.0;
+};
+
+/**
+ * One IR instruction.
+ *
+ * Trivially copyable by design (DESIGN.md §16): operand lists use
+ * fixed-capacity inline storage (the verifier enforces the arities) and
+ * the variable-length indirect-call profile lives in the owning
+ * function's arena as a raw span. That makes a function clone a memcpy
+ * of instruction arrays plus explicit profile-span reattachment, and
+ * lets arena rollback discard instructions without destructor sweeps.
+ */
 class Instruction
 {
   public:
+    /// Maximum destinations (parallel compares write a predicate pair).
+    static constexpr uint32_t kMaxDests = 2;
+    /// Maximum sources (indirect call: function token + 8 arguments).
+    static constexpr uint32_t kMaxSrcs = 9;
+
     Opcode op = Opcode::NOP;
     Reg guard = kPrTrue;   ///< qualifying predicate
-    std::vector<Reg> dests;
-    std::vector<Operand> srcs;
+    InlineVec<Reg, kMaxDests> dests;
+    InlineVec<Operand, kMaxSrcs> srcs;
 
     CmpCond cond = CmpCond::EQ;  ///< CMP/CMPI/FCMP only
     CmpType ctype = CmpType::Norm;
     uint8_t size = 8;    ///< LD/ST/SXT/ZXT access size; NOP unit class
     bool spec = false;   ///< control-speculative (ld.s / moved code)
 
-    int target = -1;     ///< branch/chk target block id (-1: none)
+    BlockId target = kNoBlock; ///< branch/chk target block id (-1: none)
     int callee = -1;     ///< direct-call target function id (-1: none)
 
     uint32_t attr = kAttrNone;
@@ -128,11 +151,68 @@ class Instruction
     /// Profile annotation: times this branch was taken (branches only).
     double prof_taken = 0.0;
 
-    /// Profile annotation for indirect calls: (callee id, count) pairs.
-    std::vector<std::pair<int, double>> prof_callees;
-
     /// Scheduler result: issue cycle within the block (-1: unscheduled).
     int sched_cycle = -1;
+
+    /**
+     * Profile annotation for indirect calls: (callee id, count) pairs
+     * in the owning function's arena. The span is part of the trivial
+     * copy, so cross-arena copies (clone, inlining) must call
+     * reattachProf() on the destination or the span dangles once the
+     * source function dies.
+     */
+    Span<const ProfCallee> profCallees() const
+    {
+        return {prof_data_, prof_len_};
+    }
+    Span<ProfCallee> profCallees() { return {prof_data_, prof_len_}; }
+
+    /** Append a profile entry, growing in `a` (the owner's arena). */
+    void
+    addProfCallee(Arena &a, int32_t callee_id, double count)
+    {
+        if (prof_len_ == prof_cap_) {
+            uint32_t cap = prof_cap_ ? prof_cap_ * 2 : 4;
+            ProfCallee *nd = a.allocArray<ProfCallee>(cap);
+            for (uint32_t i = 0; i < prof_len_; ++i)
+                nd[i] = prof_data_[i];
+            prof_data_ = nd; // old span abandoned in the arena
+            prof_cap_ = cap;
+        }
+        prof_data_[prof_len_++] = ProfCallee{callee_id, count};
+    }
+
+    /** Empty the profile, keeping the span for in-place refill. */
+    void clearProfCallees() { prof_len_ = 0; }
+
+    /**
+     * Empty the profile AND detach the span. Use instead of clear()
+     * when this instruction was copied from another one and both are
+     * still live: a trivial copy shares the span, so refilling a merely
+     * cleared copy would scribble over the original's entries.
+     */
+    void
+    dropProfCallees()
+    {
+        prof_data_ = nullptr;
+        prof_len_ = prof_cap_ = 0;
+    }
+
+    /** Re-home the profile span into `a` after a cross-arena copy. */
+    void
+    reattachProf(Arena &a)
+    {
+        if (prof_len_ == 0) {
+            prof_data_ = nullptr;
+            prof_cap_ = 0;
+            return;
+        }
+        ProfCallee *nd = a.allocArray<ProfCallee>(prof_len_);
+        for (uint32_t i = 0; i < prof_len_; ++i)
+            nd[i] = prof_data_[i];
+        prof_data_ = nd;
+        prof_cap_ = prof_len_;
+    }
 
     const OpcodeInfo &info() const { return opcodeInfo(op); }
     bool isLoad() const { return info().is_load; }
@@ -149,7 +229,15 @@ class Instruction
 
     /** Render in assembly-like text. */
     std::string str() const;
+
+  private:
+    ProfCallee *prof_data_ = nullptr;
+    uint32_t prof_len_ = 0;
+    uint32_t prof_cap_ = 0;
 };
+
+static_assert(std::is_trivially_copyable_v<Instruction>,
+              "Instruction must stay memcpy-clonable (DESIGN.md §16)");
 
 } // namespace epic
 

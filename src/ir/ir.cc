@@ -151,11 +151,11 @@ Program::findFunc(const std::string &name)
 }
 
 int
-Program::addSymbol(const std::string &name, uint64_t size, uint32_t attr)
+Program::addSymbol(std::string name, uint64_t size, uint32_t attr)
 {
     DataSymbol s;
     s.id = static_cast<int>(symbols.size());
-    s.name = name;
+    s.name = std::move(name);
     s.size = size;
     s.attr = attr;
     symbols.push_back(std::move(s));
@@ -163,10 +163,10 @@ Program::addSymbol(const std::string &name, uint64_t size, uint32_t attr)
 }
 
 int
-Program::addSymbolInit(const std::string &name, std::vector<uint8_t> init,
+Program::addSymbolInit(std::string name, std::vector<uint8_t> init,
                        uint32_t attr)
 {
-    int id = addSymbol(name, init.size(), attr);
+    int id = addSymbol(std::move(name), init.size(), attr);
     symbols[id].init = std::move(init);
     return id;
 }
@@ -203,30 +203,54 @@ Program::staticInstrCount() const
 }
 
 std::unique_ptr<Function>
-Function::clone() const
+Function::clone(uint64_t arena_byte_budget) const
 {
     auto nf = std::make_unique<Function>(id, name);
-    nf->attr = attr;
-    nf->params = params;
-    nf->entry = entry;
-    nf->weight = weight;
-    nf->reg_allocated = reg_allocated;
-    nf->stacked_regs = stacked_regs;
-    nf->spill_slots = spill_slots;
-    for (int cls = 0; cls < 4; ++cls) {
-        nf->reserveVirt(static_cast<RegClass>(cls),
-                        virtLimit(static_cast<RegClass>(cls)) - 1);
-    }
-    for (const auto &b : blocks) {
+    if (arena_byte_budget)
+        nf->arena().setByteBudget(arena_byte_budget);
+    cloneInto(*nf);
+    return nf;
+}
+
+void
+Function::cloneInto(Function &dst) const
+{
+    epic_assert(&dst != this, "cloneInto self");
+    // One watermark rollback reclaims everything the previous occupant
+    // of dst allocated; retained chunks back the copy below.
+    dst.arena_.reset();
+    dst.blocks.rebind(&dst.arena_);
+
+    dst.name = name;
+    dst.attr = attr;
+    dst.params = params;
+    dst.entry = entry;
+    dst.weight = weight;
+    dst.reg_allocated = reg_allocated;
+    dst.stacked_regs = stacked_regs;
+    dst.spill_slots = spill_slots;
+    dst.next_virt_ = next_virt_;
+
+    dst.blocks.reserve(blocks.size());
+    for (const BasicBlock *b : blocks) {
         if (!b) {
-            nf->blocks.push_back(nullptr);
+            dst.blocks.push_back(nullptr);
             continue;
         }
-        auto nb = std::make_unique<BasicBlock>(b->id);
-        *nb = *b;
-        nf->blocks.push_back(std::move(nb));
+        BasicBlock *nb = dst.arena_.create<BasicBlock>(b->id, &dst.arena_);
+        nb->fallthrough = b->fallthrough;
+        nb->weight = b->weight;
+        nb->cold = b->cold;
+        // Bulk-copy the instruction and bundle arrays (memcpy of
+        // trivially copyable elements)...
+        nb->instrs.assign(b->instrs.begin(), b->instrs.end());
+        nb->bundles.assign(b->bundles.begin(), b->bundles.end());
+        // ...then re-home the only out-of-line instruction state, the
+        // indirect-call profile spans, into the destination arena.
+        for (Instruction &inst : nb->instrs)
+            inst.reattachProf(dst.arena_);
+        dst.blocks.push_back(nb);
     }
-    return nf;
 }
 
 std::unique_ptr<Program>

@@ -52,10 +52,10 @@ class Program
 
     /** Create a function; returns a non-owning pointer. */
     Function *
-    newFunction(const std::string &name)
+    newFunction(std::string name)
     {
         int fid = static_cast<int>(funcs.size());
-        funcs.push_back(std::make_unique<Function>(fid, name));
+        funcs.push_back(std::make_unique<Function>(fid, std::move(name)));
         return funcs[fid].get();
     }
 
@@ -78,11 +78,11 @@ class Program
     Function *findFunc(const std::string &name);
 
     /** Create a zero-initialized data symbol; returns its id. */
-    int addSymbol(const std::string &name, uint64_t size,
+    int addSymbol(std::string name, uint64_t size,
                   uint32_t attr = kSymNone);
 
     /** Create an initialized data symbol; returns its id. */
-    int addSymbolInit(const std::string &name, std::vector<uint8_t> init,
+    int addSymbolInit(std::string name, std::vector<uint8_t> init,
                       uint32_t attr = kSymNone);
 
     /** Assign data-segment addresses to all symbols. */

@@ -92,7 +92,7 @@ inlineCallsite(Program &prog, Function &caller, int bid, int idx)
             block_map[cb] = caller.newBlock()->id;
     }
     for (size_t cb = 0; cb < callee->blocks.size(); ++cb) {
-        const BasicBlock *src = callee->blocks[cb].get();
+        const BasicBlock *src = callee->blocks[cb];
         if (!src)
             continue;
         BasicBlock *dst = caller.block(block_map[cb]);
@@ -133,7 +133,10 @@ inlineCallsite(Program &prog, Function &caller, int bid, int idx)
                 dst->instrs.push_back(jmp);
                 continue;
             }
-            dst->instrs.push_back(std::move(inst));
+            dst->instrs.push_back(inst);
+            // The copy's profile span still points into the callee's
+            // arena; re-home it so the caller stays self-contained.
+            dst->instrs.back().reattachProf(caller.arena());
         }
     }
 
@@ -169,12 +172,12 @@ promoteIndirectCalls(Program &prog, double threshold, double min_weight)
                      i < static_cast<int>(b->instrs.size()); ++i) {
                     Instruction &inst = b->instrs[i];
                     if (inst.op != Opcode::BR_ICALL || inst.hasGuard() ||
-                        inst.prof_callees.empty()) {
+                        inst.profCallees().empty()) {
                         continue;
                     }
                     double total = 0, top_cnt = 0;
                     int top = -1;
-                    for (auto &[fid, cnt] : inst.prof_callees) {
+                    for (const auto &[fid, cnt] : inst.profCallees()) {
                         total += cnt;
                         if (cnt > top_cnt) {
                             top_cnt = cnt;
@@ -243,10 +246,13 @@ promoteIndirectCalls(Program &prog, double threshold, double min_weight)
 
                     // indirect: residual icall falls through to cont.
                     Instruction rest = icall;
-                    rest.prof_callees.clear();
-                    for (auto &[fid, cnt] : icall.prof_callees)
+                    // rest shares icall's profile span after the copy;
+                    // detach before refilling or the loop below would
+                    // scribble over the entries it is reading.
+                    rest.dropProfCallees();
+                    for (const auto &[fid, cnt] : icall.profCallees())
                         if (fid != top)
-                            rest.prof_callees.push_back({fid, cnt});
+                            rest.addProfCallee(f.arena(), fid, cnt);
                     indirect->instrs.push_back(rest);
                     indirect->fallthrough = cont->id;
 

@@ -132,12 +132,14 @@ DecodedProgram::build(const Program &prog, bool want_order,
                       bool scheduled_order, bool want_groups)
 {
     DecodedProgram d;
+    d.arena_ = std::make_unique<Arena>();
     d.funcs_.resize(prog.funcs.size());
     for (size_t fid = 0; fid < prog.funcs.size(); ++fid) {
         const Function *f = prog.funcs[fid].get();
         if (!f)
             continue;
         DecodedFunction &df = d.funcs_[fid];
+        df.bindArena(d.arena_.get());
         df.blocks_.resize(f->blocks.size());
 
         // First pass: fill lengths and pool offsets (spans are resolved
@@ -146,7 +148,7 @@ DecodedProgram::build(const Program &prog, bool want_order,
         std::vector<uint32_t> group_off(f->blocks.size(), 0);
         std::vector<uint32_t> dinstr_off(f->blocks.size(), 0);
         for (size_t bid = 0; bid < f->blocks.size(); ++bid) {
-            const BasicBlock *b = f->blocks[bid].get();
+            const BasicBlock *b = f->blocks[bid];
             if (!b)
                 continue;
             DecodedBlock &db = df.blocks_[bid];
@@ -199,7 +201,7 @@ DecodedProgram::build(const Program &prog, bool want_order,
 
         // Second pass: resolve spans into the now-stable pools.
         for (size_t bid = 0; bid < f->blocks.size(); ++bid) {
-            const BasicBlock *b = f->blocks[bid].get();
+            const BasicBlock *b = f->blocks[bid];
             if (!b)
                 continue;
             DecodedBlock &db = df.blocks_[bid];

@@ -24,10 +24,12 @@
 #define EPIC_SIM_DECODE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/program.h"
 #include "sim/exec_core.h"
+#include "support/arena.h"
 
 namespace epic {
 
@@ -160,13 +162,29 @@ class DecodedFunction
 
   private:
     friend class DecodedProgram;
-    std::vector<DecodedBlock> blocks_;
-    std::vector<int32_t> order_pool_;  ///< backing store for order spans
-    std::vector<DecodedGroup> group_pool_; ///< flattened group records
-    std::vector<int32_t> gop_pool_;    ///< group member instr indices
-    std::vector<uint64_t> gaddr_pool_; ///< member code addresses
-    std::vector<uint64_t> gline_pool_; ///< distinct I-cache lines
-    std::vector<DecodedInstr> dinstr_pool_; ///< backing for dinstr spans
+
+    /// All pools bump-allocate from the owning DecodedProgram's arena:
+    /// one decode is one arena, built in a single forward pass and torn
+    /// down as a unit (DESIGN.md §16).
+    void
+    bindArena(Arena *a)
+    {
+        blocks_.rebind(a);
+        order_pool_.rebind(a);
+        group_pool_.rebind(a);
+        gop_pool_.rebind(a);
+        gaddr_pool_.rebind(a);
+        gline_pool_.rebind(a);
+        dinstr_pool_.rebind(a);
+    }
+
+    ArenaVec<DecodedBlock> blocks_;
+    ArenaVec<int32_t> order_pool_;  ///< backing store for order spans
+    ArenaVec<DecodedGroup> group_pool_; ///< flattened group records
+    ArenaVec<int32_t> gop_pool_;    ///< group member instr indices
+    ArenaVec<uint64_t> gaddr_pool_; ///< member code addresses
+    ArenaVec<uint64_t> gline_pool_; ///< distinct I-cache lines
+    ArenaVec<DecodedInstr> dinstr_pool_; ///< backing for dinstr spans
 };
 
 /** Immutable per-Program decode cache (see file comment for lifecycle). */
@@ -191,8 +209,8 @@ class DecodedProgram
         return funcs_[static_cast<size_t>(fid)];
     }
 
-    // Spans point into the per-function pools: moving is safe (vector
-    // storage is stable under move), copying would dangle.
+    // Spans point into the arena the unique_ptr owns: moving is safe
+    // (the arena's chunks never move), copying would dangle.
     DecodedProgram(DecodedProgram &&) = default;
     DecodedProgram &operator=(DecodedProgram &&) = default;
     DecodedProgram(const DecodedProgram &) = delete;
@@ -203,6 +221,8 @@ class DecodedProgram
     static DecodedProgram build(const Program &prog, bool want_order,
                                 bool scheduled_order, bool want_groups);
 
+    /// Backing store for every per-function pool.
+    std::unique_ptr<Arena> arena_;
     std::vector<DecodedFunction> funcs_;
 };
 

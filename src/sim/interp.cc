@@ -161,18 +161,19 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
             // program a live decode permits (see decode.h).
             Instruction &inst = *const_cast<Instruction *>(di.orig);
             auto &ix = callee_ix[&inst];
-            if (ix.empty() && !inst.prof_callees.empty()) {
+            if (ix.empty() && !inst.profCallees().empty()) {
                 // Seed from pre-existing annotations so re-profiling
                 // without clearProfile keeps accumulating in place.
-                for (size_t k = 0; k < inst.prof_callees.size(); ++k)
-                    ix.emplace(inst.prof_callees[k].first, k);
+                auto pcs = inst.profCallees();
+                for (size_t k = 0; k < pcs.size(); ++k)
+                    ix.emplace(pcs[k].callee, k);
             }
             auto [it, fresh] =
-                ix.emplace(eff.callee, inst.prof_callees.size());
+                ix.emplace(eff.callee, inst.profCallees().size());
             if (fresh)
-                inst.prof_callees.push_back({eff.callee, 1.0});
+                inst.addProfCallee(fn->arena(), eff.callee, 1.0);
             else
-                inst.prof_callees[it->second].second += 1;
+                inst.profCallees()[it->second].count += 1;
         }
         if (static_cast<int>(stack.size()) >= opts.max_depth) {
             res.fail(RunStatus::BudgetExceeded,
@@ -531,7 +532,7 @@ clearProfile(Program &prog)
             b->weight = 0;
             for (Instruction &inst : b->instrs) {
                 inst.prof_taken = 0;
-                inst.prof_callees.clear();
+                inst.clearProfCallees();
             }
         }
     }

@@ -1,0 +1,131 @@
+#include "support/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace epic {
+
+ArenaGlobalCounters &
+arenaGlobalCounters()
+{
+    static ArenaGlobalCounters g;
+    return g;
+}
+
+Arena::~Arena()
+{
+    flushGlobal();
+    releaseChunks(head_);
+    releaseChunks(free_);
+}
+
+void
+Arena::flushGlobal()
+{
+    if (counters_.bytes_allocated == flushed_)
+        return;
+    arenaGlobalCounters().bytes_allocated.fetch_add(
+        counters_.bytes_allocated - flushed_, std::memory_order_relaxed);
+    flushed_ = counters_.bytes_allocated;
+}
+
+void
+Arena::releaseChunks(void *head)
+{
+    Chunk *c = static_cast<Chunk *>(head);
+    while (c) {
+        Chunk *next = c->next;
+        std::free(c);
+        c = next;
+    }
+}
+
+void *
+Arena::allocateSlow(size_t bytes, size_t align)
+{
+    flushGlobal();
+    // Worst case in a fresh chunk: full alignment slop + payload.
+    const size_t need = bytes + align;
+
+    // Prefer a rolled-back chunk big enough for the request; otherwise
+    // malloc a new one (budgeted, doubling up to kMaxChunkBytes).
+    Chunk *c = nullptr;
+    for (Chunk **link = &free_; *link; link = &(*link)->next) {
+        if ((*link)->size >= need) {
+            c = *link;
+            *link = c->next;
+            break;
+        }
+    }
+    if (!c) {
+        size_t chunk_bytes =
+            std::max(next_chunk_bytes_, need + sizeof(Chunk));
+        if (budget_ && chunk_bytes_ + chunk_bytes > budget_)
+            throw ArenaBudgetExceeded(bytes, chunk_bytes_, budget_);
+        c = static_cast<Chunk *>(std::malloc(chunk_bytes));
+        if (!c)
+            throw ArenaBudgetExceeded(bytes, chunk_bytes_,
+                                      budget_ ? budget_ : chunk_bytes_);
+        c->size = chunk_bytes - sizeof(Chunk);
+        chunk_bytes_ += chunk_bytes;
+        counters_.chunks++;
+        arenaGlobalCounters().chunks.fetch_add(1,
+                                               std::memory_order_relaxed);
+        next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2,
+                                     kMaxChunkBytes);
+    }
+
+    c->next = static_cast<Chunk *>(head_);
+    head_ = c;
+    cursor_ = chunkBase(c);
+    limit_ = cursor_ + c->size;
+    uintptr_t p =
+        (cursor_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    counters_.bytes_allocated += (p + bytes) - cursor_;
+    live_ += (p + bytes) - cursor_;
+    cursor_ = p + bytes;
+    return reinterpret_cast<void *>(p);
+}
+
+void
+Arena::rollbackTo(const Mark &m)
+{
+    epic_assert(m.live <= live_, "arena rollback to a future mark (",
+                m.live, " > ", live_, ")");
+    flushGlobal();
+    // Chunks newer than the marked one go to the free list for reuse.
+    while (head_ && head_ != m.chunk) {
+        Chunk *c = static_cast<Chunk *>(head_);
+        head_ = c->next;
+        c->next = free_;
+        free_ = c;
+    }
+    epic_assert(head_ == m.chunk,
+                "arena rollback mark does not belong to this arena");
+    if (head_) {
+        cursor_ = chunkBase(head_) + m.used;
+        limit_ = chunkBase(head_) + static_cast<Chunk *>(head_)->size;
+    } else {
+        cursor_ = limit_ = 0;
+    }
+    // A rollback that reclaims nothing (e.g. reset() of a fresh arena
+    // in Function::clone) is not a telemetry event: arena.rollbacks
+    // counts actual discard-the-attempt operations.
+    if (const uint64_t reclaimed = live_ - m.live) {
+        counters_.rollbacks++;
+        counters_.bytes_reclaimed += reclaimed;
+        auto &g = arenaGlobalCounters();
+        g.rollbacks.fetch_add(1, std::memory_order_relaxed);
+        g.bytes_reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+    }
+    live_ = m.live;
+}
+
+void
+Arena::reset()
+{
+    Mark zero; // chunk == nullptr, used == 0, live == 0
+    rollbackTo(zero);
+}
+
+} // namespace epic

@@ -149,7 +149,7 @@ candidates(Function &f, FaultKind kind)
                 break;
             }
             if (ok)
-                out.push_back({bp.get(), i});
+                out.push_back({bp, i});
         }
     }
     return out;

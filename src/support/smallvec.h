@@ -1,0 +1,127 @@
+/**
+ * @file
+ * InlineVec<T, N>: a fixed-capacity, inline-storage vector for the hot
+ * per-instruction operand lists (DESIGN.md §16).
+ *
+ * Instruction dest/src lists have small, ISA-bounded arities (the
+ * verifier enforces ≤ 2 dests and ≤ 9 srcs — call token + 8 args), so
+ * per-instruction heap vectors are pure allocator traffic. InlineVec
+ * stores elements inline, making Instruction trivially copyable — the
+ * property the whole arena architecture rests on (memcpy clone, no
+ * destructor sweep on rollback).
+ *
+ * Exceeding N is an epic_panic, not a growth: the capacity is an ISA
+ * invariant, and silently spilling to the heap would reintroduce the
+ * hidden ownership this refactor removes.
+ */
+#ifndef EPIC_SUPPORT_SMALLVEC_H
+#define EPIC_SUPPORT_SMALLVEC_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <type_traits>
+
+#include "support/logging.h"
+
+namespace epic {
+
+template <typename T, uint32_t N>
+class InlineVec
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "InlineVec holds trivially copyable types");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    InlineVec() = default;
+
+    InlineVec(std::initializer_list<T> init) { *this = init; }
+
+    InlineVec &
+    operator=(std::initializer_list<T> init)
+    {
+        epic_assert(init.size() <= N, "InlineVec overflow: ",
+                    init.size(), " > capacity ", N);
+        n_ = 0;
+        for (const T &v : init)
+            d_[n_++] = v;
+        return *this;
+    }
+
+    static constexpr uint32_t capacity() { return N; }
+    uint32_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+    iterator begin() { return d_; }
+    iterator end() { return d_ + n_; }
+    const_iterator begin() const { return d_; }
+    const_iterator end() const { return d_ + n_; }
+
+    T &
+    operator[](size_t i)
+    {
+        return d_[i];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        return d_[i];
+    }
+    T &front() { return d_[0]; }
+    const T &front() const { return d_[0]; }
+    T &back() { return d_[n_ - 1]; }
+    const T &back() const { return d_[n_ - 1]; }
+
+    void clear() { n_ = 0; }
+
+    void
+    push_back(const T &v)
+    {
+        epic_assert(n_ < N, "InlineVec overflow: capacity ", N);
+        d_[n_++] = v;
+    }
+
+    void pop_back() { --n_; }
+
+    void
+    resize(uint32_t n, const T &fill = T{})
+    {
+        epic_assert(n <= N, "InlineVec overflow: ", n, " > capacity ",
+                    N);
+        for (uint32_t i = n_; i < n; ++i)
+            d_[i] = fill;
+        n_ = n;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        n_ = 0;
+        for (It it = first; it != last; ++it)
+            push_back(*it);
+    }
+
+    bool
+    operator==(const InlineVec &o) const
+    {
+        if (n_ != o.n_)
+            return false;
+        for (uint32_t i = 0; i < n_; ++i)
+            if (!(d_[i] == o.d_[i]))
+                return false;
+        return true;
+    }
+
+  private:
+    T d_[N] = {};
+    uint32_t n_ = 0;
+};
+
+} // namespace epic
+
+#endif // EPIC_SUPPORT_SMALLVEC_H

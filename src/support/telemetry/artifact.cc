@@ -184,6 +184,18 @@ recordCompile(StatsRegistry &reg, const CompileStats &stats,
     reg.setInt("compile.analysis.misses", ana_misses);
     reg.setInt("compile.analysis.invalidations", ana_invals);
 
+    // Arena activity of the committed per-function compilations.
+    // Per-arena counters merged in function-id order, hence --jobs
+    // invariant like every other key here (DESIGN.md §16).
+    reg.setInt("compile.arena.bytes_allocated",
+               static_cast<int64_t>(stats.arena.bytes_allocated));
+    reg.setInt("compile.arena.chunks",
+               static_cast<int64_t>(stats.arena.chunks));
+    reg.setInt("compile.arena.rollbacks",
+               static_cast<int64_t>(stats.arena.rollbacks));
+    reg.setInt("compile.arena.bytes_reclaimed",
+               static_cast<int64_t>(stats.arena.bytes_reclaimed));
+
     // In a clean compilation (no abandoned rungs) the per-pass deltas,
     // inline included, account for every instruction of source→final.
     // Abandoned attempts legitimately break the sum (their deltas died

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the bump-arena memory layer (DESIGN.md §16): chunked
+ * growth, watermark rollback (including the malloc-free warm-retry
+ * guarantee the compilation firewall depends on), alignment, the
+ * structured byte budget, and the ArenaVec / InlineVec containers the
+ * IR is built from.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/smallvec.h"
+
+namespace epic {
+namespace {
+
+TEST(ArenaTest, BumpAllocationAndCounters)
+{
+    Arena a;
+    EXPECT_EQ(a.liveBytes(), 0u);
+    EXPECT_EQ(a.counters().chunks, 0u); // chunks are lazy
+
+    void *p = a.allocate(100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(a.liveBytes(), 100u);
+    EXPECT_EQ(a.counters().chunks, 1u);
+
+    // A second small allocation bumps within the same chunk.
+    void *q = a.allocate(100);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(a.counters().chunks, 1u);
+    EXPECT_GT(reinterpret_cast<uintptr_t>(q),
+              reinterpret_cast<uintptr_t>(p));
+}
+
+TEST(ArenaTest, AlignmentIsRespected)
+{
+    Arena a;
+    for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        // Misalign the cursor first, then demand alignment.
+        a.allocate(1, 1);
+        void *p = a.allocate(8, align);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+    // Typed helper aligns for T.
+    double *d = a.allocArray<double>(3);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(ArenaTest, ChunkGrowthCoversOversizedRequests)
+{
+    Arena a(/*first_chunk_bytes=*/1 << 10);
+    // An allocation far larger than the chunk size must still succeed
+    // (a dedicated chunk is malloc'd for it).
+    const size_t big = 256 << 10;
+    char *p = a.allocArray<char>(big);
+    ASSERT_NE(p, nullptr);
+    p[0] = 1;
+    p[big - 1] = 2; // touch both ends
+    EXPECT_GE(a.chunkBytes(), big);
+    EXPECT_GE(a.counters().chunks, 1u);
+
+    // Many small allocations grow the chunk list, not one-per-alloc.
+    const uint64_t chunks_before = a.counters().chunks;
+    for (int i = 0; i < 1000; ++i)
+        a.allocate(64);
+    EXPECT_GT(a.counters().chunks, chunks_before);
+    EXPECT_LT(a.counters().chunks, chunks_before + 64);
+}
+
+TEST(ArenaTest, WatermarkRollbackRestoresLiveBytes)
+{
+    Arena a;
+    a.allocate(128);
+    const uint64_t live0 = a.liveBytes();
+    Arena::Mark m = a.mark();
+
+    a.allocate(4096);
+    a.allocate(4096);
+    EXPECT_GT(a.liveBytes(), live0);
+
+    a.rollbackTo(m);
+    EXPECT_EQ(a.liveBytes(), live0);
+    EXPECT_EQ(a.counters().rollbacks, 1u);
+    EXPECT_GT(a.counters().bytes_reclaimed, 0u);
+
+    // The rolled-back region is reusable: the next allocation lands at
+    // (or before) where the first post-mark allocation did.
+    void *p = a.allocate(16);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(a.liveBytes(), live0 + 16);
+}
+
+TEST(ArenaTest, WarmRollbackCycleIsMallocFree)
+{
+    Arena a(/*first_chunk_bytes=*/1 << 10);
+    Arena::Mark base = a.mark();
+
+    // Cold pass: force several chunk mallocs.
+    for (int i = 0; i < 200; ++i)
+        a.allocate(256);
+    const uint64_t cold_chunks = a.counters().chunks;
+    EXPECT_GT(cold_chunks, 1u);
+
+    // Warm passes: rollback retains the chunks, so re-running the same
+    // allocation pattern performs zero new chunk mallocs. This is the
+    // firewall's "discard the failed attempt" hot path.
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        a.rollbackTo(base);
+        EXPECT_EQ(a.liveBytes(), 0u);
+        for (int i = 0; i < 200; ++i)
+            a.allocate(256);
+        EXPECT_EQ(a.counters().chunks, cold_chunks)
+            << "cycle " << cycle << " malloc'd a chunk";
+    }
+    EXPECT_EQ(a.counters().rollbacks, 3u);
+}
+
+TEST(ArenaTest, ResetRollsBackToEmpty)
+{
+    Arena a;
+    a.allocate(1000);
+    a.allocate(100000);
+    const uint64_t chunks = a.counters().chunks;
+    a.reset();
+    EXPECT_EQ(a.liveBytes(), 0u);
+    // Chunks are retained for reuse, not freed.
+    EXPECT_EQ(a.chunkBytes(), a.chunkBytes());
+    a.allocate(1000);
+    EXPECT_EQ(a.counters().chunks, chunks);
+}
+
+TEST(ArenaTest, ByteBudgetFailsStructurally)
+{
+    Arena a(/*first_chunk_bytes=*/4 << 10);
+    a.setByteBudget(8 << 10);
+
+    // Within budget: fine.
+    a.allocate(1024);
+
+    // A chunk allocation that would exceed the budget throws the
+    // structured exception — never bad_alloc — and reports its numbers.
+    try {
+        a.allocArray<char>(1 << 20);
+        FAIL() << "budget was not enforced";
+    } catch (const ArenaBudgetExceeded &e) {
+        EXPECT_GT(e.requested(), 0u);
+        EXPECT_EQ(e.budget(), static_cast<uint64_t>(8 << 10));
+        EXPECT_NE(std::string(e.what()).find("arena budget exceeded"),
+                  std::string::npos);
+    }
+
+    // The arena stays usable after the throw: owned chunks still serve
+    // allocations and rollback still works.
+    Arena::Mark m = a.mark();
+    a.allocate(64);
+    a.rollbackTo(m);
+    EXPECT_NO_THROW(a.allocate(64));
+}
+
+TEST(ArenaVecTest, PushBackGrowthAndIndexing)
+{
+    Arena a;
+    ArenaVec<int> v(&a);
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(v[static_cast<size_t>(i)], i);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 999);
+}
+
+TEST(ArenaVecTest, SelfReferentialPushBackIsSafe)
+{
+    Arena a;
+    ArenaVec<int> v(&a);
+    v.push_back(7);
+    // Push v.back() repeatedly across growth boundaries: the reference
+    // aliases current storage exactly when the vector is full.
+    for (int i = 0; i < 100; ++i)
+        v.push_back(v.back());
+    for (int x : v)
+        EXPECT_EQ(x, 7);
+}
+
+TEST(ArenaVecTest, InsertEraseAndAssign)
+{
+    Arena a;
+    ArenaVec<int> v(&a);
+    for (int i = 0; i < 8; ++i)
+        v.push_back(i);
+    v.insert(v.begin() + 3, 99);
+    ASSERT_EQ(v.size(), 9u);
+    EXPECT_EQ(v[3], 99);
+    EXPECT_EQ(v[4], 3);
+    v.erase(v.begin() + 3);
+    EXPECT_EQ(v[3], 3);
+    v.erase(v.begin(), v.begin() + 2);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_EQ(v[0], 2);
+
+    // std::vector interop (the scratch-buffer idiom in the passes).
+    std::vector<int> scratch = {5, 6, 7};
+    v = scratch;
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2], 7);
+
+    // Element-wise copy-assign between arena vectors.
+    ArenaVec<int> w(&a);
+    w = v;
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], 5);
+    EXPECT_NE(w.data(), v.data());
+}
+
+TEST(ArenaVecTest, RebindStartsEmptyInNewArena)
+{
+    Arena a, b;
+    ArenaVec<int> v(&a);
+    v.push_back(1);
+    v.rebind(&b);
+    EXPECT_EQ(v.size(), 0u);
+    v.push_back(2);
+    EXPECT_EQ(v[0], 2);
+    EXPECT_GT(b.liveBytes(), 0u);
+}
+
+TEST(SpanTest, ViewSemantics)
+{
+    Arena a;
+    int32_t *d = a.allocArray<int32_t>(4);
+    for (int i = 0; i < 4; ++i)
+        d[i] = i * 10;
+    Span<const int32_t> s(d, 4);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.front(), 0);
+    EXPECT_EQ(s.back(), 30);
+    int sum = 0;
+    for (int32_t x : s)
+        sum += x;
+    EXPECT_EQ(sum, 60);
+    static_assert(std::is_trivially_copyable_v<Span<const int32_t>>);
+}
+
+TEST(InlineVecTest, FixedCapacityBasics)
+{
+    InlineVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.back(), 2);
+    v.pop_back();
+    EXPECT_EQ(v.size(), 1u);
+
+    InlineVec<int, 4> w = {1, 2, 3};
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_FALSE(v == w);
+    v = {1, 2, 3};
+    EXPECT_TRUE(v == w);
+    static_assert(std::is_trivially_copyable_v<InlineVec<int, 4>>);
+}
+
+TEST(InlineVecDeathTest, OverflowPanics)
+{
+    InlineVec<int, 2> v;
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_DEATH(v.push_back(3), "InlineVec");
+}
+
+} // namespace
+} // namespace epic

@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "driver/experiment.h"
 #include "driver/pipeline.h"
+#include "ir/printer.h"
 #include "ir/verifier.h"
 #include "sim/interp.h"
 #include "sim/timing.h"
@@ -23,6 +25,20 @@
 
 namespace epic {
 namespace {
+
+/** Build + train-profile a workload's source program. */
+std::unique_ptr<Program>
+profiledSource(const Workload &w)
+{
+    auto prog = w.build();
+    prog->layoutData();
+    Memory mem;
+    mem.initFromProgram(*prog);
+    w.write_input(*prog, mem, InputKind::Train);
+    auto prof = profileRun(*prog, mem);
+    EXPECT_TRUE(prof.ok) << prof.error;
+    return prog;
+}
 
 RunOptions
 injectedOpts(FaultInjector *inj)
@@ -198,6 +214,97 @@ TEST(FirewallTest, VerifyAllCollectsEveryError)
     EXPECT_FALSE(bad.ok());
     EXPECT_GE(static_cast<int>(bad.errors.size()), corrupted);
     EXPECT_NE(bad.str().find("verify[corrupted]"), std::string::npos);
+}
+
+/**
+ * The watermark snapshot strategy (arena rollback + work-clone
+ * recycling) must commit bit-identical IR and an identical fallback
+ * history to the legacy deep-clone strategy — under fault injection,
+ * where the recycling path actually exercises multi-attempt rollback.
+ */
+TEST(FirewallTest, WatermarkAndDeepCloneSnapshotsAreEquivalent)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    auto src = profiledSource(*w);
+
+    auto compile_with = [&](SnapshotStrategy snap, FaultInjector *inj) {
+        CompileOptions o = CompileOptions::forConfig(Config::IlpCs);
+        o.firewall.snapshot = snap;
+        o.firewall.inject = inj;
+        return compileProgram(*src, o);
+    };
+
+    for (uint64_t seed : {uint64_t{0}, uint64_t{42}}) {
+        // seed 0: clean compile; seed 42: faults force rollbacks.
+        FaultInjector ia(seed, seed ? 1.0 : 0.0);
+        FaultInjector ib(seed, seed ? 1.0 : 0.0);
+        Compiled deep =
+            compile_with(SnapshotStrategy::kDeepClone, &ia);
+        Compiled mark =
+            compile_with(SnapshotStrategy::kWatermark, &ib);
+
+        std::ostringstream pa, pb;
+        printProgram(pa, *deep.prog);
+        printProgram(pb, *mark.prog);
+        EXPECT_EQ(pa.str(), pb.str()) << "seed " << seed;
+
+        ASSERT_EQ(deep.fallback.events.size(),
+                  mark.fallback.events.size())
+            << "seed " << seed;
+        for (size_t i = 0; i < deep.fallback.events.size(); ++i)
+            EXPECT_EQ(deep.fallback.events[i].str(),
+                      mark.fallback.events[i].str());
+        if (seed) {
+            EXPECT_FALSE(mark.fallback.clean());
+        }
+    }
+}
+
+/**
+ * The recycling path's cost model: abandoning a failed attempt is an
+ * O(1) arena watermark rollback, and the retained chunks make retry
+ * allocation malloc-free. Verified by counting arena operations across
+ * an injected-fault rollback — rollbacks appear, while the chunk count
+ * stays within a constant of the clean compile's (the degraded rung
+ * may legitimately allocate a little differently; what must NOT happen
+ * is per-attempt chunk growth).
+ */
+TEST(FirewallTest, InjectedRollbackIsWatermarkBased)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    auto src = profiledSource(*w);
+
+    CompileOptions clean_opts = CompileOptions::forConfig(Config::IlpCs);
+    Compiled clean = compileProgram(*src, clean_opts);
+    EXPECT_TRUE(clean.fallback.clean());
+    EXPECT_GT(clean.stats.arena.bytes_allocated, 0u);
+    EXPECT_GT(clean.stats.arena.chunks, 0u);
+    // No attempt was abandoned: nothing was rolled back in the work
+    // arenas beyond the analysis manager's cache-drop recycling.
+    const uint64_t clean_chunks = clean.stats.arena.chunks;
+
+    // Restrict faults to the speculation boundary: every function's
+    // IlpCs attempt fails there and lands on IlpNs after exactly one
+    // rollback — a tightly predictable rollback/chunk profile.
+    FaultInjector inj(7, 1.0);
+    inj.restrictTo("", "speculate");
+    CompileOptions fault_opts = clean_opts;
+    fault_opts.firewall.inject = &inj;
+    Compiled faulted = compileProgram(*src, fault_opts);
+    ASSERT_FALSE(faulted.fallback.clean());
+
+    // Every abandoned attempt shows up as watermark activity...
+    EXPECT_GT(faulted.stats.arena.rollbacks,
+              clean.stats.arena.rollbacks);
+    EXPECT_GT(faulted.stats.arena.bytes_reclaimed,
+              clean.stats.arena.bytes_reclaimed);
+    // ...but not as chunk mallocs: retries run inside retained chunks.
+    // Degraded rungs compile smaller pipelines, so the faulted compile
+    // must not need materially more chunks than the clean one.
+    EXPECT_LE(faulted.stats.arena.chunks,
+              clean_chunks + faulted.fallback.events.size());
 }
 
 /** Budget overruns are experiment outcomes, not process aborts. */

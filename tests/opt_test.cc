@@ -390,8 +390,8 @@ TEST(InlineTest, ProfileCountsIndirectCallees)
     for (const auto &inst : instrs) {
         if (inst.op == Opcode::BR_ICALL) {
             ++sites;
-            ASSERT_EQ(inst.prof_callees.size(), 1u);
-            EXPECT_DOUBLE_EQ(inst.prof_callees[0].second, 1.0);
+            ASSERT_EQ(inst.profCallees().size(), 1u);
+            EXPECT_DOUBLE_EQ(inst.profCallees()[0].count, 1.0);
         }
     }
     EXPECT_EQ(sites, 3);
