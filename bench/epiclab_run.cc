@@ -15,6 +15,16 @@
  *               [--max-depth N] [--max-mem-pages N] [--retries N]
  *               [--no-ladder] [--checkpoint-every N] [--resume]
  *               [--only <substr[,substr...]>]
+ *               [--sample-every N] [--samples <path>]
+ *               [--ear-latency-min N] [--btb-depth N] [--profile]
+ *
+ * PMU sampling (DESIGN.md §17): --sample-every arms the interval
+ * sampler whose per-category sums reconcile exactly with the end-of-run
+ * Perfmon totals (declared invariants in the --json record); --samples
+ * writes the epiclab.samples.v1 time-series, byte-identical for any
+ * --jobs. --ear-latency-min / --btb-depth arm the event address
+ * registers and branch trace buffer; --profile (single-run only)
+ * prints the hot-region cycle-category breakdown.
  *
  * The --all report is byte-identical for every --jobs value (parallel
  * results merge in workload/config order), so `--all --jobs 1` vs
@@ -121,7 +131,30 @@ usage()
            "sidecar\n"
            "  --only <substr[,substr...]>         restrict --all to "
            "matching\n"
-           "                                      workloads\n");
+           "                                      workloads\n"
+           "\nPMU sampling (deterministic; off = zero sim overhead):\n"
+           "  --sample-every <N>                  interval sampler "
+           "stride in\n"
+           "                                      cycles (sums "
+           "reconcile with\n"
+           "                                      end-of-run totals)\n"
+           "  --samples <path>                    write the interval "
+           "time-series\n"
+           "                                      (schema "
+           "epiclab.samples.v1);\n"
+           "                                      needs --sample-every\n"
+           "  --ear-latency-min <N>               capture D/I-cache "
+           "misses with\n"
+           "                                      latency >= N cycles "
+           "(EARs)\n"
+           "  --btb-depth <N>                     branch-trace-buffer "
+           "depth +\n"
+           "                                      per-branch mispredict "
+           "profile\n"
+           "  --profile                           hot-region cycle-"
+           "category\n"
+           "                                      report (single-run "
+           "only)\n");
 }
 
 /**
@@ -160,7 +193,8 @@ reportViolations(const std::vector<std::string> &violations)
  * invariant under --jobs.
  */
 int
-runAll(RunOptions &opts, bool pass_stats, const std::string &json_path)
+runAll(RunOptions &opts, bool pass_stats, const std::string &json_path,
+       const std::string &samples_path)
 {
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -242,6 +276,9 @@ runAll(RunOptions &opts, bool pass_stats, const std::string &json_path)
         atomicWriteFileOrDie(json_path, doc);
         invariants_ok = reportViolations(violations);
     }
+    if (!samples_path.empty() &&
+        !writeSamplesArtifact(samples_path, suite, standardConfigs()))
+        invariants_ok = false;
 
     // Wall clock goes to stderr: it varies run to run, and stdout must
     // stay byte-identical across --jobs values.
@@ -286,7 +323,7 @@ main(int argc, char **argv)
     uint64_t inject_seed = 0;
     double inject_rate = 1.0;
     AnalysisMode analysis_mode = envAnalysisMode();
-    std::string json_path, trace_path;
+    std::string json_path, trace_path, samples_path;
 
     // Option values are parsed strictly (support/cli.h): a flag typo or
     // a non-numeric value is fatal, never a silent benchmark name or a
@@ -405,6 +442,19 @@ main(int argc, char **argv)
             if (opts.only.empty())
                 epic_fatal("--only requires at least one non-empty "
                            "workload substring");
+        } else if (a == "--sample-every") {
+            opts.pmu.sample_every = static_cast<uint64_t>(parseIntFlag(
+                "--sample-every", value_of(i, a), 1, INT64_MAX));
+        } else if (a == "--samples") {
+            samples_path = value_of(i, a);
+        } else if (a == "--ear-latency-min") {
+            opts.pmu.ear_latency_min = static_cast<int>(parseIntFlag(
+                "--ear-latency-min", value_of(i, a), 1, 1 << 20));
+        } else if (a == "--btb-depth") {
+            opts.pmu.btb_depth = static_cast<int>(parseIntFlag(
+                "--btb-depth", value_of(i, a), 1, 1 << 20));
+        } else if (a == "--profile") {
+            opts.pmu.regions = true;
         } else if (a == "--analysis-mode") {
             std::string m = value_of(i, a);
             if (!parseAnalysisMode(m, &analysis_mode))
@@ -439,6 +489,15 @@ main(int argc, char **argv)
     if (opts.resume && json_path.empty())
         epic_fatal("--resume needs --json <path> (the manifest lives "
                    "in <path>.manifest)");
+    if (!samples_path.empty() && opts.pmu.sample_every == 0)
+        epic_fatal("--samples needs --sample-every <N> (nothing would "
+                   "be sampled)");
+    if (opts.pmu.regions && bench == "--all")
+        epic_fatal("--profile reports one run; use it without --all "
+                   "(pick a benchmark and --config)");
+    if (opts.pmu.enabled() && opts.resume)
+        epic_fatal("--resume cannot replay PMU sample streams; rerun "
+                   "the fleet without --resume when sampling");
     // Pool-side hung-task watchdog: the safety net behind the
     // cooperative deadline poll. Warn at 10x the per-attempt deadline
     // (min 1 s) — cooperative reclaim should long since have fired.
@@ -459,7 +518,7 @@ main(int argc, char **argv)
     };
 
     if (bench == "--all")
-        return finish(runAll(opts, pass_stats, json_path));
+        return finish(runAll(opts, pass_stats, json_path, samples_path));
 
     const Workload *w = findWorkload(bench);
     if (!w) {
@@ -522,6 +581,15 @@ main(int argc, char **argv)
                           r) +
                 "\n");
         if (!reportViolations(violations))
+            return finish(1);
+    }
+    if (!samples_path.empty()) {
+        // Reuse the suite serializer for the single run: same record
+        // shape, same reconciliation check.
+        WorkloadRuns single;
+        single.name = w->name;
+        single.by_config.emplace(r.config, r);
+        if (!writeSamplesArtifact(samples_path, {single}, {r.config}))
             return finish(1);
     }
     if (!r.ok) {
@@ -595,6 +663,94 @@ main(int argc, char **argv)
                (unsigned long long)hot[i].first,
                100.0 * hot[i].first / r.pm.total(),
                f && (f->attr & kFuncLibrary) ? "  [library]" : "");
+    }
+
+    if (opts.pmu.regions && r.pmu) {
+        // Hot-region report: per-(function, block) cycle-category
+        // breakdown, every number reconciling with the totals above.
+        printf("\nhot regions (function/block, cycle categories):\n");
+        struct HotRegion
+        {
+            uint64_t total;
+            uint64_t key;
+            const PmuData::RegionCycles *cyc;
+        };
+        std::vector<HotRegion> regions;
+        for (const auto &[key, cyc] : r.pmu->regions()) {
+            uint64_t t = 0;
+            for (int c = 0; c < Perfmon::kNumCats; ++c)
+                t += cyc[c];
+            if (t)
+                regions.push_back({t, key, &cyc});
+        }
+        std::sort(regions.begin(), regions.end(),
+                  [](const HotRegion &a, const HotRegion &b) {
+                      if (a.total != b.total)
+                          return a.total > b.total;
+                      return a.key < b.key; // cycles desc, region asc
+                  });
+        for (size_t i = 0; i < regions.size() && i < 16; ++i) {
+            const HotRegion &hr = regions[i];
+            const int fid = static_cast<int>(hr.key >> 32);
+            const int bid = static_cast<int>(hr.key & 0xffffffffu);
+            const Function *f = r.prog->func(fid);
+            char label[64];
+            snprintf(label, sizeof label, "%s bb%d",
+                     f ? f->name.c_str() : "?", bid);
+            printf("  %-28s %10llu  %5.1f%% ", label,
+                   (unsigned long long)hr.total,
+                   100.0 * hr.total / r.pm.total());
+            for (int c = 0; c < Perfmon::kNumCats; ++c)
+                if ((*hr.cyc)[c])
+                    printf(" %s:%.1f%%",
+                           cycleCatKey(static_cast<CycleCat>(c)),
+                           100.0 * (*hr.cyc)[c] / hr.total);
+            printf("\n");
+        }
+        if (r.pmu->options().ear_latency_min != 0 &&
+            (!r.pmu->dearSites().empty() ||
+             !r.pmu->iearSites().empty())) {
+            printf("\nEAR miss sites (>= %d cycles):\n",
+                   r.pmu->options().ear_latency_min);
+            auto print_sites =
+                [&](const char *tag,
+                    const std::map<uint64_t, PmuData::EarSite> &sites) {
+                    // Top sites by event count (desc, region asc).
+                    std::vector<std::pair<uint64_t, uint64_t>> order;
+                    for (const auto &[key, site] : sites)
+                        order.push_back({site.events, key});
+                    std::sort(order.begin(), order.end(),
+                              [](const auto &a, const auto &b) {
+                                  if (a.first != b.first)
+                                      return a.first > b.first;
+                                  return a.second < b.second;
+                              });
+                    for (size_t i = 0; i < order.size() && i < 8; ++i) {
+                        const PmuData::EarSite &site =
+                            sites.at(order[i].second);
+                        const int fid =
+                            static_cast<int>(order[i].second >> 32);
+                        const int bid = static_cast<int>(
+                            order[i].second & 0xffffffffu);
+                        const Function *f = r.prog->func(fid);
+                        printf("  %s %-24s bb%-4d %8llu ev  avg lat "
+                               "%5.1f%s%s\n",
+                               tag, f ? f->name.c_str() : "?", bid,
+                               (unsigned long long)site.events,
+                               static_cast<double>(site.total_latency) /
+                                   static_cast<double>(site.events),
+                               site.attr_union & kAttrTailDup
+                                   ? "  [tail-dup]"
+                                   : "",
+                               site.attr_union &
+                                       (kAttrPeelCopy | kAttrRemainder)
+                                   ? "  [peel/remainder]"
+                                   : "");
+                    }
+                };
+            print_sites("D-EAR", r.pmu->dearSites());
+            print_sites("I-EAR", r.pmu->iearSites());
+        }
     }
     return finish(0);
 }

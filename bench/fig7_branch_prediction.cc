@@ -6,7 +6,14 @@
  * from region formation and a 22% reduction in misprediction stall
  * cycles, and contrasts with [9]'s 7% branch reduction under
  * conservative predication.
+ *
+ * The predictions/mispredicts columns are computed from the PMU
+ * per-branch profile (sim/pmu/pmu.h) — summed over branch sites, which
+ * the declared reconciliation invariant guarantees equals the aggregate
+ * Perfmon counters — and the per-site attribution feeds the
+ * hot-mispredicted-branches section below the table.
  */
+#include <algorithm>
 #include <cstdio>
 
 #include "driver/experiment.h"
@@ -14,6 +21,19 @@
 #include "support/telemetry/artifact.h"
 
 using namespace epic;
+
+namespace {
+
+/** One hot branch site of a workload's ILP-CS run. */
+struct HotBranch
+{
+    uint64_t mispreds;
+    uint64_t paddr;
+    const PmuData::BranchSite *site;
+    const WorkloadRuns *runs;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,24 +47,49 @@ main(int argc, char **argv)
 
     const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
                                          Config::IlpCs};
+    RunOptions opts;
+    // Arm the branch trace buffer: the per-branch profile is the data
+    // source for the prediction columns and the hot-site report.
+    opts.pmu.btb_depth = 16;
     Table t({"Benchmark", "config", "branches", "predictions",
              "mispredicts", "rate"});
     std::vector<double> branch_reduction, flush_reduction;
     std::vector<WorkloadRuns> suite;
+    suite.reserve(allWorkloads().size());
 
     for (const Workload &w : allWorkloads()) {
-        WorkloadRuns runs = runWorkload(w, configs);
-        if (!json_path.empty())
-            suite.push_back(runs);
+        suite.push_back(runWorkload(w, configs, opts));
+        const WorkloadRuns &runs = suite.back();
         const Perfmon &base = runs.by_config.at(Config::ONS).pm;
         for (Config cfg : configs) {
-            const Perfmon &pm = runs.by_config.at(cfg).pm;
+            const ConfigRun &cr = runs.by_config.at(cfg);
+            const Perfmon &pm = cr.pm;
+            // Predictions/mispredictions from the per-branch profile;
+            // fall back to the aggregate counters when the run carries
+            // no PMU data (e.g. degraded to the functional rung). The
+            // sums equal the aggregates (declared invariant), so the
+            // printed columns are byte-identical either way.
+            uint64_t preds = pm.branch_predictions;
+            uint64_t mispreds = pm.mispredictions;
+            if (cr.pmu) {
+                preds = 0;
+                mispreds = 0;
+                for (const auto &[paddr, site] : cr.pmu->branchProfile()) {
+                    (void)paddr;
+                    preds += site.predictions;
+                    mispreds += site.mispredictions;
+                }
+            }
             t.row().cell(cfg == Config::ONS ? w.name : "");
             t.cell(configName(cfg));
             t.cell(static_cast<long long>(pm.branches));
-            t.cell(static_cast<long long>(pm.branch_predictions));
-            t.cell(static_cast<long long>(pm.mispredictions));
-            t.cell(pm.predictionRate(), 4);
+            t.cell(static_cast<long long>(preds));
+            t.cell(static_cast<long long>(mispreds));
+            t.cell(preds ? 1.0 -
+                               static_cast<double>(mispreds) /
+                                   static_cast<double>(preds)
+                         : 0.0, // matches Perfmon::predictionRate()
+                   4);
         }
         const Perfmon &cs = runs.by_config.at(Config::IlpCs).pm;
         if (base.branches > 0 && cs.branches > 0) {
@@ -66,6 +111,43 @@ main(int argc, char **argv)
     printf("Misprediction-flush cycle reduction:       %.0f%% "
            "(paper: 22%%)\n",
            fl_red * 100);
+
+    // Hot mispredicted branches under ILP-CS, across the suite:
+    // deterministic order (mispredictions desc, code address asc).
+    std::vector<HotBranch> hot;
+    for (const WorkloadRuns &runs : suite) {
+        auto it = runs.by_config.find(Config::IlpCs);
+        if (it == runs.by_config.end() || !it->second.pmu)
+            continue;
+        for (const auto &[paddr, site] : it->second.pmu->branchProfile())
+            if (site.mispredictions)
+                hot.push_back(
+                    {site.mispredictions, paddr, &site, &runs});
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const HotBranch &a, const HotBranch &b) {
+                  if (a.mispreds != b.mispreds)
+                      return a.mispreds > b.mispreds;
+                  return a.paddr < b.paddr;
+              });
+    if (!hot.empty()) {
+        printf("\nHot mispredicted branches (ILP-CS):\n");
+        for (size_t i = 0; i < hot.size() && i < 10; ++i) {
+            const HotBranch &hb = hot[i];
+            const ConfigRun &cr =
+                hb.runs->by_config.at(Config::IlpCs);
+            const Function *f =
+                cr.prog ? cr.prog->func(hb.site->fid) : nullptr;
+            printf("  %-12s %-20s bb%-4d @%#llx  %8llu/%8llu mispred "
+                   "(taken %llu)\n",
+                   hb.runs->name.c_str(), f ? f->name.c_str() : "?",
+                   hb.site->bid, (unsigned long long)hb.paddr,
+                   (unsigned long long)hb.mispreds,
+                   (unsigned long long)hb.site->predictions,
+                   (unsigned long long)hb.site->taken);
+        }
+    }
+
     if (!json_path.empty() &&
         !writeSuiteArtifact(json_path, suite, configs))
         return 1;

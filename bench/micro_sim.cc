@@ -59,6 +59,39 @@ BM_TimingSim(benchmark::State &state)
 }
 BENCHMARK(BM_TimingSim)->Unit(benchmark::kMillisecond);
 
+/**
+ * BM_TimingSim with the PMU interval sampler armed at a 64k-cycle
+ * stride — the overhead guard CI compares against BM_TimingSim via
+ * bench_compare.py (sampling must cost < 2%).
+ */
+void
+BM_TimingSimSampled(benchmark::State &state)
+{
+    const Workload *w = findWorkload("164.gzip");
+    auto prog = w->build();
+    prog->layoutData();
+    {
+        Memory mem;
+        mem.initFromProgram(*prog);
+        w->write_input(*prog, mem, InputKind::Train);
+        profileRun(*prog, mem);
+    }
+    Compiled c = compileProgram(*prog, Config::IlpCs);
+    TimingOptions topts;
+    topts.pmu.sample_every = 65536;
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        Memory mem;
+        mem.initFromProgram(*c.prog);
+        w->write_input(*c.prog, mem, InputKind::Ref);
+        auto r = simulate(*c.prog, mem, topts);
+        ops = r.pm.useful_ops;
+        benchmark::DoNotOptimize(r.ret_value);
+    }
+    state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_TimingSimSampled)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

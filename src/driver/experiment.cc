@@ -83,6 +83,15 @@ manifestKey(const Workload &w, Config cfg, const RunOptions &o)
               h);
     h = fnv1a(std::to_string(static_cast<int>(o.profile_input)), h);
     h = fnv1a(std::to_string(static_cast<int>(o.run_input)), h);
+    if (o.pmu.enabled()) {
+        // PMU configuration changes the record bytes (pmu.* keys), so
+        // sampled and unsampled fleets never reuse each other's records.
+        h = fnv1a("pmu:" + std::to_string(o.pmu.sample_every) + "," +
+                      std::to_string(o.pmu.ear_latency_min) + "," +
+                      std::to_string(o.pmu.btb_depth) + "," +
+                      std::to_string(o.pmu.regions ? 1 : 0),
+                  h);
+    }
     return w.name + "|" + std::string(configName(cfg)) + "|" +
            hashHex(h);
 }
@@ -136,6 +145,7 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
         base.max_depth = sup.max_depth;
     base.max_mem_pages = sup.max_mem_pages;
     base.checkpoint_every = sup.checkpoint_every;
+    base.pmu = opts.pmu;
 
     // Sim-layer chaos: the plan (and whether it fires) is a pure
     // function of (seed, workload, rung); it corrupts the *first*
@@ -192,6 +202,7 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
         out.ok = true;
         out.checksum = r.ret_value;
         out.pm = std::move(r.pm);
+        out.pmu = std::move(r.pmu);
         out.sim_status = RunStatus::Ok;
     } else if (sup.ladder && !stopped()) {
         // Rung 2: functional-only. Execute the compiled program in
@@ -319,6 +330,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     w.write_input(*c.prog, mem, opts.run_input);
     TimingOptions topts;
     topts.spec_model = opts.spec_model;
+    topts.pmu = opts.pmu;
     auto r = simulate(*c.prog, mem, topts);
     out.sim_attempts = 1;
     if (!r.ok) {
@@ -330,6 +342,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     out.ok = true;
     out.checksum = r.ret_value;
     out.pm = std::move(r.pm);
+    out.pmu = std::move(r.pmu);
     out.prog = std::shared_ptr<Program>(std::move(c.prog));
     return out;
 }

@@ -65,6 +65,13 @@ struct RunOptions
     bool resume = false;
     /// Workload-name substring filters; empty = the whole suite.
     std::vector<std::string> only;
+
+    // ---- PMU sampling (sim/pmu/pmu.h) ----
+    /// Forwarded to every detailed timing sim; off by default (legacy
+    /// artifact bytes unchanged). Enabled features put a PmuData on the
+    /// ConfigRun and fold a fingerprint into the manifest key, so a
+    /// resumed fleet never mixes sampled and unsampled records.
+    PmuOptions pmu;
 };
 
 /** One configuration's full outcome. */
@@ -88,6 +95,10 @@ struct ConfigRun
 
     /// The compiled program (kept for function-level attribution).
     std::shared_ptr<Program> prog;
+
+    /// PMU streams of the accepted detailed sim (null when PMU off,
+    /// the run degraded to functional, or it was manifest-resumed).
+    std::shared_ptr<PmuData> pmu;
 
     // ---- Supervision outcome (defaults reproduce legacy behaviour) ----
     /// Structured status of the accepted result (or last failure).

@@ -253,6 +253,25 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     Dtlb dtlb(mach.dtlb_entries);
     Perfmon &pm = res.pm;
 
+    // ---- PMU sampling (sim/pmu/pmu.h) ----
+    // Local mirrors keep every hook to one predictable branch when the
+    // PMU is off: `pmu_next` is ~0 (the cycle counter never reaches
+    // it), and the feature booleans are compile-visible loop constants.
+    std::shared_ptr<PmuData> pmu;
+    if (opts.pmu.enabled())
+        pmu = std::make_shared<PmuData>(opts.pmu);
+    res.pmu = pmu;
+    PmuData *pmu_p = pmu.get();
+    const bool pmu_ear = pmu_p && opts.pmu.ear_latency_min != 0;
+    const int ear_latency_min = opts.pmu.ear_latency_min;
+    const bool pmu_btb = pmu_p && opts.pmu.btb_depth != 0;
+    const bool pmu_regions = pmu_p && opts.pmu.regions;
+    uint64_t pmu_next = pmu_p ? pmu_p->nextSampleAt() : ~0ull;
+    // Cached hot-region attribution slot, same pattern as func_cyc:
+    // (fn, bb) change only at control transfers.
+    PmuData::RegionCycles *region_cyc = nullptr;
+    int region_fid = -1, region_bid = -1;
+
     // Register-stack engine state.
     int64_t rse_logical = entry_fn->stacked_regs;
     int64_t rse_spilled = 0;
@@ -315,6 +334,15 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             func_cyc_id = fn->id;
         }
         *func_cyc += static_cast<uint64_t>(n);
+        if (__builtin_expect(pmu_regions, 0)) {
+            if (region_fid != fn->id || region_bid != bb->id) {
+                region_cyc = pmu_p->regionSlot(fn->id, bb->id);
+                region_fid = fn->id;
+                region_bid = bb->id;
+            }
+            (*region_cyc)[static_cast<size_t>(c)] +=
+                static_cast<uint64_t>(n);
+        }
     };
 
     // Scratch for gathering call arguments (reused across calls).
@@ -404,6 +432,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         w.i64(fn->id);
         w.i64(bb->id);
         w.u64(gi);
+        w.u8(pmu_p ? 1 : 0);
+        if (pmu_p)
+            pmu_p->saveState(w);
         ck.data = w.take();
         ck.instrs = retiredOps();
     };
@@ -491,6 +522,11 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         const int cur_fn = static_cast<int>(r.i64());
         const int cur_bb = static_cast<int>(r.i64());
         gi = static_cast<uint32_t>(r.u64());
+        const bool had_pmu = r.u8() != 0;
+        epic_assert(had_pmu == (pmu_p != nullptr),
+                    "checkpoint PMU-config mismatch");
+        if (pmu_p)
+            pmu_p->loadState(r);
         r.expectEnd();
         fn = prog.func(cur_fn);
         epic_assert(fn, "checkpoint resumes missing function");
@@ -503,6 +539,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         db = &dfn->block(bb->id);
         func_cyc = nullptr;
         func_cyc_id = -1;
+        region_cyc = nullptr;
+        region_fid = region_bid = -1;
+        pmu_next = pmu_p ? pmu_p->nextSampleAt() : ~0ull;
     };
 
     if (opts.resume_from && opts.resume_from->valid())
@@ -571,6 +610,32 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                         opts.checkpoint_every;
         }
 
+        // PMU interval-sample boundary (cycle multiples; pmu_next is
+        // ~0 with the sampler off, so this is one never-taken branch).
+        if (__builtin_expect(cycles_total >= pmu_next, 0)) {
+            pmu_p->sampleBoundary(pm, cycles_total);
+            pmu_next = pmu_p->nextSampleAt();
+            TraceRecorder &rec = TraceRecorder::global();
+            if (__builtin_expect(rec.enabled(), 0)) {
+                // Counter track: the trace is wall-clock and explicitly
+                // non-deterministic; deltas already merged by earlier
+                // ring compactions are not re-emitted.
+                const PmuSample &s = pmu_p->samples().back();
+                std::string args = "{";
+                for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                    if (c)
+                        args += ',';
+                    args += '"';
+                    args += cycleCatKey(static_cast<CycleCat>(c));
+                    args += "\":";
+                    args += std::to_string(s.cycles[static_cast<size_t>(c)]);
+                }
+                args += '}';
+                rec.recordCounter("sim.cycles", "pmu", rec.nowUs(),
+                                  std::move(args));
+            }
+        }
+
         // End of block: fall through.
         if (gi >= db->ngroups) {
             if (bb->fallthrough < 0) {
@@ -618,6 +683,10 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                         (kAttrPeelCopy | kAttrRemainder))
                         ++pm.l2i_miss_peel_remainder;
                 }
+                if (__builtin_expect(pmu_ear, 0) &&
+                    fr2.latency >= ear_latency_min)
+                    pmu_p->recordIear(fn->id, bb->id, line, fr2.latency,
+                                      group.attr_union);
             }
             fe_cost = std::max(fe_cost, fr2.latency);
         }
@@ -772,6 +841,11 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                             ++pm.l1d_misses;
                         actual_lat =
                             std::max(planned_lat, mr.latency + tlb_extra);
+                        if (__builtin_expect(pmu_ear, 0) && !mr.l1_hit &&
+                            mr.latency + tlb_extra >= ear_latency_min)
+                            pmu_p->recordDear(fn->id, bb->id, eff.addr,
+                                              mr.latency + tlb_extra,
+                                              group.attr_union);
 
                         // Micropipe: spurious store-to-load forwarding.
                         const uint32_t nst =
@@ -863,6 +937,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                     charge(CycleCat::BrMispredFlush,
                            mach.mispredict_penalty);
                 }
+                if (__builtin_expect(pmu_btb, 0))
+                    pmu_p->recordBranch(paddr, fn->id, bb->id, taken,
+                                        predicted != taken);
             } else if (di.op == Opcode::CHK_S &&
                        eff.ctl == Effect::Ctl::Branch) {
                 // Speculation check fired: flush + recovery cost.
@@ -880,6 +957,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                     charge(CycleCat::BrMispredFlush,
                            mach.mispredict_penalty);
                 }
+                if (__builtin_expect(pmu_btb, 0))
+                    pmu_p->recordBranch(paddr, fn->id, bb->id, true,
+                                        ptarget != eff.callee);
             }
 
             if (eff.ctl != Effect::Ctl::Next && eff.executed) {
@@ -1012,6 +1092,10 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
             rse_logical -= my_stacked;
             if (frames.empty()) {
+                // Flush the final partial PMU interval so sample sums
+                // reconcile exactly with the end-of-run totals.
+                if (__builtin_expect(pmu_p != nullptr, 0))
+                    pmu_p->finish(pm, cycles_total);
                 res.succeed(ctl_eff.has_ret_val ? ctl_eff.ret_val.v : 0);
                 return res;
             }

@@ -22,12 +22,14 @@
 #ifndef EPIC_SIM_TIMING_H
 #define EPIC_SIM_TIMING_H
 
+#include <memory>
 #include <string>
 
 #include "ir/program.h"
 #include "mach/machine.h"
 #include "sim/memory.h"
 #include "sim/perfmon.h"
+#include "sim/pmu/pmu.h"
 #include "sim/run_result.h"
 
 namespace epic {
@@ -79,12 +81,21 @@ struct TimingOptions
     /// intact), so the run completes with a detectably wrong checksum —
     /// the silent-corruption case validation-aware retry must catch.
     bool corrupt_decode = false;
+
+    // ---- PMU sampling (sim/pmu/pmu.h) ----
+    /// Off by default; when any feature is enabled the run carries a
+    /// PmuData in its result. Sampling is deterministic in (workload,
+    /// config, machine) and costs one predictable branch per hook site
+    /// when off.
+    PmuOptions pmu;
 };
 
 /** Result of a timing run. */
 struct TimingResult : RunResult
 {
     Perfmon pm;
+    /// PMU streams (null unless opts.pmu.enabled()).
+    std::shared_ptr<PmuData> pmu;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "driver/experiment.h"
+#include "sim/pmu/pmu.h" // cycleCatKey/pmuCounterKey (shared with sim)
 #include "support/io.h"
 #include "support/logging.h"
 #include "support/telemetry/trace.h"
@@ -11,26 +12,9 @@
 namespace epic {
 
 const char *const kRunSchemaVersion = "epiclab.run.v1";
+const char *const kSamplesSchemaVersion = "epiclab.samples.v1";
 
 namespace {
-
-/** Stable snake_case registry key for a cycle category. */
-const char *
-cycleCatKey(CycleCat c)
-{
-    switch (c) {
-      case CycleCat::Unstalled: return "unstalled";
-      case CycleCat::FloatScoreboard: return "float_scoreboard";
-      case CycleCat::MiscScoreboard: return "misc_scoreboard";
-      case CycleCat::IntLoadBubble: return "int_load_bubble";
-      case CycleCat::Micropipe: return "micropipe";
-      case CycleCat::FrontEndBubble: return "front_end_bubble";
-      case CycleCat::BrMispredFlush: return "br_mispred_flush";
-      case CycleCat::Rse: return "rse";
-      case CycleCat::Kernel: return "kernel";
-      default: return "unknown";
-    }
-}
 
 /** Pass names become path components: spaces to underscores. */
 std::string
@@ -114,6 +98,117 @@ recordPerfmon(StatsRegistry &reg, const Perfmon &pm)
     for (const auto &[fid, cyc] : pm.func_cycles) {
         (void)fid;
         reg.addSample("sim.func_cycles", static_cast<int64_t>(cyc));
+    }
+}
+
+void
+recordPmu(StatsRegistry &reg, const PmuData &pmu)
+{
+    // Every pmu.* path is registered only for PMU-enabled runs, so
+    // PMU-off artifacts keep their exact legacy bytes. Each stream gets
+    // a declared *equality* invariant (a sum with exactly one addend)
+    // against the sim.* total recordPerfmon registered: reconciliation
+    // is checked at dump time like every other declared invariant.
+    if (pmu.stride() != 0) {
+        for (int c = 0; c < Perfmon::kNumCats; ++c) {
+            const CycleCat cat = static_cast<CycleCat>(c);
+            const std::string path =
+                std::string("pmu.interval.cycles.") + cycleCatKey(cat);
+            reg.setInt(path,
+                       static_cast<int64_t>(pmu.sampledCycles(cat)));
+            reg.declareSum(std::string("pmu-interval-cycles-") +
+                               cycleCatKey(cat),
+                           path,
+                           std::string("sim.cycles.") + cycleCatKey(cat));
+        }
+        // Sampled counters whose lifetime totals exist under sim.*.
+        const struct
+        {
+            PmuCounter ctr;
+            const char *total;
+        } kCounterTotals[] = {
+            {kPmuL1dMisses, "sim.mem.l1d_misses"},
+            {kPmuL1iMisses, "sim.mem.l1i_misses"},
+            {kPmuL2Misses, "sim.mem.l2_misses"},
+            {kPmuL2iMisses, "sim.mem.l2i_misses"},
+            {kPmuL3Misses, "sim.mem.l3_misses"},
+            {kPmuDtlbMisses, "sim.mem.dtlb_misses"},
+            {kPmuBranchPredictions, "sim.branch.predictions"},
+            {kPmuMispredictions, "sim.branch.mispredictions"},
+            {kPmuRseSpillRegs, "sim.rse.spill_regs"},
+            {kPmuRseFillRegs, "sim.rse.fill_regs"},
+            {kPmuStlfConflicts, "sim.mem.stlf_conflicts"},
+            {kPmuUsefulOps, "sim.ops.useful"},
+        };
+        for (const auto &ct : kCounterTotals) {
+            const std::string path =
+                std::string("pmu.interval.counter.") +
+                pmuCounterKey(ct.ctr);
+            reg.setInt(path,
+                       static_cast<int64_t>(pmu.sampledCounter(ct.ctr)));
+            reg.declareSum(std::string("pmu-counter-") +
+                               pmuCounterKey(ct.ctr),
+                           path, ct.total);
+        }
+        reg.setInt("pmu.interval.samples",
+                   static_cast<int64_t>(pmu.samples().size()));
+        reg.setInt("pmu.interval.stride",
+                   static_cast<int64_t>(pmu.stride()));
+        reg.setInt("pmu.interval.compactions",
+                   static_cast<int64_t>(pmu.compactions()));
+    }
+
+    if (pmu.options().ear_latency_min != 0) {
+        reg.setInt("pmu.ear.dear_events",
+                   static_cast<int64_t>(pmu.dearEvents()));
+        reg.setInt("pmu.ear.dear_sites",
+                   static_cast<int64_t>(pmu.dearSites().size()));
+        reg.setInt("pmu.ear.iear_events",
+                   static_cast<int64_t>(pmu.iearEvents()));
+        reg.setInt("pmu.ear.iear_sites",
+                   static_cast<int64_t>(pmu.iearSites().size()));
+    }
+
+    if (pmu.options().btb_depth != 0) {
+        int64_t preds = 0, mispreds = 0;
+        for (const auto &[paddr, site] : pmu.branchProfile()) {
+            (void)paddr;
+            preds += static_cast<int64_t>(site.predictions);
+            mispreds += static_cast<int64_t>(site.mispredictions);
+        }
+        reg.setInt("pmu.branch_profile.sites",
+                   static_cast<int64_t>(pmu.branchProfile().size()));
+        reg.setInt("pmu.branch_profile.predictions", preds);
+        reg.setInt("pmu.branch_profile.mispredictions", mispreds);
+        reg.setInt("pmu.btb.records",
+                   static_cast<int64_t>(pmu.branchRecords()));
+        reg.declareSum("pmu-branch-predictions",
+                       "pmu.branch_profile.predictions",
+                       "sim.branch.predictions");
+        reg.declareSum("pmu-branch-mispredictions",
+                       "pmu.branch_profile.mispredictions",
+                       "sim.branch.mispredictions");
+    }
+
+    if (pmu.options().regions) {
+        reg.setInt("pmu.region.count",
+                   static_cast<int64_t>(pmu.regions().size()));
+        std::array<int64_t, Perfmon::kNumCats> totals{};
+        for (const auto &[key, cyc] : pmu.regions()) {
+            (void)key;
+            for (int c = 0; c < Perfmon::kNumCats; ++c)
+                totals[c] += static_cast<int64_t>(cyc[c]);
+        }
+        for (int c = 0; c < Perfmon::kNumCats; ++c) {
+            const CycleCat cat = static_cast<CycleCat>(c);
+            const std::string path =
+                std::string("pmu.region.cycles.") + cycleCatKey(cat);
+            reg.setInt(path, totals[c]);
+            reg.declareSum(std::string("pmu-region-cycles-") +
+                               cycleCatKey(cat),
+                           path,
+                           std::string("sim.cycles.") + cycleCatKey(cat));
+        }
     }
 }
 
@@ -259,8 +354,11 @@ StatsRegistry
 buildRunRegistry(const ConfigRun &r)
 {
     StatsRegistry reg;
-    if (r.ok)
+    if (r.ok) {
         recordPerfmon(reg, r.pm);
+        if (r.pmu)
+            recordPmu(reg, *r.pmu);
+    }
     recordCompile(reg, r.stats, r.pipeline, r.instrs_source,
                   r.instrs_final, r.fallback.clean());
     recordFallback(reg, r.fallback);
@@ -326,6 +424,66 @@ writeSuiteArtifact(const std::string &path,
     const std::string doc = suiteArtifact(suite, configs, &violations);
     // Atomic replace: a crash mid-write leaves the previous complete
     // artifact (or none), never a truncated one.
+    atomicWriteFileOrDie(path, doc);
+    for (const std::string &v : violations)
+        epic_warn("telemetry ", v);
+    return violations.empty();
+}
+
+std::string
+samplesArtifact(const std::vector<WorkloadRuns> &suite,
+                const std::vector<Config> &configs,
+                std::vector<std::string> *violations)
+{
+    std::ostringstream os;
+    for (const WorkloadRuns &runs : suite) {
+        for (Config cfg : configs) {
+            auto it = runs.by_config.find(cfg);
+            if (it == runs.by_config.end())
+                continue;
+            const ConfigRun &r = it->second;
+            if (!r.ok || !r.pmu || r.pmu->samples().empty())
+                continue;
+            int64_t seq = 0;
+            for (const PmuSample &s : r.pmu->samples()) {
+                os << "{\"schema\":\"" << kSamplesSchemaVersion
+                   << "\",\"workload\":\"" << jsonEscape(runs.name)
+                   << "\",\"config\":\"" << configName(cfg)
+                   << "\",\"seq\":" << seq++
+                   << ",\"cycles_end\":" << s.cycles_end
+                   << ",\"intervals\":" << s.intervals << ",\"cycles\":{";
+                for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                    if (c)
+                        os << ',';
+                    os << '"' << cycleCatKey(static_cast<CycleCat>(c))
+                       << "\":" << s.cycles[c];
+                }
+                os << "},\"counters\":{";
+                for (int c = 0; c < kNumPmuCounters; ++c) {
+                    if (c)
+                        os << ',';
+                    os << '"' << pmuCounterKey(c) << "\":" << s.counters[c];
+                }
+                os << "}}\n";
+            }
+            if (violations) {
+                for (const std::string &v :
+                     r.pmu->checkReconciliation(r.pm))
+                    violations->push_back(runs.name + " [" +
+                                          configName(cfg) + "]: " + v);
+            }
+        }
+    }
+    return os.str();
+}
+
+bool
+writeSamplesArtifact(const std::string &path,
+                     const std::vector<WorkloadRuns> &suite,
+                     const std::vector<Config> &configs)
+{
+    std::vector<std::string> violations;
+    const std::string doc = samplesArtifact(suite, configs, &violations);
     atomicWriteFileOrDie(path, doc);
     for (const std::string &v : violations)
         epic_warn("telemetry ", v);

@@ -21,6 +21,15 @@
  *    inline included, sum to compile.instr_delta_total = final − source
  *  - fallback-rung-sum: per-rung fallback counts sum to
  *    firewall.fallbacks_total
+ *  - pmu-* (PMU-enabled runs only): every PMU stream reconciles exactly
+ *    with its end-of-run total — per-category interval-sample sums with
+ *    sim.cycles.<cat>, sampled counter sums with their sim.* totals,
+ *    branch-profile sums with sim.branch.*, per-category region sums
+ *    with sim.cycles.<cat> (DESIGN.md §17)
+ *
+ * PMU-enabled runs additionally emit a second artifact: the
+ * `epiclab.samples.v1` JSONL time-series (one line per interval sample
+ * per workload × config, same post-join index order, --jobs invariant).
  */
 #ifndef EPIC_SUPPORT_TELEMETRY_ARTIFACT_H
 #define EPIC_SUPPORT_TELEMETRY_ARTIFACT_H
@@ -40,11 +49,24 @@ struct ConfigRun;
 struct WorkloadRuns;
 enum class Config;
 
+class PmuData;
+
 /** Schema tag carried by every JSONL run record. */
 extern const char *const kRunSchemaVersion;
 
+/** Schema tag carried by every JSONL interval-sample record. */
+extern const char *const kSamplesSchemaVersion;
+
 /** Register every Perfmon counter under `sim.*` (+ sum invariants). */
 void recordPerfmon(StatsRegistry &reg, const Perfmon &pm);
+
+/**
+ * Register PMU streams under `pmu.*` with one declared equality
+ * invariant per stream×category reconciling sampled sums against the
+ * end-of-run Perfmon totals (requires recordPerfmon to have registered
+ * the `sim.*` totals in the same registry).
+ */
+void recordPmu(StatsRegistry &reg, const PmuData &pmu);
 
 /**
  * Register compile counters under `compile.*`: headline transform
@@ -91,6 +113,24 @@ std::string suiteArtifact(const std::vector<WorkloadRuns> &suite,
 bool writeSuiteArtifact(const std::string &path,
                         const std::vector<WorkloadRuns> &suite,
                         const std::vector<Config> &configs);
+
+/**
+ * The `epiclab.samples.v1` interval time-series for a suite result:
+ * one JSONL line per retained sample of every PMU-enabled (workload ×
+ * config) run, in the same index order as suiteArtifact — byte-identical
+ * for any --jobs value. Runs without PMU data contribute no lines.
+ * Reconciliation violations (sample sums vs Perfmon totals) are
+ * appended to `violations` when non-null.
+ */
+std::string samplesArtifact(const std::vector<WorkloadRuns> &suite,
+                            const std::vector<Config> &configs,
+                            std::vector<std::string> *violations);
+
+/** Write samplesArtifact to `path` atomically (fatal on I/O error),
+ *  epic_warn each reconciliation violation; true when all reconcile. */
+bool writeSamplesArtifact(const std::string &path,
+                          const std::vector<WorkloadRuns> &suite,
+                          const std::vector<Config> &configs);
 
 } // namespace epic
 

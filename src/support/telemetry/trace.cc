@@ -84,6 +84,26 @@ TraceRecorder::recordComplete(std::string name, std::string cat,
     events_.push_back(std::move(ev));
 }
 
+void
+TraceRecorder::recordCounter(std::string name, std::string cat,
+                             double ts_us, std::string args_json)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = tids_.emplace(std::this_thread::get_id(),
+                                     static_cast<int>(tids_.size()));
+    (void)fresh;
+    Event ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'C';
+    ev.ts_us = ts_us;
+    ev.tid = it->second;
+    ev.args_json = std::move(args_json);
+    events_.push_back(std::move(ev));
+}
+
 std::vector<TraceRecorder::Event>
 TraceRecorder::events() const
 {
@@ -113,10 +133,15 @@ TraceRecorder::json() const
         first = false;
         char num[96];
         os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
-           << jsonEscape(ev.cat) << "\",\"ph\":\"X\"";
-        std::snprintf(num, sizeof num,
-                      ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
-                      ev.ts_us, ev.dur_us, ev.tid);
+           << jsonEscape(ev.cat) << "\",\"ph\":\"" << ev.ph << "\"";
+        if (ev.ph == 'C')
+            std::snprintf(num, sizeof num,
+                          ",\"ts\":%.3f,\"pid\":1,\"tid\":%d", ev.ts_us,
+                          ev.tid);
+        else
+            std::snprintf(num, sizeof num,
+                          ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                          ev.ts_us, ev.dur_us, ev.tid);
         os << num;
         if (!ev.args_json.empty())
             os << ",\"args\":" << ev.args_json;

@@ -36,13 +36,14 @@ namespace epic {
 class TraceRecorder
 {
   public:
-    /** One complete ("X") duration event. */
+    /** One complete ("X") duration or counter ("C") sample event. */
     struct Event
     {
         std::string name;
         std::string cat;
+        char ph = 'X';     ///< 'X' complete span, 'C' counter sample
         double ts_us = 0;  ///< begin, microseconds since enable()
-        double dur_us = 0; ///< duration, microseconds
+        double dur_us = 0; ///< duration, microseconds ('X' only)
         int tid = 0;       ///< dense thread id (first-record order)
         std::string args_json; ///< preformatted JSON object ("" = none)
     };
@@ -64,6 +65,11 @@ class TraceRecorder
     /** Record one complete event (thread-safe). */
     void recordComplete(std::string name, std::string cat, double ts_us,
                         double dur_us, std::string args_json = {});
+
+    /** Record one counter ("C") sample: Perfetto renders each args key
+     *  as a stacked time-series track (thread-safe). */
+    void recordCounter(std::string name, std::string cat, double ts_us,
+                       std::string args_json);
 
     /** Snapshot of events so far, sorted by (tid, ts). */
     std::vector<Event> events() const;
