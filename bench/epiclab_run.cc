@@ -17,6 +17,17 @@
  *               [--only <substr[,substr...]>]
  *               [--sample-every N] [--samples <path>]
  *               [--ear-latency-min N] [--btb-depth N] [--profile]
+ *               [--sim-mode detailed|sampled]
+ *               [--ff-functional M] [--detail-window W]
+ *
+ * Fidelity mode (DESIGN.md §18): --sim-mode=sampled alternates
+ * functional fast-forward phases (M ops, architected semantics only)
+ * with detailed timing windows (W ops), extrapolating per-category
+ * cycle estimates from window coverage. Estimates land under
+ * sim.sampled.est.* in the --json record — never under sim.cycles.* —
+ * and every sample line is tagged mode=sampled with its scale factors.
+ * Sampled runs are deterministic and --jobs invariant like detailed
+ * ones, but cannot --resume (the extrapolation basis would differ).
  *
  * PMU sampling (DESIGN.md §17): --sample-every arms the interval
  * sampler whose per-category sums reconcile exactly with the end-of-run
@@ -132,6 +143,15 @@ usage()
            "  --only <substr[,substr...]>         restrict --all to "
            "matching\n"
            "                                      workloads\n"
+           "\nfidelity mode (DESIGN.md §18):\n"
+           "  --sim-mode <detailed|sampled>       sampled alternates\n"
+           "                                      functional fast-forward\n"
+           "                                      with detailed windows\n"
+           "  --ff-functional <M>                 ops fast-forwarded per\n"
+           "                                      phase (sampled only)\n"
+           "  --detail-window <W>                 ops simulated in detail\n"
+           "                                      per window (sampled "
+           "only)\n"
            "\nPMU sampling (deterministic; off = zero sim overhead):\n"
            "  --sample-every <N>                  interval sampler "
            "stride in\n"
@@ -442,6 +462,21 @@ main(int argc, char **argv)
             if (opts.only.empty())
                 epic_fatal("--only requires at least one non-empty "
                            "workload substring");
+        } else if (a == "--sim-mode") {
+            std::string m = value_of(i, a);
+            if (m == "sampled")
+                opts.sim_mode = SimMode::Sampled;
+            else if (m == "detailed")
+                opts.sim_mode = SimMode::Detailed;
+            else
+                epic_fatal("--sim-mode: unknown mode '", m,
+                           "' (detailed|sampled)");
+        } else if (a == "--ff-functional") {
+            opts.ff_functional = static_cast<uint64_t>(parseIntFlag(
+                "--ff-functional", value_of(i, a), 1, INT64_MAX));
+        } else if (a == "--detail-window") {
+            opts.detail_window = static_cast<uint64_t>(parseIntFlag(
+                "--detail-window", value_of(i, a), 1, INT64_MAX));
         } else if (a == "--sample-every") {
             opts.pmu.sample_every = static_cast<uint64_t>(parseIntFlag(
                 "--sample-every", value_of(i, a), 1, INT64_MAX));
@@ -498,6 +533,18 @@ main(int argc, char **argv)
     if (opts.pmu.enabled() && opts.resume)
         epic_fatal("--resume cannot replay PMU sample streams; rerun "
                    "the fleet without --resume when sampling");
+    if (opts.sim_mode == SimMode::Sampled) {
+        if (opts.ff_functional == 0 || opts.detail_window == 0)
+            epic_fatal("--sim-mode=sampled requires --ff-functional <M> "
+                       "and --detail-window <W>");
+        if (opts.resume)
+            epic_fatal("--resume cannot extend a sampled run (the "
+                       "extrapolation basis would differ); rerun the "
+                       "fleet without --resume");
+    } else if (opts.ff_functional != 0 || opts.detail_window != 0) {
+        epic_fatal("--ff-functional/--detail-window only apply to "
+                   "--sim-mode=sampled");
+    }
     // Pool-side hung-task watchdog: the safety net behind the
     // cooperative deadline poll. Warn at 10x the per-attempt deadline
     // (min 1 s) — cooperative reclaim should long since have fired.
@@ -611,6 +658,22 @@ main(int argc, char **argv)
                cycleCatName(static_cast<CycleCat>(c)),
                (unsigned long long)r.pm.cycles[c],
                100.0 * r.pm.cycles[c] / r.pm.total());
+    }
+    if (r.sampled.enabled) {
+        printf("\nsampled-mode extrapolation (%llu window(s), %llu of "
+               "%llu ops in detail):\n",
+               (unsigned long long)r.sampled.windows,
+               (unsigned long long)r.sampled.detail_ops,
+               (unsigned long long)r.sampled.total_ops);
+        for (int c = 0; c < Perfmon::kNumCats; ++c) {
+            if (!r.sampled.est_cycles[c])
+                continue;
+            printf("  est %-18s %10llu\n",
+                   cycleCatName(static_cast<CycleCat>(c)),
+                   (unsigned long long)r.sampled.est_cycles[c]);
+        }
+        printf("  est total             %10llu\n",
+               (unsigned long long)r.sampled.est_total);
     }
     printf("\nevents:\n");
     printf("  ops useful/squashed/nop  %llu / %llu / %llu\n",

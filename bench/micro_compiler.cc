@@ -160,4 +160,17 @@ BENCHMARK(BM_Liveness);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Explicit main (instead of BENCHMARK_MAIN()) so the JSON context
+// carries the build type of *this* tree (see bench/micro_sim.cc).
+int
+main(int argc, char **argv)
+{
+    benchmark::AddCustomContext("epiclab_build_type",
+                                EPICLAB_BUILD_TYPE);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

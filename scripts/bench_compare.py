@@ -42,6 +42,21 @@ def load(path):
         raise CompareError(
             f"{path}: no 'benchmarks' array (not a google-benchmark "
             "--benchmark_out file?)")
+    # A debug-built tree produces numbers that are meaningless as a
+    # baseline AND trivially "pass" as a candidate (both sides slow), so
+    # either way the gate must refuse them. epiclab_build_type is our
+    # own context key (bench/CMakeLists.txt) — the stock
+    # library_build_type key describes the *libbenchmark* build, which
+    # on this image is a debug system package even for release trees, so
+    # it is only a fallback for files predating the custom key.
+    ctx = data.get("context", {})
+    build_type = ctx.get("epiclab_build_type",
+                         ctx.get("library_build_type", "unknown"))
+    if build_type == "debug":
+        raise CompareError(
+            f"{path}: benchmarks were built in debug mode "
+            f"(context build type {build_type!r}); rebuild with "
+            "-DCMAKE_BUILD_TYPE=Release before comparing")
     runs = data["benchmarks"]
     # Prefer median aggregates; fall back to ordinary iteration entries.
     for b in runs:

@@ -92,6 +92,13 @@ manifestKey(const Workload &w, Config cfg, const RunOptions &o)
                       std::to_string(o.pmu.regions ? 1 : 0),
                   h);
     }
+    if (o.sim_mode == SimMode::Sampled) {
+        // Sampled runs extrapolate (different record bytes): never let
+        // a resumed fleet reuse a detailed record or vice versa.
+        h = fnv1a("sampled:" + std::to_string(o.ff_functional) + "," +
+                      std::to_string(o.detail_window),
+                  h);
+    }
     return w.name + "|" + std::string(configName(cfg)) + "|" +
            hashHex(h);
 }
@@ -146,6 +153,9 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
     base.max_mem_pages = sup.max_mem_pages;
     base.checkpoint_every = sup.checkpoint_every;
     base.pmu = opts.pmu;
+    base.sim_mode = opts.sim_mode;
+    base.ff_functional = opts.ff_functional;
+    base.detail_window = opts.detail_window;
 
     // Sim-layer chaos: the plan (and whether it fires) is a pure
     // function of (seed, workload, rung); it corrupts the *first*
@@ -203,6 +213,7 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
         out.checksum = r.ret_value;
         out.pm = std::move(r.pm);
         out.pmu = std::move(r.pmu);
+        out.sampled = r.sampled;
         out.sim_status = RunStatus::Ok;
     } else if (sup.ladder && !stopped()) {
         // Rung 2: functional-only. Execute the compiled program in
@@ -331,6 +342,9 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     TimingOptions topts;
     topts.spec_model = opts.spec_model;
     topts.pmu = opts.pmu;
+    topts.sim_mode = opts.sim_mode;
+    topts.ff_functional = opts.ff_functional;
+    topts.detail_window = opts.detail_window;
     auto r = simulate(*c.prog, mem, topts);
     out.sim_attempts = 1;
     if (!r.ok) {
@@ -343,6 +357,7 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     out.checksum = r.ret_value;
     out.pm = std::move(r.pm);
     out.pmu = std::move(r.pmu);
+    out.sampled = r.sampled;
     out.prog = std::shared_ptr<Program>(std::move(c.prog));
     return out;
 }

@@ -66,6 +66,16 @@ struct RunOptions
     /// Workload-name substring filters; empty = the whole suite.
     std::vector<std::string> only;
 
+    // ---- Fidelity mode (sim/timing.h SimMode, DESIGN.md §18) ----
+    /// Forwarded to every detailed timing sim. Sampled mode attaches a
+    /// SampledStats to the ConfigRun, tags the run's sample stream with
+    /// mode=sampled + its scale factors, and folds a fingerprint into
+    /// the manifest key, so a resumed fleet never mixes sampled and
+    /// detailed records.
+    SimMode sim_mode = SimMode::Detailed;
+    uint64_t ff_functional = 0; ///< ops fast-forwarded per phase
+    uint64_t detail_window = 0; ///< ops simulated in detail per window
+
     // ---- PMU sampling (sim/pmu/pmu.h) ----
     /// Forwarded to every detailed timing sim; off by default (legacy
     /// artifact bytes unchanged). Enabled features put a PmuData on the
@@ -99,6 +109,10 @@ struct ConfigRun
     /// PMU streams of the accepted detailed sim (null when PMU off,
     /// the run degraded to functional, or it was manifest-resumed).
     std::shared_ptr<PmuData> pmu;
+
+    /// Sampled-mode extrapolation (enabled only under SimMode::Sampled;
+    /// default-disabled state keeps legacy artifact bytes unchanged).
+    SampledStats sampled;
 
     // ---- Supervision outcome (defaults reproduce legacy behaviour) ----
     /// Structured status of the accepted result (or last failure).

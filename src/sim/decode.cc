@@ -113,6 +113,58 @@ decodeInstr(const Program &prog, const Instruction &inst)
     return d;
 }
 
+/** True when the op can transfer control (branch, call, ret or
+ *  speculation check) — the fence for fused straight-line spans. */
+bool
+isCtlOp(const DecodedInstr &d)
+{
+    return d.op == Opcode::BR || d.op == Opcode::CHK_S ||
+           (d.flags & (kDecCall | kDecRet)) != 0;
+}
+
+/**
+ * Structural kernel-shape classification of one issue group (members
+ * in group order). Conservative: anything not provably admitted by a
+ * specialized shape stays Generic, which is always legal.
+ */
+uint8_t
+classifyGroup(const DecodedInstr *members, size_t n)
+{
+    int nloads = 0;
+    int nbranches = 0;
+    bool guard = false, store = false, other_ctl = false, br_last = false;
+    for (size_t i = 0; i < n; ++i) {
+        const DecodedInstr &d = members[i];
+        if (d.flags & kDecHasGuard)
+            guard = true;
+        if (d.flags & kDecLoad)
+            ++nloads;
+        if (d.flags & kDecStore)
+            store = true;
+        if ((d.flags & (kDecCall | kDecRet)) || d.op == Opcode::CHK_S)
+            other_ctl = true;
+        if (d.op == Opcode::BR) {
+            ++nbranches;
+            br_last = i + 1 == n;
+        }
+    }
+    if (other_ctl || nbranches > 1)
+        return kKernelGeneric;
+    if (nbranches == 1) {
+        // Branch-terminated: the BR must be the trailing member so the
+        // kernel can treat everything before it as straight-line.
+        return (br_last && nloads == 0 && !store) ? kKernelBranchTerm
+                                                  : kKernelGeneric;
+    }
+    if (guard)
+        return kKernelGeneric;
+    if (nloads == 0 && !store)
+        return kKernelAllAlu;
+    if (nloads == 1 && !store)
+        return kKernelLoadAlu;
+    return kKernelGeneric;
+}
+
 } // namespace
 
 DecodedProgram
@@ -172,6 +224,23 @@ DecodedProgram::build(const Program &prog, bool want_order,
                     db.order_len =
                         static_cast<uint32_t>(b->instrs.size());
                 }
+                // Control-free prefix of the execution order; the
+                // interpreter fuses ops [0, straight_len) into one
+                // span (see DecodedBlock::straight_len).
+                const DecodedInstr *bi =
+                    df.dinstr_pool_.data() + dinstr_off[bid];
+                const bool sched = scheduled_order && b->scheduled();
+                uint32_t sl = 0;
+                while (sl < db.order_len) {
+                    uint32_t oi =
+                        sched ? static_cast<uint32_t>(
+                                    df.order_pool_[order_off[bid] + sl])
+                              : sl;
+                    if (isCtlOp(bi[oi]))
+                        break;
+                    ++sl;
+                }
+                db.straight_len = sl;
             }
             if (want_groups) {
                 group_off[bid] =
@@ -188,12 +257,24 @@ DecodedProgram::build(const Program &prog, bool want_order,
                     dg.nnops = static_cast<uint16_t>(gi.nops);
                     dg.nlines = static_cast<uint16_t>(gi.lines.size());
                     dg.attr_union = gi.attr_union;
-                    for (int op : gi.ops)
+                    for (int op : gi.ops) {
                         df.gop_pool_.push_back(op);
+                        // Dense group-ordered copy for the timing
+                        // loop's linear member walk.
+                        df.gdinstr_pool_.push_back(
+                            df.dinstr_pool_[dinstr_off[bid] +
+                                            static_cast<uint32_t>(op)]);
+                    }
                     for (uint64_t a : gi.addrs)
                         df.gaddr_pool_.push_back(a);
                     for (uint64_t l : gi.lines)
                         df.gline_pool_.push_back(l);
+                    dg.kernel =
+                        gi.ops.empty()
+                            ? static_cast<uint8_t>(kKernelAllAlu)
+                            : classifyGroup(df.gdinstr_pool_.data() +
+                                                dg.op_off,
+                                            gi.ops.size());
                     df.group_pool_.push_back(dg);
                 }
             }

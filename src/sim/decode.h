@@ -111,6 +111,28 @@ struct GroupInfo
 std::vector<GroupInfo> buildGroups(const BasicBlock &b);
 
 /**
+ * Kernel shape of one issue group. The timing decode classifies every
+ * group once at predecode time; the timing loop then dispatches once
+ * per group into the matching precompiled template kernel
+ * (timing.cc), which hoists the guard/memory/control machinery the
+ * shape provably never needs. Classification is purely structural
+ * (opcode + flag scan over the members), so a shape is a *legality*
+ * statement: every specialized kernel must be observationally
+ * identical to the generic fallback on the groups its shape admits —
+ * fusion changes dispatch, never accounting (DESIGN.md §18).
+ *
+ * Generic is 0 so a zero-initialized descriptor takes the
+ * always-correct fallback.
+ */
+enum KernelShape : uint8_t {
+    kKernelGeneric = 0, ///< fallback: full per-op semantics
+    kKernelAllAlu,      ///< no guards, no memory, no control transfers
+    kKernelLoadAlu,     ///< exactly one load + ALU; no guards/stores/ctl
+    kKernelBranchTerm,  ///< guarded ALU terminated by one trailing BR
+    kNumKernelShapes,
+};
+
+/**
  * One issue group, flattened: spans into the per-function pools
  * (DecodedFunction::gop/gaddr/gline pools). A group averages only a
  * few ops, so keeping each group's members in three small heap vectors
@@ -124,6 +146,7 @@ struct DecodedGroup
     uint16_t nops = 0;     ///< executable member count
     uint16_t nnops = 0;    ///< explicit NOP slots in the group
     uint16_t nlines = 0;   ///< distinct I-cache lines touched
+    uint8_t kernel = kKernelGeneric; ///< KernelShape (fits padding hole)
     uint32_t attr_union = 0; ///< OR of member provenance attrs
 };
 
@@ -143,6 +166,14 @@ struct DecodedBlock
     /// Predecoded instructions, indexed like BasicBlock::instrs (source
     /// order — the order/group indices above index into this array too).
     const DecodedInstr *dinstrs = nullptr;
+
+    /// Length of the maximal control-free prefix of the execution
+    /// order: ops [0, straight_len) never branch, call, return or
+    /// raise a speculation check, so the interpreter may run the whole
+    /// prefix as one fused span with the budget check hoisted to the
+    /// span boundary. Most blocks end in a branch, so this is usually
+    /// order_len - 1.
+    uint32_t straight_len = 0;
 };
 
 /** Dense per-function decode table indexed by block id. */
@@ -160,6 +191,13 @@ class DecodedFunction
     const uint64_t *gaddrs() const { return gaddr_pool_.data(); }
     const uint64_t *glines() const { return gline_pool_.data(); }
 
+    /// Group-ordered DecodedInstr copies, parallel to the gop pool:
+    /// ginstrs()[g.op_off + mi] is the record for member mi of group g.
+    /// The timing loop's scoreboard and execute passes walk this dense
+    /// stream instead of chasing gops()[mi] back into the per-block
+    /// dinstr span (one dependent load per op saved, prefetch-friendly).
+    const DecodedInstr *ginstrs() const { return gdinstr_pool_.data(); }
+
   private:
     friend class DecodedProgram;
 
@@ -176,6 +214,7 @@ class DecodedFunction
         gaddr_pool_.rebind(a);
         gline_pool_.rebind(a);
         dinstr_pool_.rebind(a);
+        gdinstr_pool_.rebind(a);
     }
 
     ArenaVec<DecodedBlock> blocks_;
@@ -185,6 +224,7 @@ class DecodedFunction
     ArenaVec<uint64_t> gaddr_pool_; ///< member code addresses
     ArenaVec<uint64_t> gline_pool_; ///< distinct I-cache lines
     ArenaVec<DecodedInstr> dinstr_pool_; ///< backing for dinstr spans
+    ArenaVec<DecodedInstr> gdinstr_pool_; ///< group-ordered copies
 };
 
 /** Immutable per-Program decode cache (see file comment for lifecycle). */

@@ -15,6 +15,7 @@
 #ifndef EPIC_SIM_EXEC_CORE_H
 #define EPIC_SIM_EXEC_CORE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -53,7 +54,10 @@ struct Frame
      * @param sp_value Frame stack pointer (spill area base); written to
      *        the architected SP register (gr12).
      */
-    Frame(const Function *f, uint64_t sp_value);
+    Frame(const Function *f, uint64_t sp_value)
+    {
+        reset(f, sp_value);
+    }
 
     /**
      * Re-initialize a recycled frame for a new activation — identical
@@ -61,7 +65,26 @@ struct Frame
      * register-file vector capacity. Lets the simulators pool frames
      * across call/return instead of reallocating three vectors per call.
      */
-    void reset(const Function *f, uint64_t sp_value);
+    void
+    reset(const Function *f, uint64_t sp_value)
+    {
+        fn = f;
+        sp = sp_value;
+        ret_block = -1;
+        ret_pos = -1;
+        ret_dest = Reg();
+        int ngr = std::max(physRegCount(RegClass::Gr),
+                           f->virtLimit(RegClass::Gr));
+        int nfr = std::max(physRegCount(RegClass::Fr),
+                           f->virtLimit(RegClass::Fr));
+        int npr = std::max(physRegCount(RegClass::Pr),
+                           f->virtLimit(RegClass::Pr));
+        gr.assign(ngr, GrVal{});
+        fr.assign(nfr, 0.0);
+        pr.assign(npr, 0);
+        pr[0] = 1;
+        gr[kGrSp.id] = GrVal{static_cast<int64_t>(sp), false};
+    }
 
     /** Bytes of stack this function's frame occupies (16-aligned). */
     static uint64_t

@@ -72,6 +72,11 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
     uint32_t order_len = dfn->block(fn->entry).order_len;
     const DecodedInstr *dinstrs = dfn->block(fn->entry).dinstrs;
     uint32_t pos = 0;
+    // Control-free prefix of the current block's execution order: ops
+    // [0, straight) are fused into one tight span with the budget and
+    // block-end checks hoisted out (see EPIC_FUSED_SPAN below).
+    uint32_t straight = dfn->block(fn->entry).straight_len;
+    (void)straight;
 
     if (opts.collect_profile) {
         entry_fn->weight += 1;
@@ -105,6 +110,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         order = db.order;
         order_len = db.order_len;
         dinstrs = db.dinstrs;
+        straight = db.straight_len;
         pos = 0;
         if (opts.collect_profile)
             bb->weight += 1;
@@ -248,6 +254,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         order = db.order;
         order_len = db.order_len;
         dinstrs = db.dinstrs;
+        straight = db.straight_len;
         pos = static_cast<uint32_t>(ret_pos);
         return true;
     };
@@ -303,6 +310,43 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         EPIC_DISPATCH();                                                 \
     }
 
+    // Fused straight-line span: ops [pos, straight) cannot transfer
+    // control (decode.cc classifies the prefix), so the budget and
+    // block-end checks hoist out of the per-op path — one clamp at
+    // span entry instead of two compares per op. The span length is
+    // clamped to the remaining instruction budget, so the budget trips
+    // at exactly the same op as the unfused path. Returns true when an
+    // op trapped (di/ceff identify it; caller takes trap_exit with the
+    // same counters already applied). One lambda, not a macro body:
+    // the kernel switch is instantiated once instead of once per
+    // call site, which matters for I-cache footprint.
+    auto run_span = [&]() -> bool /* trapped? */ {
+        const uint64_t avail = opts.max_instrs - res.dyn_instrs;
+        const uint32_t send = straight - pos <= avail
+                                  ? straight
+                                  : pos + static_cast<uint32_t>(avail);
+        while (pos < send) {
+            di = &dinstrs[order ? static_cast<uint32_t>(order[pos])
+                                : pos];
+            Effect eff = execDecoded(prog, *di, *frame, mem);
+            count_instr(eff);
+            if (__builtin_expect(eff.trap, 0)) {
+                ceff = eff;
+                return true;
+            }
+            count_mem(eff);
+            ++pos;
+        }
+        return false;
+    };
+
+#define EPIC_FUSED_SPAN()                                                \
+    do {                                                                 \
+        if (pos < straight && run_span())                                \
+            goto trap_exit;                                              \
+    } while (0)
+
+    EPIC_FUSED_SPAN();
     EPIC_DISPATCH();
 
     EPIC_HANDLER(MOV)
@@ -359,6 +403,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
                 const_cast<Instruction *>(di->orig)->prof_taken += 1;
             if (!enter_block(eff.branch_target))
                 return res;
+            EPIC_FUSED_SPAN();
         } else {
             ++pos; // squashed: falls through
         }
@@ -373,6 +418,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
             ++res.dyn_branches;
             if (!enter_block(eff.branch_target))
                 return res;
+            EPIC_FUSED_SPAN();
         } else {
             ++pos;
         }
@@ -398,6 +444,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         if (ceff.ctl == Effect::Ctl::Call) {
             if (!do_call(ceff, *di))
                 return res;
+            EPIC_FUSED_SPAN();
         } else {
             ++pos; // squashed call
         }
@@ -411,6 +458,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         if (ceff.ctl == Effect::Ctl::Ret) {
             if (!do_ret(ceff))
                 return res; // outermost frame: run finished
+            EPIC_FUSED_SPAN();
         } else {
             ++pos; // squashed return
         }
@@ -426,6 +474,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         }
         if (!enter_block(bb->fallthrough))
             return res;
+        EPIC_FUSED_SPAN();
         EPIC_DISPATCH();
     }
 
@@ -444,6 +493,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
     }
 
 #undef EPIC_HANDLER
+#undef EPIC_FUSED_SPAN
 #undef EPIC_DISPATCH
 
 #else // !EPIC_THREADED_INTERP — portable reference loop

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -172,6 +173,24 @@ class Dtlb
     std::unordered_map<uint64_t, int> index_;
 };
 
+/** How one fused group kernel left the per-group pipeline. */
+enum class GroupExit { Next, Finished, Failed };
+
+/**
+ * Kernel-body selectors beyond the KernelShape descriptor values.
+ *
+ * kTFastForward is the functional phase of sampled mode. kTLean is the
+ * shared body for every specialized shape (AllAlu / LoadAlu /
+ * BranchTerm): it admits guards, loads and branches but drops the
+ * store, call and return machinery. Collapsing the three shapes onto
+ * one instantiation keeps the per-group dispatch a single
+ * well-predicted specialized-vs-generic branch — a per-shape 4-way
+ * switch was measured to cost more in dispatch mispredictions and
+ * I-cache footprint than the extra pruning recovered.
+ */
+constexpr int kTFastForward = kNumKernelShapes;
+constexpr int kTLean = kNumKernelShapes + 1;
+
 } // namespace
 
 TimingResult
@@ -185,6 +204,22 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     if (!entry_fn) {
         res.fail(RunStatus::Faulted, "no entry function");
         return res;
+    }
+
+    // Sampled-mode preconditions (mirrors the CLI mutual-exclusion
+    // rules so library callers get the same contract).
+    if (opts.sim_mode == SimMode::Sampled) {
+        if (opts.ff_functional == 0 || opts.detail_window == 0) {
+            res.fail(RunStatus::Faulted,
+                     "sampled mode requires ff_functional and "
+                     "detail_window > 0");
+            return res;
+        }
+        if (opts.resume_from) {
+            res.fail(RunStatus::Faulted,
+                     "sampled mode cannot resume from a checkpoint");
+            return res;
+        }
     }
 
     // Heap high-water budget: the image is fully mapped before the run
@@ -215,13 +250,41 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 if (bp->instrs[i].op != Opcode::BR_RET ||
                     bp->instrs[i].srcs.empty())
                     continue;
-                auto &victim = const_cast<DecodedInstr &>(
-                    dec.func(entry_fn->id).block(bp->id).dinstrs[i]);
-                victim.src[0].kind = DecodedOp::K::Imm;
-                victim.src[0].imm =
-                    static_cast<int64_t>(0xDEADBEEFDEADBEEFull);
+                auto poison = [](DecodedInstr &victim) {
+                    victim.src[0].kind = DecodedOp::K::Imm;
+                    victim.src[0].imm =
+                        static_cast<int64_t>(0xDEADBEEFDEADBEEFull);
+                };
+                const DecodedFunction &dfc = dec.func(entry_fn->id);
+                const DecodedBlock &dbc = dfc.block(bp->id);
+                poison(const_cast<DecodedInstr &>(dbc.dinstrs[i]));
+                // The execute path reads the dense group-ordered
+                // copies, so the corruption must reach them too.
+                for (uint32_t g = 0; g < dbc.ngroups; ++g) {
+                    const DecodedGroup &dg = dbc.groups[g];
+                    for (uint16_t mi = 0; mi < dg.nops; ++mi)
+                        if (dfc.gops()[dg.op_off + mi] ==
+                            static_cast<int32_t>(i))
+                            poison(const_cast<DecodedInstr &>(
+                                dfc.ginstrs()[dg.op_off + mi]));
+                }
                 done = true;
             }
+        }
+    }
+
+    // Injected kernel-descriptor corruption: out-of-range shape byte on
+    // the entry function's first issue group. The dispatch table must
+    // refuse to run it (panic), never fall into a wrong kernel.
+    if (opts.corrupt_kernel_desc) {
+        for (auto &bp : entry_fn->blocks) {
+            if (!bp)
+                continue;
+            const DecodedBlock &dbc = dec.func(entry_fn->id).block(bp->id);
+            if (dbc.ngroups == 0)
+                continue;
+            const_cast<DecodedGroup &>(dbc.groups[0]).kernel = 0x7f;
+            break;
         }
     }
 
@@ -246,6 +309,11 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     };
     push_tframe(frames.back());
     frame_stacked.push_back(entry_fn->stacked_regs);
+    // Cached top-of-stack pointers (deque references are stable until
+    // the element itself is popped): saves two deque::back() chases
+    // per group; refreshed at call/return/restore.
+    Frame *cur_frame = &frames.back();
+    TFrame *cur_tf = &tframes.back();
 
     // Machine structures.
     MemHierarchy hier(mach);
@@ -300,7 +368,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
 
     // Pool bases for DecodedGroup spans; refreshed whenever `dfn`
     // changes (call/return only).
-    const int32_t *gops_base = dfn->gops();
+    const DecodedInstr *gdi_base = dfn->ginstrs();
     const uint64_t *gaddr_base = dfn->gaddrs();
     const uint64_t *gline_base = dfn->glines();
 
@@ -355,6 +423,58 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         uint32_t group;
     };
     std::deque<RetPos> ret_stack;
+
+    // ---- Sampled-mode phase state (SimMode::Sampled) ----
+    // The run cycles warm-up -> measure -> fast-forward on an absolute
+    // retired-op schedule. Micro-architectural state is left untouched
+    // during fast-forward, but untouched is not warm: the caches are
+    // stale by ff_functional ops when a window opens, and windows that
+    // measure from their first op systematically over-observe miss
+    // stalls (load-bubble error >2x on cache-friendly workloads). So
+    // the first half of every detailed window re-warms the hierarchy,
+    // predictor and DTLB in full detail while its cycles and ops are
+    // excluded from the extrapolation basis; only the second half is
+    // measured (DESIGN.md §18). In Detailed mode `in_detail` is
+    // constant true and the flip check is one never-taken predicted
+    // branch per group.
+    const bool sampled = opts.sim_mode == SimMode::Sampled;
+    const uint64_t warm_len = sampled ? opts.detail_window / 2 : 0;
+    const uint64_t meas_len =
+        sampled ? opts.detail_window - warm_len : 0;
+    // The first window measures the full detail_window from op 0 with
+    // no warm-up: run-entry state is genuinely cold in detailed mode
+    // too, and discarding it would systematically drop the start-up
+    // transient (compulsory misses) from the estimate. Its cycles form
+    // their own stratum — counted once, never scaled — because the
+    // transient happens exactly once; scaling it by coverage was
+    // measured to overshoot the load-bubble category by ~19% on gzip.
+    // Steady-state windows (warm-up discarded) extrapolate over the
+    // remaining ops only.
+    uint8_t sphase = 1;             ///< 0 warm, 1 measure, 2 ff
+    bool in_detail = true;
+    uint64_t next_switch = sampled ? opts.detail_window : ~0ull;
+    uint64_t phase_start_ops = 0;   ///< retiredOps() at phase entry
+    uint64_t sampled_windows = sampled ? 1 : 0;
+    bool head_done = false;         ///< first (cold) window closed?
+    uint64_t head_ops = 0;          ///< ops measured in the cold window
+    uint64_t meas_ops_acc = 0;      ///< steady-state measured ops
+    /// pm.cycles at measure-phase entry / head / steady-state deltas.
+    std::array<uint64_t, Perfmon::kNumCats> meas_base{};
+    std::array<uint64_t, Perfmon::kNumCats> head_cycles{};
+    std::array<uint64_t, Perfmon::kNumCats> meas_cycles{};
+
+    /// Close a measure phase at retired-op count `rops`: route the
+    /// cycle deltas into the cold-head or steady-state stratum.
+    auto close_measure = [&](uint64_t rops) {
+        auto &ops = head_done ? meas_ops_acc : head_ops;
+        auto &cyc = head_done ? meas_cycles : head_cycles;
+        ops += rops - phase_start_ops;
+        for (int c = 0; c < Perfmon::kNumCats; ++c)
+            cyc[static_cast<size_t>(c)] +=
+                pm.cycles[static_cast<size_t>(c)] -
+                meas_base[static_cast<size_t>(c)];
+        head_done = true;
+    };
 
     // ---- Checkpoint/restore (sim/checkpoint.h) ----
     // The entire loop state above is serialized at a deterministic
@@ -432,6 +552,21 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         w.i64(fn->id);
         w.i64(bb->id);
         w.u64(gi);
+        w.u8(sampled ? 1 : 0);
+        if (sampled) {
+            w.u8(sphase);
+            w.u8(head_done ? 1 : 0);
+            w.u64(next_switch);
+            w.u64(phase_start_ops);
+            w.u64(sampled_windows);
+            w.u64(head_ops);
+            w.u64(meas_ops_acc);
+            for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                w.u64(meas_base[static_cast<size_t>(c)]);
+                w.u64(head_cycles[static_cast<size_t>(c)]);
+                w.u64(meas_cycles[static_cast<size_t>(c)]);
+            }
+        }
         w.u8(pmu_p ? 1 : 0);
         if (pmu_p)
             pmu_p->saveState(w);
@@ -522,6 +657,24 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         const int cur_fn = static_cast<int>(r.i64());
         const int cur_bb = static_cast<int>(r.i64());
         gi = static_cast<uint32_t>(r.u64());
+        const bool had_sampled = r.u8() != 0;
+        epic_assert(had_sampled == sampled,
+                    "checkpoint sim-mode mismatch");
+        if (sampled) {
+            sphase = r.u8();
+            in_detail = sphase != 2;
+            head_done = r.u8() != 0;
+            next_switch = r.u64();
+            phase_start_ops = r.u64();
+            sampled_windows = r.u64();
+            head_ops = r.u64();
+            meas_ops_acc = r.u64();
+            for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                meas_base[static_cast<size_t>(c)] = r.u64();
+                head_cycles[static_cast<size_t>(c)] = r.u64();
+                meas_cycles[static_cast<size_t>(c)] = r.u64();
+            }
+        }
         const bool had_pmu = r.u8() != 0;
         epic_assert(had_pmu == (pmu_p != nullptr),
                     "checkpoint PMU-config mismatch");
@@ -531,7 +684,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         fn = prog.func(cur_fn);
         epic_assert(fn, "checkpoint resumes missing function");
         dfn = &dec.func(fn->id);
-        gops_base = dfn->gops();
+        gdi_base = dfn->ginstrs();
         gaddr_base = dfn->gaddrs();
         gline_base = dfn->glines();
         bb = fn->block(cur_bb);
@@ -541,6 +694,8 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         func_cyc_id = -1;
         region_cyc = nullptr;
         region_fid = region_bid = -1;
+        cur_frame = &frames.back();
+        cur_tf = &tframes.back();
         pmu_next = pmu_p ? pmu_p->nextSampleAt() : ~0ull;
     };
 
@@ -555,6 +710,631 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                      : ~0ull;
     bool hang_pending = opts.hang_at_instr != 0;
     uint32_t sup_poll = 0;
+
+    // ---- Fused issue-group kernels (DESIGN.md §18) ----
+    // The whole per-group pipeline lives in one generic lambda,
+    // instantiated once per kernel shape plus a functional
+    // fast-forward variant. `if constexpr` prunes the guard, memory,
+    // control and call machinery a shape provably never exercises
+    // (decode.cc classifyGroup is the legality oracle); the Generic
+    // instantiation enables everything and is statement-for-statement
+    // the historical per-op path, so specialization is a pure dispatch
+    // change — golden counters stay byte-identical in detailed mode.
+    // Supervision, checkpoint, PMU and sampled-phase boundaries all
+    // remain in the caller: exactly one boundary poll per group.
+    const bool force_generic = opts.force_generic_kernels;
+    auto run_group = [&](auto shape_c,
+                         const DecodedGroup &group) -> GroupExit {
+        constexpr int kShape = decltype(shape_c)::value;
+        /// Detailed timing vs functional fast-forward (sampled mode).
+        constexpr bool kDetailed = kShape != kTFastForward;
+        /// Members may carry qualifying predicates.
+        constexpr bool kGuards = !kDetailed || kShape == kTLean ||
+                                 kShape == kKernelGeneric;
+        /// Members may load from memory.
+        constexpr bool kLoads = !kDetailed || kShape == kTLean ||
+                                kShape == kKernelGeneric;
+        /// Members may store to memory.
+        constexpr bool kStores = !kDetailed || kShape == kKernelGeneric;
+        /// Members may branch (BR / CHK_S).
+        constexpr bool kCtl = !kDetailed || kShape == kTLean ||
+                              kShape == kKernelGeneric;
+        /// Members may call or return.
+        constexpr bool kCalls = !kDetailed || kShape == kKernelGeneric;
+
+        // Dense group-ordered member records: one linear stream for
+        // both the scoreboard and execute walks.
+        const DecodedInstr *gdi = gdi_base + group.op_off;
+        const uint64_t *gaddrs = gaddr_base + group.op_off;
+        Frame &frame = *cur_frame;
+        TFrame &tf = *cur_tf;
+        (void)gaddrs;
+        (void)tf;
+
+        int64_t issue = 0;
+        int64_t post_penalty = 0; ///< serializing penalties after issue
+
+        if constexpr (kDetailed) {
+            const uint64_t *glines = gline_base + group.line_off;
+
+            // ---- Front end: fetch this group's lines ----
+            int64_t fetch_floor =
+                hist_n >= ib_groups ? issue_hist[hist_head] : 0;
+            fe_time = std::max(fe_time, fetch_floor);
+            int fe_cost = 1;
+            for (uint16_t li = 0; li < group.nlines; ++li) {
+                uint64_t line = glines[li];
+                MemAccessResult fr2 = hier.fetch(line);
+                ++pm.l1i_accesses;
+                if (!fr2.l1_hit) {
+                    ++pm.l1i_misses;
+                    if (group.attr_union & kAttrTailDup)
+                        ++pm.l1i_miss_taildup;
+                    if (group.attr_union &
+                        (kAttrPeelCopy | kAttrRemainder))
+                        ++pm.l1i_miss_peel_remainder;
+                    if (!fr2.l2_hit) {
+                        ++pm.l2i_misses;
+                        if (group.attr_union & kAttrTailDup)
+                            ++pm.l2i_miss_taildup;
+                        if (group.attr_union &
+                            (kAttrPeelCopy | kAttrRemainder))
+                            ++pm.l2i_miss_peel_remainder;
+                    }
+                    if (__builtin_expect(pmu_ear, 0) &&
+                        fr2.latency >= ear_latency_min)
+                        pmu_p->recordIear(fn->id, bb->id, line,
+                                          fr2.latency, group.attr_union);
+                }
+                fe_cost = std::max(fe_cost, fr2.latency);
+            }
+            fe_time += fe_cost;
+
+            // ---- Scoreboard: earliest issue ----
+            int64_t base = t_prev + 1;
+            int64_t src_ready = base;
+            int64_t src_planned = base;
+            bool binding_is_f = false, binding_is_load = false;
+            auto consider = [&](int64_t ready, int64_t planned,
+                                bool is_f, bool is_load) {
+                if (ready > src_ready) {
+                    src_ready = ready;
+                    src_planned = planned;
+                    binding_is_f = is_f;
+                    binding_is_load = is_load;
+                }
+            };
+            auto consider_reg = [&](const Reg &r) {
+                if (r.cls == RegClass::Gr && r.id != 0) {
+                    const RegT &t = tf.gr[r.id];
+                    consider(t.ready, t.planned, t.f_unit, t.load);
+                } else if (r.cls == RegClass::Fr) {
+                    const RegT &t = tf.fr[r.id];
+                    consider(t.ready, t.planned, t.f_unit, t.load);
+                } else if (r.cls == RegClass::Pr && r.id != 0) {
+                    consider(tf.ready_pr[r.id], base, false, false);
+                }
+            };
+            for (uint16_t mi = 0; mi < group.nops; ++mi) {
+                const DecodedInstr &di = gdi[mi];
+                if constexpr (kGuards) {
+                    if (di.guard.id != 0)
+                        consider(tf.ready_pr[di.guard.id], base, false,
+                                 false);
+                    bool guard_true = frame.readPr(di.guard);
+                    if (!guard_true)
+                        continue; // squashed ops don't stall on operands
+                }
+                if constexpr (kCalls) {
+                    if (di.flags & kDecCall) {
+                        // Call argument lists live on the original
+                        // instruction.
+                        for (const Operand &o : di.orig->srcs)
+                            if (o.isReg())
+                                consider_reg(o.reg);
+                        continue;
+                    }
+                }
+                for (uint8_t si = 0; si < di.nsrcs; ++si)
+                    if (di.src[si].kind == DecodedOp::K::Reg)
+                        consider_reg(di.src[si].reg);
+            }
+
+            issue = std::max({base, fe_time, src_ready});
+
+            // ---- Stall attribution ----
+            int64_t src_stall = std::max<int64_t>(0, src_ready - base);
+            int64_t fe_stall =
+                std::max<int64_t>(0, std::min(issue, fe_time) - base -
+                                         src_stall);
+            if (src_stall > 0) {
+                int64_t planned_part = std::clamp<int64_t>(
+                    src_planned - base, 0, src_stall);
+                int64_t dynamic_part = src_stall - planned_part;
+                charge(binding_is_f ? CycleCat::FloatScoreboard
+                                    : CycleCat::MiscScoreboard,
+                       planned_part);
+                charge(binding_is_load ? CycleCat::IntLoadBubble
+                                       : CycleCat::MiscScoreboard,
+                       dynamic_part);
+            }
+            charge(CycleCat::FrontEndBubble, fe_stall);
+            charge(CycleCat::Unstalled, 1);
+            pm.nop_ops += group.nnops;
+
+            if (hist_n < ib_groups) {
+                issue_hist[hist_n++] = issue; // head stays at oldest (0)
+            } else {
+                issue_hist[hist_head] = issue;
+                if (++hist_head == ib_groups)
+                    hist_head = 0;
+            }
+        } else {
+            // Fast-forward: architected op accounting only; the fetch
+            // pipeline, scoreboard and cycle clocks stay frozen.
+            pm.nop_ops += group.nnops;
+        }
+
+        // ---- Execute ops in slot order ----
+        enum class Ctl { None, Branch, Call, Ret } ctl = Ctl::None;
+        int ctl_target = -1, ctl_callee = -1;
+        const Instruction *ctl_inst = nullptr;
+        Effect ctl_eff;
+
+        for (uint16_t op_i = 0; op_i < group.nops; ++op_i) {
+            const DecodedInstr &di = gdi[op_i];
+            Effect eff = execDecoded(prog, di, frame, mem);
+            if (eff.trap) {
+                res.fail(RunStatus::Faulted,
+                         "trap in " + fn->name + " at '" +
+                             di.orig->str() + "': " + eff.trap_msg);
+                return GroupExit::Failed;
+            }
+            if constexpr (kGuards) {
+                if (eff.executed)
+                    ++pm.useful_ops;
+                else
+                    ++pm.squashed_ops;
+            } else {
+                // No guards in this shape: every op executes.
+                ++pm.useful_ops;
+            }
+
+            if constexpr (kDetailed) {
+                // Result timing for executed, non-memory ops.
+                int actual_lat = di.latency;
+                int planned_lat = di.latency;
+
+                // ---- Memory behaviour ----
+                if constexpr (kLoads || kStores) {
+                    if (eff.executed && eff.is_mem) {
+                        if (!kStores || eff.is_load) {
+                            ++pm.loads;
+                            uint64_t page = Memory::pageOf(eff.addr);
+                            int tlb_extra = 0;
+                            if (eff.mem_deferred) {
+                                // Speculative load that deferred to NaT.
+                                if (eff.mem_null_page) {
+                                    ++pm.null_page_loads;
+                                    post_penalty += mach.nat_page_cycles;
+                                    charge(CycleCat::IntLoadBubble,
+                                           mach.nat_page_cycles);
+                                } else {
+                                    ++pm.wild_loads;
+                                    if (opts.spec_model ==
+                                        SpecModel::General) {
+                                        // Kernel walks the page
+                                        // hierarchy and does not cache
+                                        // the (absent) result.
+                                        post_penalty +=
+                                            mach.os_walk_cycles;
+                                        charge(CycleCat::Kernel,
+                                               mach.os_walk_cycles);
+                                        pm.kernel_ops +=
+                                            static_cast<uint64_t>(
+                                                mach.os_walk_cycles);
+                                    } else {
+                                        // Sentinel: defer cheaply at the
+                                        // DTLB; recovery cost is charged
+                                        // at chk.s.
+                                        post_penalty +=
+                                            mach.nat_page_cycles;
+                                        charge(CycleCat::IntLoadBubble,
+                                               mach.nat_page_cycles);
+                                    }
+                                }
+                            } else {
+                                if (!dtlb.access(page)) {
+                                    ++pm.dtlb_misses;
+                                    ++pm.vhpt_walks;
+                                    tlb_extra = mach.vhpt_walk_cycles;
+                                    dtlb.insert(page);
+                                }
+                                bool fp = di.op == Opcode::LDF;
+                                MemAccessResult mr =
+                                    hier.load(eff.addr, fp);
+                                ++pm.l1d_accesses;
+                                if (!mr.l1_hit && !fp)
+                                    ++pm.l1d_misses;
+                                actual_lat = std::max(
+                                    planned_lat, mr.latency + tlb_extra);
+                                if (__builtin_expect(pmu_ear, 0) &&
+                                    !mr.l1_hit &&
+                                    mr.latency + tlb_extra >=
+                                        ear_latency_min)
+                                    pmu_p->recordDear(
+                                        fn->id, bb->id, eff.addr,
+                                        mr.latency + tlb_extra,
+                                        group.attr_union);
+
+                                // Micropipe: spurious store-to-load
+                                // forwarding.
+                                const uint32_t nst =
+                                    store_count < 16 ? store_count : 16;
+                                for (uint32_t sk = 0; sk < nst; ++sk) {
+                                    const int64_t sc = store_ring[sk].cyc;
+                                    const uint64_t sa =
+                                        store_ring[sk].addr;
+                                    if (issue - sc > mach.stlf_window)
+                                        continue;
+                                    bool index_match =
+                                        ((sa >> 3) & 0x7f) ==
+                                        ((eff.addr >> 3) & 0x7f);
+                                    bool same_word = (sa & ~7ull) ==
+                                                     (eff.addr & ~7ull);
+                                    if (index_match && !same_word) {
+                                        ++pm.stlf_conflicts;
+                                        post_penalty += mach.stlf_penalty;
+                                        charge(CycleCat::Micropipe,
+                                               mach.stlf_penalty);
+                                        break;
+                                    }
+                                }
+                            }
+                        } else if constexpr (kStores) {
+                            ++pm.stores;
+                            uint64_t page = Memory::pageOf(eff.addr);
+                            if (!dtlb.access(page)) {
+                                ++pm.dtlb_misses;
+                                ++pm.vhpt_walks;
+                                post_penalty +=
+                                    mach.vhpt_walk_cycles / 2;
+                                charge(CycleCat::Micropipe,
+                                       mach.vhpt_walk_cycles / 2);
+                                dtlb.insert(page);
+                            }
+                            hier.store(eff.addr);
+                            store_ring[store_count & 15u] =
+                                StoreRec{issue, eff.addr};
+                            ++store_count;
+                        }
+                    }
+                }
+
+                // ---- Result ready times ----
+                if (eff.executed) {
+                    bool is_f =
+                        di.fu == static_cast<uint8_t>(FuClass::F);
+                    bool is_ld = (di.flags & kDecLoad) != 0;
+                    auto mark_dest = [&](const Reg &d) {
+                        if (d.cls == RegClass::Gr && d.id != 0) {
+                            tf.gr[d.id] =
+                                RegT{issue + actual_lat,
+                                     issue + planned_lat,
+                                     static_cast<uint8_t>(is_f),
+                                     static_cast<uint8_t>(is_ld)};
+                        } else if (d.cls == RegClass::Fr) {
+                            tf.fr[d.id] =
+                                RegT{issue + actual_lat,
+                                     issue + planned_lat,
+                                     static_cast<uint8_t>(is_f),
+                                     static_cast<uint8_t>(is_ld)};
+                        } else if (d.cls == RegClass::Pr && d.id != 0) {
+                            // Available to same-group branches and to
+                            // all next-group consumers.
+                            tf.ready_pr[d.id] = issue;
+                        }
+                    };
+                    if (di.dest0.valid())
+                        mark_dest(di.dest0);
+                    if (di.dest1.valid())
+                        mark_dest(di.dest1);
+                } else {
+                    if constexpr (kGuards) {
+                        // unc compares clear their destinations even
+                        // when squashed; the predicates are ready at
+                        // issue.
+                        if ((di.op == Opcode::CMP ||
+                             di.op == Opcode::CMPI) &&
+                            di.ctype == CmpType::Unc) {
+                            if (di.dest0.cls == RegClass::Pr &&
+                                di.dest0.id != 0)
+                                tf.ready_pr[di.dest0.id] = issue;
+                            if (di.dest1.valid() &&
+                                di.dest1.cls == RegClass::Pr &&
+                                di.dest1.id != 0)
+                                tf.ready_pr[di.dest1.id] = issue;
+                        }
+                    }
+                }
+
+                // ---- Control ----
+                if constexpr (kCtl || kCalls) {
+                    const uint64_t paddr = gaddrs[op_i];
+                    if (di.op == Opcode::BR &&
+                        (di.flags & kDecHasGuard)) {
+                        // Conditional branch: predict direction.
+                        bool taken = eff.executed;
+                        ++pm.branch_predictions;
+                        bool predicted = pred.predict(paddr);
+                        pred.update(paddr, taken);
+                        if (predicted != taken) {
+                            ++pm.mispredictions;
+                            post_penalty += mach.mispredict_penalty;
+                            charge(CycleCat::BrMispredFlush,
+                                   mach.mispredict_penalty);
+                        }
+                        if (__builtin_expect(pmu_btb, 0))
+                            pmu_p->recordBranch(paddr, fn->id, bb->id,
+                                                taken,
+                                                predicted != taken);
+                    } else if (di.op == Opcode::CHK_S &&
+                               eff.ctl == Effect::Ctl::Branch) {
+                        // Speculation check fired: flush + recovery.
+                        post_penalty += mach.mispredict_penalty +
+                                        opts.sentinel_recovery_cycles;
+                        charge(CycleCat::BrMispredFlush,
+                               mach.mispredict_penalty);
+                        charge(CycleCat::Kernel,
+                               opts.sentinel_recovery_cycles);
+                    } else if (di.op == Opcode::BR_ICALL &&
+                               eff.executed) {
+                        ++pm.branch_predictions;
+                        int ptarget = pred.predictTarget(paddr);
+                        pred.updateTarget(paddr, eff.callee);
+                        if (ptarget != eff.callee) {
+                            ++pm.mispredictions;
+                            post_penalty += mach.mispredict_penalty;
+                            charge(CycleCat::BrMispredFlush,
+                                   mach.mispredict_penalty);
+                        }
+                        if (__builtin_expect(pmu_btb, 0))
+                            pmu_p->recordBranch(paddr, fn->id, bb->id,
+                                                true,
+                                                ptarget != eff.callee);
+                    }
+                }
+            } else {
+                // Fast-forward: architected memory counters only; no
+                // hierarchy, DTLB, predictor or store-ring traffic, so
+                // all micro-architectural state carries warm into the
+                // next detailed window.
+                if (eff.executed && eff.is_mem) {
+                    if (eff.is_load) {
+                        ++pm.loads;
+                        if (eff.mem_deferred) {
+                            if (eff.mem_null_page)
+                                ++pm.null_page_loads;
+                            else
+                                ++pm.wild_loads;
+                        }
+                    } else {
+                        ++pm.stores;
+                    }
+                }
+            }
+
+            if constexpr (kCtl || kCalls) {
+                if (eff.ctl != Effect::Ctl::Next && eff.executed) {
+                    ++pm.branches;
+                    if constexpr (kDetailed) {
+                        if (di.flags & (kDecCall | kDecRet)) {
+                            post_penalty += mach.call_redirect_cycles;
+                            charge(CycleCat::FrontEndBubble,
+                                   mach.call_redirect_cycles);
+                        }
+                    }
+                    ctl = eff.ctl == Effect::Ctl::Branch ? Ctl::Branch
+                          : eff.ctl == Effect::Ctl::Call ? Ctl::Call
+                                                         : Ctl::Ret;
+                    ctl_target = eff.branch_target;
+                    ctl_callee = eff.callee;
+                    ctl_inst = di.orig;
+                    ctl_eff = eff;
+                    break; // a taken transfer ends the group
+                }
+            }
+        }
+
+        if constexpr (kDetailed)
+            t_prev = issue + post_penalty;
+        (void)post_penalty;
+
+        // ---- Apply control transfer ----
+        switch (ctl) {
+          case Ctl::None:
+            ++gi;
+            break;
+
+          case Ctl::Branch: {
+            if constexpr (kCtl) {
+                BasicBlock *nb = fn->block(ctl_target);
+                if (!nb) {
+                    res.fail(RunStatus::Faulted, "branch to dead block");
+                    return GroupExit::Failed;
+                }
+                bb = nb;
+                db = &dfn->block(bb->id);
+                gi = 0;
+            }
+            break;
+          }
+
+          case Ctl::Call: {
+            if constexpr (kCalls) {
+                if (static_cast<int>(frames.size()) >= opts.max_depth) {
+                    res.fail(RunStatus::BudgetExceeded,
+                             "call depth limit exceeded (" +
+                                 std::to_string(opts.max_depth) + ")");
+                    return GroupExit::Failed;
+                }
+                Function *callee = prog.func(ctl_callee);
+                epic_assert(callee, "call to missing function");
+                size_t first_arg =
+                    ctl_inst->op == Opcode::BR_ICALL ? 1 : 0;
+                size_t nargs = ctl_inst->srcs.size() - first_arg;
+                if (nargs != callee->params.size()) {
+                    res.fail(RunStatus::Faulted,
+                             "arity mismatch calling " + callee->name);
+                    return GroupExit::Failed;
+                }
+                args.resize(nargs);
+                for (size_t i = 0; i < nargs; ++i) {
+                    const Operand &o = ctl_inst->srcs[first_arg + i];
+                    if (o.isReg())
+                        args[i] = frame.readGr(o.reg);
+                    else if (o.kind == Operand::Kind::Imm)
+                        args[i] = GrVal{o.imm, false};
+                    else if (o.kind == Operand::Kind::Sym)
+                        args[i] =
+                            GrVal{static_cast<int64_t>(
+                                      prog.symbolAddr(o.sym) + o.imm),
+                                  false};
+                    else if (o.kind == Operand::Kind::Func)
+                        args[i] = GrVal{o.func, false};
+                }
+
+                ret_stack.push_back(RetPos{bb->id, gi + 1});
+                const uint64_t callee_sp =
+                    frame.sp - Frame::frameBytes(*callee);
+                if (frame_pool.empty()) {
+                    frames.emplace_back(callee, callee_sp);
+                } else {
+                    frames.push_back(std::move(frame_pool.back()));
+                    frame_pool.pop_back();
+                    frames.back().reset(callee, callee_sp);
+                }
+                Frame &nf = frames.back();
+                nf.ret_dest = ctl_inst->dests.empty() ? Reg()
+                                                      : ctl_inst->dests[0];
+                for (size_t i = 0; i < nargs; ++i)
+                    nf.writeGr(callee->params[i], args[i]);
+                push_tframe(nf);
+                cur_frame = &nf;
+                cur_tf = &tframes.back();
+                if constexpr (kDetailed) {
+                    TFrame &ntf = *cur_tf;
+                    for (const Reg &p : callee->params)
+                        if (p.cls == RegClass::Gr && p.id != 0)
+                            ntf.gr[p.id].ready = issue + 1;
+                }
+
+                // Register stack engine.
+                frame_stacked.push_back(callee->stacked_regs);
+                rse_logical += callee->stacked_regs;
+                int64_t resident = rse_logical - rse_spilled;
+                int64_t over = resident - mach.stacked_phys_regs;
+                if (over > 0) {
+                    rse_spilled += over;
+                    if constexpr (kDetailed) {
+                        pm.rse_spill_regs += static_cast<uint64_t>(over);
+                        int64_t cost =
+                            (over + mach.rse_regs_per_cycle - 1) /
+                            mach.rse_regs_per_cycle;
+                        t_prev += cost;
+                        charge(CycleCat::Rse, cost);
+                    }
+                }
+
+                fn = callee;
+                dfn = &dec.func(fn->id);
+                gdi_base = dfn->ginstrs();
+                gaddr_base = dfn->gaddrs();
+                gline_base = dfn->glines();
+                bb = fn->block(fn->entry);
+                if (!bb) {
+                    res.fail(RunStatus::Faulted,
+                             "callee without entry block");
+                    return GroupExit::Failed;
+                }
+                db = &dfn->block(bb->id);
+                gi = 0;
+            }
+            break;
+          }
+
+          case Ctl::Ret: {
+            if constexpr (kCalls) {
+                const Reg ret_dest = cur_frame->ret_dest;
+                frame_pool.push_back(std::move(frames.back()));
+                frames.pop_back();
+                tframe_pool.push_back(std::move(tframes.back()));
+                tframes.pop_back();
+                int my_stacked = frame_stacked.back();
+                frame_stacked.pop_back();
+
+                rse_logical -= my_stacked;
+                if (frames.empty()) {
+                    // Flush the final partial PMU interval so sample
+                    // sums reconcile exactly with end-of-run totals.
+                    if (__builtin_expect(pmu_p != nullptr, 0))
+                        pmu_p->finish(pm, cycles_total);
+                    res.succeed(ctl_eff.has_ret_val ? ctl_eff.ret_val.v
+                                                    : 0);
+                    return GroupExit::Finished;
+                }
+                // RSE fill: the caller's frame must be resident again.
+                int64_t caller_frame = frame_stacked.back();
+                int64_t resident = rse_logical - rse_spilled;
+                if (resident < caller_frame && rse_spilled > 0) {
+                    int64_t fill = std::min<int64_t>(
+                        caller_frame - resident, rse_spilled);
+                    rse_spilled -= fill;
+                    if constexpr (kDetailed) {
+                        pm.rse_fill_regs += static_cast<uint64_t>(fill);
+                        int64_t cost =
+                            (fill + mach.rse_regs_per_cycle - 1) /
+                            mach.rse_regs_per_cycle;
+                        t_prev += cost;
+                        charge(CycleCat::Rse, cost);
+                    }
+                }
+
+                RetPos rp = ret_stack.back();
+                ret_stack.pop_back();
+                Frame &caller = frames.back();
+                cur_frame = &caller;
+                cur_tf = &tframes.back();
+                fn = const_cast<Function *>(caller.fn);
+                dfn = &dec.func(fn->id);
+                gdi_base = dfn->ginstrs();
+                gaddr_base = dfn->gaddrs();
+                gline_base = dfn->glines();
+                if (ret_dest.valid()) {
+                    caller.writeGr(ret_dest,
+                                   ctl_eff.has_ret_val
+                                       ? ctl_eff.ret_val
+                                       : GrVal{0, false});
+                    if constexpr (kDetailed) {
+                        TFrame &ctf = *cur_tf;
+                        if (ret_dest.id != 0)
+                            ctf.gr[ret_dest.id] =
+                                RegT{t_prev + 1, t_prev + 1, 0, 0};
+                    }
+                }
+                bb = fn->block(rp.block);
+                if (!bb) {
+                    res.fail(RunStatus::Faulted, "return to dead block");
+                    return GroupExit::Failed;
+                }
+                db = &dfn->block(bb->id);
+                gi = rp.group;
+            }
+            break;
+          }
+        }
+        return GroupExit::Next;
+    };
 
     while (true) {
         if (cycles_total > opts.max_cycles || ++safety > (1ull << 34)) {
@@ -636,6 +1416,43 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             }
         }
 
+        // Sampled-mode phase boundary (retired-op schedule): advance
+        // warm-up -> measure -> fast-forward -> warm-up. The schedule
+        // is anchored at the actual flip point, so a group that
+        // overshoots the boundary still gives the next phase its full
+        // nominal length (deterministic in retired ops, hence
+        // jobs-invariant). Measured cycles are accumulated as deltas
+        // against the measure-entry snapshot, per category.
+        if (__builtin_expect(sampled, 0) && retiredOps() >= next_switch) {
+            const uint64_t rops = retiredOps();
+            switch (sphase) {
+              case 0: // warm-up done: start measuring
+                sphase = 1;
+                meas_base = pm.cycles;
+                next_switch = rops + meas_len;
+                break;
+              case 1: // measure done: fast-forward
+                close_measure(rops);
+                sphase = 2;
+                in_detail = false;
+                next_switch = rops + opts.ff_functional;
+                break;
+              default: // fast-forward done: next window
+                ++sampled_windows;
+                in_detail = true;
+                if (warm_len) {
+                    sphase = 0;
+                    next_switch = rops + warm_len;
+                } else {
+                    sphase = 1;
+                    meas_base = pm.cycles;
+                    next_switch = rops + meas_len;
+                }
+                break;
+            }
+            phase_start_ops = rops;
+        }
+
         // End of block: fall through.
         if (gi >= db->ngroups) {
             if (bb->fallthrough < 0) {
@@ -654,489 +1471,75 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
             continue;
         }
         const DecodedGroup &group = db->groups[gi];
-        const int32_t *gops = gops_base + group.op_off;
-        const uint64_t *gaddrs = gaddr_base + group.op_off;
-        const uint64_t *glines = gline_base + group.line_off;
-        Frame &frame = frames.back();
-        TFrame &tf = tframes.back();
-
-        // ---- Front end: fetch this group's lines ----
-        int64_t fetch_floor =
-            hist_n >= ib_groups ? issue_hist[hist_head] : 0;
-        fe_time = std::max(fe_time, fetch_floor);
-        int fe_cost = 1;
-        for (uint16_t li = 0; li < group.nlines; ++li) {
-            uint64_t line = glines[li];
-            MemAccessResult fr2 = hier.fetch(line);
-            ++pm.l1i_accesses;
-            if (!fr2.l1_hit) {
-                ++pm.l1i_misses;
-                if (group.attr_union & kAttrTailDup)
-                    ++pm.l1i_miss_taildup;
-                if (group.attr_union & (kAttrPeelCopy | kAttrRemainder))
-                    ++pm.l1i_miss_peel_remainder;
-                if (!fr2.l2_hit) {
-                    ++pm.l2i_misses;
-                    if (group.attr_union & kAttrTailDup)
-                        ++pm.l2i_miss_taildup;
-                    if (group.attr_union &
-                        (kAttrPeelCopy | kAttrRemainder))
-                        ++pm.l2i_miss_peel_remainder;
-                }
-                if (__builtin_expect(pmu_ear, 0) &&
-                    fr2.latency >= ear_latency_min)
-                    pmu_p->recordIear(fn->id, bb->id, line, fr2.latency,
-                                      group.attr_union);
-            }
-            fe_cost = std::max(fe_cost, fr2.latency);
-        }
-        fe_time += fe_cost;
-
-        // ---- Scoreboard: earliest issue ----
-        int64_t base = t_prev + 1;
-        int64_t src_ready = base;
-        int64_t src_planned = base;
-        bool binding_is_f = false, binding_is_load = false;
-        auto consider = [&](int64_t ready, int64_t planned, bool is_f,
-                            bool is_load) {
-            if (ready > src_ready) {
-                src_ready = ready;
-                src_planned = planned;
-                binding_is_f = is_f;
-                binding_is_load = is_load;
-            }
-        };
-        auto consider_reg = [&](const Reg &r) {
-            if (r.cls == RegClass::Gr && r.id != 0) {
-                const RegT &t = tf.gr[r.id];
-                consider(t.ready, t.planned, t.f_unit, t.load);
-            } else if (r.cls == RegClass::Fr) {
-                const RegT &t = tf.fr[r.id];
-                consider(t.ready, t.planned, t.f_unit, t.load);
-            } else if (r.cls == RegClass::Pr && r.id != 0) {
-                consider(tf.ready_pr[r.id], base, false, false);
-            }
-        };
-        for (uint16_t mi = 0; mi < group.nops; ++mi) {
-            const int oi = gops[mi];
-            const DecodedInstr &di = db->dinstrs[oi];
-            if (di.guard.id != 0)
-                consider(tf.ready_pr[di.guard.id], base, false, false);
-            bool guard_true = frame.readPr(di.guard);
-            if (!guard_true)
-                continue; // squashed ops do not stall on operands
-            if (di.flags & kDecCall) {
-                // Call argument lists live on the original instruction.
-                for (const Operand &o : di.orig->srcs)
-                    if (o.isReg())
-                        consider_reg(o.reg);
-            } else {
-                for (uint8_t si = 0; si < di.nsrcs; ++si)
-                    if (di.src[si].kind == DecodedOp::K::Reg)
-                        consider_reg(di.src[si].reg);
-            }
-        }
-
-        int64_t issue = std::max({base, fe_time, src_ready});
-
-        // ---- Stall attribution ----
-        int64_t src_stall = std::max<int64_t>(0, src_ready - base);
-        int64_t fe_stall =
-            std::max<int64_t>(0, std::min(issue, fe_time) - base -
-                                     src_stall);
-        if (src_stall > 0) {
-            int64_t planned_part = std::clamp<int64_t>(
-                src_planned - base, 0, src_stall);
-            int64_t dynamic_part = src_stall - planned_part;
-            charge(binding_is_f ? CycleCat::FloatScoreboard
-                                : CycleCat::MiscScoreboard,
-                   planned_part);
-            charge(binding_is_load ? CycleCat::IntLoadBubble
-                                   : CycleCat::MiscScoreboard,
-                   dynamic_part);
-        }
-        charge(CycleCat::FrontEndBubble, fe_stall);
-        charge(CycleCat::Unstalled, 1);
-        pm.nop_ops += group.nnops;
-
-        if (hist_n < ib_groups) {
-            issue_hist[hist_n++] = issue; // head stays at the oldest (0)
+        GroupExit ge;
+        if (__builtin_expect(!in_detail, 0)) {
+            ge = run_group(
+                std::integral_constant<int, kTFastForward>{}, group);
         } else {
-            issue_hist[hist_head] = issue;
-            if (++hist_head == ib_groups)
-                hist_head = 0;
-        }
-
-        int64_t post_penalty = 0; ///< serializing penalties after issue
-
-        // ---- Execute ops in slot order ----
-        enum class Ctl { None, Branch, Call, Ret } ctl = Ctl::None;
-        int ctl_target = -1, ctl_callee = -1;
-        const Instruction *ctl_inst = nullptr;
-        Effect ctl_eff;
-
-        for (uint16_t op_i = 0; op_i < group.nops; ++op_i) {
-            int oi = gops[op_i];
-            uint64_t paddr = gaddrs[op_i];
-            const DecodedInstr &di = db->dinstrs[oi];
-            Effect eff = execDecoded(prog, di, frame, mem);
-            if (eff.trap) {
-                res.fail(RunStatus::Faulted,
-                         "trap in " + fn->name + " at '" +
-                             di.orig->str() + "': " + eff.trap_msg);
-                return res;
+            switch (force_generic ? static_cast<uint8_t>(kKernelGeneric)
+                                  : group.kernel) {
+              case kKernelGeneric:
+                ge = run_group(
+                    std::integral_constant<int, kKernelGeneric>{},
+                    group);
+                break;
+              // The three specialized shapes share the lean body; the
+              // descriptor keeps them distinct (tests, tooling), the
+              // dispatch stays a binary specialized-vs-generic branch.
+              case kKernelAllAlu:
+              case kKernelLoadAlu:
+              case kKernelBranchTerm:
+                ge = run_group(std::integral_constant<int, kTLean>{},
+                               group);
+                break;
+              default:
+                epic_panic("malformed kernel descriptor (shape ",
+                           static_cast<int>(group.kernel), ") in ",
+                           fn->name);
             }
-            if (eff.executed)
-                ++pm.useful_ops;
-            else
-                ++pm.squashed_ops;
-
-            // Result timing for executed, non-memory ops.
-            int actual_lat = di.latency;
-            int planned_lat = di.latency;
-
-            // ---- Memory behaviour ----
-            if (eff.executed && eff.is_mem) {
-                if (eff.is_load) {
-                    ++pm.loads;
-                    uint64_t page = Memory::pageOf(eff.addr);
-                    int tlb_extra = 0;
-                    if (eff.mem_deferred) {
-                        // Speculative load that deferred to NaT.
-                        if (eff.mem_null_page) {
-                            ++pm.null_page_loads;
-                            post_penalty += mach.nat_page_cycles;
-                            charge(CycleCat::IntLoadBubble,
-                                   mach.nat_page_cycles);
-                        } else {
-                            ++pm.wild_loads;
-                            if (opts.spec_model == SpecModel::General) {
-                                // Kernel walks the page hierarchy and
-                                // does not cache the (absent) result.
-                                post_penalty += mach.os_walk_cycles;
-                                charge(CycleCat::Kernel,
-                                       mach.os_walk_cycles);
-                                pm.kernel_ops +=
-                                    static_cast<uint64_t>(
-                                        mach.os_walk_cycles);
-                            } else {
-                                // Sentinel: defer cheaply at the DTLB;
-                                // recovery cost is charged at chk.s.
-                                post_penalty += mach.nat_page_cycles;
-                                charge(CycleCat::IntLoadBubble,
-                                       mach.nat_page_cycles);
-                            }
-                        }
+        }
+        if (__builtin_expect(ge != GroupExit::Next, 0)) {
+            if (ge == GroupExit::Finished && sampled) {
+                // Close an open measure phase, then the stratified
+                // estimate: the cold-head window's cycles count once,
+                // unscaled; steady-state measured cycles (warm-up
+                // excluded) are scaled over the remaining ops by
+                // retired-op coverage, per category, summed exactly
+                // (SampledStats doc).
+                if (sphase == 1)
+                    close_measure(retiredOps());
+                SampledStats &ss = res.sampled;
+                ss.enabled = true;
+                ss.windows = sampled_windows;
+                ss.head_ops = head_ops;
+                ss.detail_ops = head_ops + meas_ops_acc;
+                ss.total_ops = retiredOps();
+                const uint64_t tail_ops = ss.total_ops - head_ops;
+                for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                    const size_t ci = static_cast<size_t>(c);
+                    ss.detail_cycles +=
+                        head_cycles[ci] + meas_cycles[ci];
+                    uint64_t tail_est;
+                    if (meas_ops_acc != 0) {
+                        tail_est = static_cast<uint64_t>(
+                            static_cast<unsigned __int128>(
+                                meas_cycles[ci]) *
+                            tail_ops / meas_ops_acc);
+                    } else if (head_ops != 0 && tail_ops != 0) {
+                        // Run ended fast-forwarding before any steady
+                        // window closed: the head is the only basis.
+                        tail_est = static_cast<uint64_t>(
+                            static_cast<unsigned __int128>(
+                                head_cycles[ci]) *
+                            tail_ops / head_ops);
                     } else {
-                        if (!dtlb.access(page)) {
-                            ++pm.dtlb_misses;
-                            ++pm.vhpt_walks;
-                            tlb_extra = mach.vhpt_walk_cycles;
-                            dtlb.insert(page);
-                        }
-                        bool fp = di.op == Opcode::LDF;
-                        MemAccessResult mr = hier.load(eff.addr, fp);
-                        ++pm.l1d_accesses;
-                        if (!mr.l1_hit && !fp)
-                            ++pm.l1d_misses;
-                        actual_lat =
-                            std::max(planned_lat, mr.latency + tlb_extra);
-                        if (__builtin_expect(pmu_ear, 0) && !mr.l1_hit &&
-                            mr.latency + tlb_extra >= ear_latency_min)
-                            pmu_p->recordDear(fn->id, bb->id, eff.addr,
-                                              mr.latency + tlb_extra,
-                                              group.attr_union);
-
-                        // Micropipe: spurious store-to-load forwarding.
-                        const uint32_t nst =
-                            store_count < 16 ? store_count : 16;
-                        for (uint32_t sk = 0; sk < nst; ++sk) {
-                            const int64_t sc = store_ring[sk].cyc;
-                            const uint64_t sa = store_ring[sk].addr;
-                            if (issue - sc > mach.stlf_window)
-                                continue;
-                            bool index_match = ((sa >> 3) & 0x7f) ==
-                                               ((eff.addr >> 3) & 0x7f);
-                            bool same_word =
-                                (sa & ~7ull) == (eff.addr & ~7ull);
-                            if (index_match && !same_word) {
-                                ++pm.stlf_conflicts;
-                                post_penalty += mach.stlf_penalty;
-                                charge(CycleCat::Micropipe,
-                                       mach.stlf_penalty);
-                                break;
-                            }
-                        }
+                        tail_est = 0;
                     }
-                } else {
-                    ++pm.stores;
-                    uint64_t page = Memory::pageOf(eff.addr);
-                    if (!dtlb.access(page)) {
-                        ++pm.dtlb_misses;
-                        ++pm.vhpt_walks;
-                        post_penalty += mach.vhpt_walk_cycles / 2;
-                        charge(CycleCat::Micropipe,
-                               mach.vhpt_walk_cycles / 2);
-                        dtlb.insert(page);
-                    }
-                    hier.store(eff.addr);
-                    store_ring[store_count & 15u] =
-                        StoreRec{issue, eff.addr};
-                    ++store_count;
+                    ss.est_cycles[ci] = head_cycles[ci] + tail_est;
+                    ss.est_total += ss.est_cycles[ci];
                 }
             }
-
-            // ---- Result ready times ----
-            if (eff.executed) {
-                bool is_f = di.fu == static_cast<uint8_t>(FuClass::F);
-                bool is_ld = (di.flags & kDecLoad) != 0;
-                auto mark_dest = [&](const Reg &d) {
-                    if (d.cls == RegClass::Gr && d.id != 0) {
-                        tf.gr[d.id] = RegT{issue + actual_lat,
-                                           issue + planned_lat,
-                                           static_cast<uint8_t>(is_f),
-                                           static_cast<uint8_t>(is_ld)};
-                    } else if (d.cls == RegClass::Fr) {
-                        tf.fr[d.id] = RegT{issue + actual_lat,
-                                           issue + planned_lat,
-                                           static_cast<uint8_t>(is_f),
-                                           static_cast<uint8_t>(is_ld)};
-                    } else if (d.cls == RegClass::Pr && d.id != 0) {
-                        // Available to same-group branches and to all
-                        // next-group consumers.
-                        tf.ready_pr[d.id] = issue;
-                    }
-                };
-                if (di.dest0.valid())
-                    mark_dest(di.dest0);
-                if (di.dest1.valid())
-                    mark_dest(di.dest1);
-            } else {
-                // unc compares clear their destinations even when
-                // squashed; the predicates are ready at issue.
-                if ((di.op == Opcode::CMP || di.op == Opcode::CMPI) &&
-                    di.ctype == CmpType::Unc) {
-                    if (di.dest0.cls == RegClass::Pr && di.dest0.id != 0)
-                        tf.ready_pr[di.dest0.id] = issue;
-                    if (di.dest1.valid() &&
-                        di.dest1.cls == RegClass::Pr && di.dest1.id != 0)
-                        tf.ready_pr[di.dest1.id] = issue;
-                }
-            }
-
-            // ---- Control ----
-            if (di.op == Opcode::BR && (di.flags & kDecHasGuard)) {
-                // Conditional branch: predict direction.
-                bool taken = eff.executed;
-                ++pm.branch_predictions;
-                bool predicted = pred.predict(paddr);
-                pred.update(paddr, taken);
-                if (predicted != taken) {
-                    ++pm.mispredictions;
-                    post_penalty += mach.mispredict_penalty;
-                    charge(CycleCat::BrMispredFlush,
-                           mach.mispredict_penalty);
-                }
-                if (__builtin_expect(pmu_btb, 0))
-                    pmu_p->recordBranch(paddr, fn->id, bb->id, taken,
-                                        predicted != taken);
-            } else if (di.op == Opcode::CHK_S &&
-                       eff.ctl == Effect::Ctl::Branch) {
-                // Speculation check fired: flush + recovery cost.
-                post_penalty += mach.mispredict_penalty +
-                                opts.sentinel_recovery_cycles;
-                charge(CycleCat::BrMispredFlush, mach.mispredict_penalty);
-                charge(CycleCat::Kernel, opts.sentinel_recovery_cycles);
-            } else if (di.op == Opcode::BR_ICALL && eff.executed) {
-                ++pm.branch_predictions;
-                int ptarget = pred.predictTarget(paddr);
-                pred.updateTarget(paddr, eff.callee);
-                if (ptarget != eff.callee) {
-                    ++pm.mispredictions;
-                    post_penalty += mach.mispredict_penalty;
-                    charge(CycleCat::BrMispredFlush,
-                           mach.mispredict_penalty);
-                }
-                if (__builtin_expect(pmu_btb, 0))
-                    pmu_p->recordBranch(paddr, fn->id, bb->id, true,
-                                        ptarget != eff.callee);
-            }
-
-            if (eff.ctl != Effect::Ctl::Next && eff.executed) {
-                ++pm.branches;
-                if (di.flags & (kDecCall | kDecRet)) {
-                    post_penalty += mach.call_redirect_cycles;
-                    charge(CycleCat::FrontEndBubble,
-                           mach.call_redirect_cycles);
-                }
-                ctl = eff.ctl == Effect::Ctl::Branch ? Ctl::Branch
-                      : eff.ctl == Effect::Ctl::Call ? Ctl::Call
-                                                     : Ctl::Ret;
-                ctl_target = eff.branch_target;
-                ctl_callee = eff.callee;
-                ctl_inst = di.orig;
-                ctl_eff = eff;
-                break; // a taken transfer ends the group
-            }
-        }
-
-        t_prev = issue + post_penalty;
-
-        // ---- Apply control transfer ----
-        switch (ctl) {
-          case Ctl::None:
-            ++gi;
-            break;
-
-          case Ctl::Branch: {
-            BasicBlock *nb = fn->block(ctl_target);
-            if (!nb) {
-                res.fail(RunStatus::Faulted, "branch to dead block");
-                return res;
-            }
-            bb = nb;
-            db = &dfn->block(bb->id);
-            gi = 0;
-            break;
-          }
-
-          case Ctl::Call: {
-            if (static_cast<int>(frames.size()) >= opts.max_depth) {
-                res.fail(RunStatus::BudgetExceeded,
-                         "call depth limit exceeded (" +
-                             std::to_string(opts.max_depth) + ")");
-                return res;
-            }
-            Function *callee = prog.func(ctl_callee);
-            epic_assert(callee, "call to missing function");
-            size_t first_arg =
-                ctl_inst->op == Opcode::BR_ICALL ? 1 : 0;
-            size_t nargs = ctl_inst->srcs.size() - first_arg;
-            if (nargs != callee->params.size()) {
-                res.fail(RunStatus::Faulted,
-                         "arity mismatch calling " + callee->name);
-                return res;
-            }
-            args.resize(nargs);
-            for (size_t i = 0; i < nargs; ++i) {
-                const Operand &o = ctl_inst->srcs[first_arg + i];
-                if (o.isReg())
-                    args[i] = frame.readGr(o.reg);
-                else if (o.kind == Operand::Kind::Imm)
-                    args[i] = GrVal{o.imm, false};
-                else if (o.kind == Operand::Kind::Sym)
-                    args[i] = GrVal{static_cast<int64_t>(
-                                        prog.symbolAddr(o.sym) + o.imm),
-                                    false};
-                else if (o.kind == Operand::Kind::Func)
-                    args[i] = GrVal{o.func, false};
-            }
-
-            ret_stack.push_back(RetPos{bb->id, gi + 1});
-            const uint64_t callee_sp =
-                frame.sp - Frame::frameBytes(*callee);
-            if (frame_pool.empty()) {
-                frames.emplace_back(callee, callee_sp);
-            } else {
-                frames.push_back(std::move(frame_pool.back()));
-                frame_pool.pop_back();
-                frames.back().reset(callee, callee_sp);
-            }
-            Frame &nf = frames.back();
-            nf.ret_dest =
-                ctl_inst->dests.empty() ? Reg() : ctl_inst->dests[0];
-            for (size_t i = 0; i < nargs; ++i)
-                nf.writeGr(callee->params[i], args[i]);
-            push_tframe(nf);
-            TFrame &ntf = tframes.back();
-            for (const Reg &p : callee->params)
-                if (p.cls == RegClass::Gr && p.id != 0)
-                    ntf.gr[p.id].ready = issue + 1;
-
-            // Register stack engine.
-            frame_stacked.push_back(callee->stacked_regs);
-            rse_logical += callee->stacked_regs;
-            int64_t resident = rse_logical - rse_spilled;
-            int64_t over = resident - mach.stacked_phys_regs;
-            if (over > 0) {
-                rse_spilled += over;
-                pm.rse_spill_regs += static_cast<uint64_t>(over);
-                int64_t cost = (over + mach.rse_regs_per_cycle - 1) / mach.rse_regs_per_cycle;
-                t_prev += cost;
-                charge(CycleCat::Rse, cost);
-            }
-
-            fn = callee;
-            dfn = &dec.func(fn->id);
-            gops_base = dfn->gops();
-            gaddr_base = dfn->gaddrs();
-            gline_base = dfn->glines();
-            bb = fn->block(fn->entry);
-            if (!bb) {
-                res.fail(RunStatus::Faulted, "callee without entry block");
-                return res;
-            }
-            db = &dfn->block(bb->id);
-            gi = 0;
-            break;
-          }
-
-          case Ctl::Ret: {
-            const Reg ret_dest = frames.back().ret_dest;
-            frame_pool.push_back(std::move(frames.back()));
-            frames.pop_back();
-            tframe_pool.push_back(std::move(tframes.back()));
-            tframes.pop_back();
-            int my_stacked = frame_stacked.back();
-            frame_stacked.pop_back();
-
-            rse_logical -= my_stacked;
-            if (frames.empty()) {
-                // Flush the final partial PMU interval so sample sums
-                // reconcile exactly with the end-of-run totals.
-                if (__builtin_expect(pmu_p != nullptr, 0))
-                    pmu_p->finish(pm, cycles_total);
-                res.succeed(ctl_eff.has_ret_val ? ctl_eff.ret_val.v : 0);
-                return res;
-            }
-            // RSE fill: the caller's frame must be resident again.
-            int64_t caller_frame = frame_stacked.back();
-            int64_t resident = rse_logical - rse_spilled;
-            if (resident < caller_frame && rse_spilled > 0) {
-                int64_t fill = std::min<int64_t>(
-                    caller_frame - resident, rse_spilled);
-                rse_spilled -= fill;
-                pm.rse_fill_regs += static_cast<uint64_t>(fill);
-                int64_t cost = (fill + mach.rse_regs_per_cycle - 1) / mach.rse_regs_per_cycle;
-                t_prev += cost;
-                charge(CycleCat::Rse, cost);
-            }
-
-            RetPos rp = ret_stack.back();
-            ret_stack.pop_back();
-            Frame &caller = frames.back();
-            fn = const_cast<Function *>(caller.fn);
-            dfn = &dec.func(fn->id);
-            gops_base = dfn->gops();
-            gaddr_base = dfn->gaddrs();
-            gline_base = dfn->glines();
-            if (ret_dest.valid()) {
-                caller.writeGr(ret_dest,
-                               ctl_eff.has_ret_val ? ctl_eff.ret_val
-                                                   : GrVal{0, false});
-                TFrame &ctf = tframes.back();
-                if (ret_dest.id != 0)
-                    ctf.gr[ret_dest.id] = RegT{t_prev + 1, t_prev + 1, 0, 0};
-            }
-            bb = fn->block(rp.block);
-            if (!bb) {
-                res.fail(RunStatus::Faulted, "return to dead block");
-                return res;
-            }
-            db = &dfn->block(bb->id);
-            gi = rp.group;
-            break;
-          }
+            return res;
         }
     }
 }

@@ -22,6 +22,7 @@
 #ifndef EPIC_SIM_TIMING_H
 #define EPIC_SIM_TIMING_H
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -38,6 +39,52 @@ struct SimCheckpoint;
 
 /** OS support model for control speculation. */
 enum class SpecModel { General, Sentinel };
+
+/**
+ * Simulation fidelity mode.
+ *  - Detailed: every group passes through the full timing model
+ *    (fetch, scoreboard, hierarchy, predictor, cycle attribution).
+ *  - Sampled: alternates functional fast-forward phases (architected
+ *    semantics only, no cycle accounting) with detailed windows, and
+ *    extrapolates per-category cycle estimates from the windows
+ *    (DESIGN.md §18). Micro-architectural state (caches, predictor,
+ *    DTLB, store ring) is frozen — not warmed — across fast-forward,
+ *    so each window's first half re-warms that stale state and is
+ *    discarded; only the second half feeds the extrapolation basis.
+ *    The very first window is the exception: it measures the genuine
+ *    run-start cold transient from op 0 and contributes its cycles
+ *    unscaled (stratified estimate, SampledStats doc).
+ */
+enum class SimMode { Detailed, Sampled };
+
+/**
+ * Sampled-mode accounting attached to a TimingResult. The estimates
+ * are *extrapolations* carried separately from Perfmon, which keeps
+ * raw window-only cycle counts (so nothing cross-foots silently).
+ *
+ * The estimate is stratified: the first window measures the run-start
+ * cold transient from op 0 and its cycles count exactly once,
+ * unscaled; every later window discards its warm-up half and its
+ * measured (second-half) cycles are scaled over the remaining
+ * (non-head) ops by retired-op coverage:
+ *
+ *   est[c] = head_cycles[c]
+ *          + steady_cycles[c] * (total_ops - head_ops) / steady_ops
+ */
+struct SampledStats
+{
+    bool enabled = false;
+    uint64_t windows = 0;       ///< detailed windows entered (>= 1)
+    uint64_t head_ops = 0;      ///< ops measured in the cold first window
+    /// Ops / cycles in the extrapolation basis: the cold head plus
+    /// every steady window's measured half (warm-up halves excluded).
+    uint64_t detail_ops = 0;
+    uint64_t detail_cycles = 0;
+    uint64_t total_ops = 0;     ///< ops retired overall
+    /// Per-category stratified estimate (formula above).
+    std::array<uint64_t, Perfmon::kNumCats> est_cycles{};
+    uint64_t est_total = 0;     ///< sum of est_cycles (exact by constr.)
+};
 
 /** Timing-simulation options. */
 struct TimingOptions
@@ -81,6 +128,21 @@ struct TimingOptions
     /// intact), so the run completes with a detectably wrong checksum —
     /// the silent-corruption case validation-aware retry must catch.
     bool corrupt_decode = false;
+    /// Injected kernel-descriptor corruption: set the entry function's
+    /// first issue-group kernel byte to an out-of-range shape. The
+    /// dispatch table must panic ("malformed kernel descriptor"), never
+    /// run a wrong kernel.
+    bool corrupt_kernel_desc = false;
+
+    // ---- Fidelity mode (sim/decode.h kernel shapes, DESIGN.md §18) ----
+    SimMode sim_mode = SimMode::Detailed;
+    /// Sampled mode: ops fast-forwarded per phase / ops simulated in
+    /// detail per window. Both must be > 0 when sim_mode == Sampled.
+    uint64_t ff_functional = 0;
+    uint64_t detail_window = 0;
+    /// Force every group through the generic fallback kernel (testing:
+    /// specialized-vs-fallback golden-counter parity).
+    bool force_generic_kernels = false;
 
     // ---- PMU sampling (sim/pmu/pmu.h) ----
     /// Off by default; when any feature is enabled the run carries a
@@ -96,6 +158,8 @@ struct TimingResult : RunResult
     Perfmon pm;
     /// PMU streams (null unless opts.pmu.enabled()).
     std::shared_ptr<PmuData> pmu;
+    /// Sampled-mode extrapolation (enabled only when sim_mode==Sampled).
+    SampledStats sampled;
 };
 
 /**

@@ -213,6 +213,36 @@ recordPmu(StatsRegistry &reg, const PmuData &pmu)
 }
 
 void
+recordSampled(StatsRegistry &reg, const SampledStats &s)
+{
+    // Registered only for sampled runs: detailed-mode artifacts keep
+    // their exact legacy bytes. The estimates live under their own
+    // sim.sampled.est.* namespace — deliberately NOT under sim.cycles.*
+    // — so no consumer can mistake an extrapolation for a measured
+    // total; the declared invariant checks the estimate's internal
+    // cross-foot (sum of per-category estimates == est_total).
+    if (!s.enabled)
+        return;
+    reg.setInt("sim.sampled.windows", static_cast<int64_t>(s.windows));
+    reg.setInt("sim.sampled.head_ops",
+               static_cast<int64_t>(s.head_ops));
+    reg.setInt("sim.sampled.detail_ops",
+               static_cast<int64_t>(s.detail_ops));
+    reg.setInt("sim.sampled.total_ops",
+               static_cast<int64_t>(s.total_ops));
+    reg.setInt("sim.sampled.detail_cycles",
+               static_cast<int64_t>(s.detail_cycles));
+    for (int c = 0; c < Perfmon::kNumCats; ++c)
+        reg.setInt(std::string("sim.sampled.est.") +
+                       cycleCatKey(static_cast<CycleCat>(c)),
+                   static_cast<int64_t>(s.est_cycles[c]));
+    reg.setInt("sim.sampled.est_total",
+               static_cast<int64_t>(s.est_total));
+    reg.declareSum("sampled-est-cycles-sum", "sim.sampled.est.",
+                   "sim.sampled.est_total");
+}
+
+void
 recordCompile(StatsRegistry &reg, const CompileStats &stats,
               const PipelineStats &pipe, int instrs_source,
               int instrs_final, bool clean)
@@ -358,6 +388,7 @@ buildRunRegistry(const ConfigRun &r)
         recordPerfmon(reg, r.pm);
         if (r.pmu)
             recordPmu(reg, *r.pmu);
+        recordSampled(reg, r.sampled);
     }
     recordCompile(reg, r.stats, r.pipeline, r.instrs_source,
                   r.instrs_final, r.fallback.clean());
@@ -444,12 +475,24 @@ samplesArtifact(const std::vector<WorkloadRuns> &suite,
             const ConfigRun &r = it->second;
             if (!r.ok || !r.pmu || r.pmu->samples().empty())
                 continue;
+            // Sampled runs must declare their scaling on every line:
+            // the interval cycles cover only the detailed windows, and
+            // downstream consumers apply scale_num/scale_den themselves
+            // (an extrapolated stream must never cross-foot silently).
+            // Detailed-mode lines are byte-identical to the legacy
+            // format — no mode key at all.
+            std::string mode_tag;
+            if (r.sampled.enabled)
+                mode_tag = ",\"mode\":\"sampled\",\"scale_num\":" +
+                           std::to_string(r.sampled.total_ops) +
+                           ",\"scale_den\":" +
+                           std::to_string(r.sampled.detail_ops);
             int64_t seq = 0;
             for (const PmuSample &s : r.pmu->samples()) {
                 os << "{\"schema\":\"" << kSamplesSchemaVersion
                    << "\",\"workload\":\"" << jsonEscape(runs.name)
-                   << "\",\"config\":\"" << configName(cfg)
-                   << "\",\"seq\":" << seq++
+                   << "\",\"config\":\"" << configName(cfg) << '"'
+                   << mode_tag << ",\"seq\":" << seq++
                    << ",\"cycles_end\":" << s.cycles_end
                    << ",\"intervals\":" << s.intervals << ",\"cycles\":{";
                 for (int c = 0; c < Perfmon::kNumCats; ++c) {

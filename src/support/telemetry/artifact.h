@@ -47,6 +47,7 @@ struct PipelineStats;
 struct FallbackReport;
 struct ConfigRun;
 struct WorkloadRuns;
+struct SampledStats;
 enum class Config;
 
 class PmuData;
@@ -77,6 +78,15 @@ void recordPmu(StatsRegistry &reg, const PmuData &pmu);
 void recordCompile(StatsRegistry &reg, const CompileStats &stats,
                    const PipelineStats &pipe, int instrs_source,
                    int instrs_final, bool clean);
+
+/**
+ * Register sampled-mode extrapolation under `sim.sampled.*` — only for
+ * sampled runs (detailed-mode artifacts keep their legacy bytes). The
+ * estimates live in their own namespace, never under sim.cycles.*, so
+ * an extrapolation can't be mistaken for a measured total; the declared
+ * invariant checks the estimate's internal cross-foot.
+ */
+void recordSampled(StatsRegistry &reg, const SampledStats &s);
 
 /** Register firewall outcome under `firewall.*` (+ rung invariant). */
 void recordFallback(StatsRegistry &reg, const FallbackReport &fb);

@@ -230,6 +230,70 @@ TEST(PmuTest, SamplesArtifactByteIdenticalAcrossJobs)
 }
 
 // ---------------------------------------------------------------------
+// Sampled fidelity mode (DESIGN.md §18): the PMU streams only observe
+// detailed windows, and Perfmon totals in sampled mode are window-only
+// counts — so reconciliation must still be *exact*, and the samples
+// artifact must declare its mode and scaling.
+
+TEST(PmuTest, SampledModeStreamsReconcileAndDeclareScaling)
+{
+    const Workload *w = findWorkload("164.gzip");
+    ASSERT_NE(w, nullptr);
+    RunOptions opts = sampledOpts(1);
+    opts.sim_mode = SimMode::Sampled;
+    opts.ff_functional = 100'000;
+    opts.detail_window = 50'000;
+    std::vector<WorkloadRuns> suite = {
+        runWorkload(*w, standardConfigs(), opts)};
+    for (const auto &[cfg, r] : suite[0].by_config) {
+        (void)cfg;
+        ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_TRUE(r.sampled.enabled);
+
+        // Interval samples telescope to the (window-only) Perfmon
+        // totals exactly, as in detailed mode.
+        ASSERT_NE(r.pmu, nullptr);
+        std::vector<std::string> bad =
+            r.pmu->checkReconciliation(r.pm);
+        EXPECT_TRUE(bad.empty()) << bad.front();
+
+        // The run record carries the extrapolation, cross-footed.
+        StatsRegistry reg = buildRunRegistry(r);
+        const std::string json = reg.jsonObject();
+        EXPECT_NE(json.find("sim.sampled.est_total"),
+                  std::string::npos);
+        uint64_t sum = 0;
+        for (uint64_t v : r.sampled.est_cycles)
+            sum += v;
+        EXPECT_EQ(sum, r.sampled.est_total);
+    }
+
+    // Every samples line is tagged with the mode and its retired-op
+    // coverage (scale_num/scale_den), so a consumer can never mistake
+    // a window-only time series for full-run coverage.
+    std::vector<std::string> v;
+    const std::string art =
+        samplesArtifact(suite, standardConfigs(), &v);
+    EXPECT_TRUE(v.empty()) << v.front();
+    ASSERT_FALSE(art.empty());
+    size_t lines = 0, pos = 0;
+    while ((pos = art.find('\n', pos)) != std::string::npos) {
+        ++pos;
+        ++lines;
+    }
+    size_t tagged = 0;
+    pos = 0;
+    while ((pos = art.find("\"mode\":\"sampled\"", pos)) !=
+           std::string::npos) {
+        ++tagged;
+        ++pos;
+    }
+    EXPECT_EQ(tagged, lines);
+    EXPECT_NE(art.find("\"scale_num\":"), std::string::npos);
+    EXPECT_NE(art.find("\"scale_den\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Checkpoint restore: PMU streams resume byte-identically.
 
 TEST(PmuTest, CheckpointRestorePmuStreamsByteIdentical)
