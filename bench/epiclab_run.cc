@@ -88,7 +88,16 @@ usage()
            "       epiclab_run --list\n"
            "       epiclab_run --help\n\n"
            "options:\n"
-           "  --config <GCC|O-NS|ILP-NS|ILP-CS>   (default ILP-CS)\n"
+           "  --config <GCC|O-NS|ILP-NS|ILP-CS|ILP-CS-DS>\n"
+           "                                      (default ILP-CS)\n"
+           "  --with-ds                           add ILP-CS-DS (data\n"
+           "                                      speculation) to --all\n"
+           "  --alat-entries <N>                  ALAT entries "
+           "(default 32)\n"
+           "  --alat-assoc <N>                    ALAT associativity; 0 "
+           "=\n"
+           "                                      fully associative "
+           "(default 2)\n"
            "  --jobs <N>                          parallel workers "
            "(default 1);\n"
            "                                      output is identical "
@@ -213,7 +222,8 @@ reportViolations(const std::vector<std::string> &violations)
  * invariant under --jobs.
  */
 int
-runAll(RunOptions &opts, bool pass_stats, const std::string &json_path,
+runAll(RunOptions &opts, const std::vector<Config> &configs,
+       bool pass_stats, const std::string &json_path,
        const std::string &samples_path)
 {
     const auto t0 = std::chrono::steady_clock::now();
@@ -232,7 +242,7 @@ runAll(RunOptions &opts, bool pass_stats, const std::string &json_path,
     if (opts.supervise)
         installStopSignalHandlers();
 
-    std::vector<WorkloadRuns> suite = runSuite(standardConfigs(), opts);
+    std::vector<WorkloadRuns> suite = runSuite(configs, opts);
     if (suite.empty())
         epic_fatal("--only matched no workloads (see --list)");
 
@@ -261,7 +271,7 @@ runAll(RunOptions &opts, bool pass_stats, const std::string &json_path,
                    : (runs.all_match ? "[all match]" : "[MISMATCH]"));
         if (!runs.all_match)
             ++mismatched;
-        for (Config cfg : standardConfigs()) {
+        for (Config cfg : configs) {
             auto it = runs.by_config.find(cfg);
             if (it == runs.by_config.end())
                 continue;
@@ -292,12 +302,12 @@ runAll(RunOptions &opts, bool pass_stats, const std::string &json_path,
         // artifact bytes are identical for any --jobs value.
         std::vector<std::string> violations;
         const std::string doc =
-            suiteArtifact(suite, standardConfigs(), &violations);
+            suiteArtifact(suite, configs, &violations);
         atomicWriteFileOrDie(json_path, doc);
         invariants_ok = reportViolations(violations);
     }
     if (!samples_path.empty() &&
-        !writeSamplesArtifact(samples_path, suite, standardConfigs()))
+        !writeSamplesArtifact(samples_path, suite, configs))
         invariants_ok = false;
 
     // Wall clock goes to stderr: it varies run to run, and stdout must
@@ -337,6 +347,7 @@ main(int argc, char **argv)
     std::string bench = mode;
     Config cfg = Config::IlpCs;
     RunOptions opts;
+    bool with_ds = false;
     bool no_peel = false, no_ptr = false, cons_hb = false;
     bool inject = false, inject_analysis = false, pass_stats = false;
     bool inject_sim = false;
@@ -374,8 +385,19 @@ main(int argc, char **argv)
                 cfg = Config::IlpNs;
             else if (c == "ILP-CS")
                 cfg = Config::IlpCs;
+            else if (c == "ILP-CS-DS")
+                cfg = Config::IlpCsDs;
             else
                 epic_fatal("--config: unknown configuration '", c, "'");
+        } else if (a == "--with-ds") {
+            with_ds = true;
+        } else if (a == "--alat-entries") {
+            opts.alat_entries = static_cast<int>(parseIntFlag(
+                "--alat-entries", value_of(i, a), 1, 4096));
+        } else if (a == "--alat-assoc") {
+            // 0 selects a fully-associative ALAT (see sim/alat.h).
+            opts.alat_assoc = static_cast<int>(
+                parseIntFlag("--alat-assoc", value_of(i, a), 0, 4096));
         } else if (a == "--spec") {
             std::string m = value_of(i, a);
             if (m == "sentinel")
@@ -564,8 +586,15 @@ main(int argc, char **argv)
         return rc;
     };
 
-    if (bench == "--all")
-        return finish(runAll(opts, pass_stats, json_path, samples_path));
+    if (bench == "--all") {
+        // The legacy four-configuration sweep is the byte-stable
+        // artifact contract; ILP-CS-DS rides along only on request.
+        std::vector<Config> cfgs = standardConfigs();
+        if (with_ds)
+            cfgs.push_back(Config::IlpCsDs);
+        return finish(
+            runAll(opts, cfgs, pass_stats, json_path, samples_path));
+    }
 
     const Workload *w = findWorkload(bench);
     if (!w) {

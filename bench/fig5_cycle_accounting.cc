@@ -8,7 +8,12 @@
  * with if-conversion; gcc's ILP-CS bar grows a kernel-cycles slab
  * (wild loads); bzip2's micropipe slab grows with optimization.
  *
- * Usage: fig5_cycle_accounting [--json <path>] [benchmark-name ...]
+ * Usage: fig5_cycle_accounting [--json <path>] [--with-ds]
+ *                              [benchmark-name ...]
+ *
+ * --with-ds appends an ILP-CS-DS column (data speculation): its bar
+ * adds the tenth category, ALAT recovery, which stays empty when every
+ * chk.a hits and charges misses x alat_recovery_cycles otherwise.
  */
 #include <cstdio>
 
@@ -23,17 +28,22 @@ main(int argc, char **argv)
 {
     std::vector<std::string> only;
     std::string json_path;
+    bool with_ds = false;
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--json" && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::string(argv[i]) == "--with-ds")
+            with_ds = true;
         else
             only.push_back(argv[i]);
     }
 
     printf("Figure 5: cycle accounting, normalized to O-NS total\n\n");
 
-    const std::vector<Config> configs = {Config::ONS, Config::IlpNs,
-                                         Config::IlpCs};
+    std::vector<Config> configs = {Config::ONS, Config::IlpNs,
+                                   Config::IlpCs};
+    if (with_ds)
+        configs.push_back(Config::IlpCsDs);
     std::vector<WorkloadRuns> suite;
     for (const Workload &w : allWorkloads()) {
         if (!only.empty()) {
@@ -54,7 +64,10 @@ main(int argc, char **argv)
 
         printf("%s%s\n", w.name.c_str(),
                runs.all_match ? "" : "  [CHECKSUM MISMATCH]");
-        Table t({"category", "O-NS", "ILP-NS", "ILP-CS"});
+        std::vector<std::string> headers = {"category"};
+        for (Config cfg : configs)
+            headers.push_back(configName(cfg));
+        Table t(headers);
         for (int c = 0; c < Perfmon::kNumCats; ++c) {
             t.row().cell(cycleCatName(static_cast<CycleCat>(c)));
             for (Config cfg : configs) {

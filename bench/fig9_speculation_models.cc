@@ -61,5 +61,35 @@ main()
            "model (~20%% kernel\ntime chasing spurious page walks); "
            "parser/perlbmk/gap show smaller effects;\nbenchmarks without "
            "pointer/int unions are indifferent to the model.\n");
+
+    // ---- Data speculation (the ILP-CS-DS rung) ------------------------
+    // Loads pinned only by a may-aliasing store advance past it as
+    // ld.a/chk.a pairs through the ALAT. Benchmarks with precise alias
+    // hints have nothing to advance and reproduce ILP-CS exactly;
+    // hint-less kernels (gap) convert the dropped store->load edge
+    // into issue-group wins. chk.a misses would surface in the "recov
+    // cyc" column as misses x alat_recovery_cycles.
+    printf("\nData speculation: ILP-CS vs ILP-CS-DS (general OS model)\n\n");
+
+    Table d({"Benchmark", "ld.a (dyn)", "alat hit", "alat miss",
+             "recov cyc", "CS cycles", "CS-DS cycles", "CS/CS-DS"});
+    for (const Workload &w : allWorkloads()) {
+        ConfigRun cs = runConfig(w, Config::IlpCs);
+        ConfigRun ds = runConfig(w, Config::IlpCsDs);
+        if (!cs.ok || !ds.ok) {
+            printf("%s: run failed\n", w.name.c_str());
+            continue;
+        }
+        d.row().cell(w.name);
+        d.cell(static_cast<long long>(ds.pm.advanced_loads));
+        d.cell(static_cast<long long>(ds.pm.alat_hits));
+        d.cell(static_cast<long long>(ds.pm.alat_misses));
+        d.cell(static_cast<long long>(
+            ds.pm.get(CycleCat::AlatRecovery)));
+        d.cell(static_cast<long long>(cs.pm.total()));
+        d.cell(static_cast<long long>(ds.pm.total()));
+        d.cell(static_cast<double>(cs.pm.total()) / ds.pm.total(), 3);
+    }
+    d.print();
     return 0;
 }

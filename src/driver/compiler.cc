@@ -26,6 +26,7 @@ CompileOptions::forConfig(Config c)
       case Config::ONS:
       case Config::IlpNs:
       case Config::IlpCs:
+      case Config::IlpCsDs:
         break;
     }
     return o;

@@ -15,8 +15,10 @@
 
 namespace epic {
 
-/** Code-generation configuration (paper Table 1 key). */
-enum class Config { Gcc, ONS, IlpNs, IlpCs };
+/** Code-generation configuration (paper Table 1 key). IlpCsDs extends
+ *  the paper's ILP-CS with IA-64 data speculation (ld.a/chk.a + ALAT)
+ *  and sits one rung above it on the ladder. */
+enum class Config { Gcc, ONS, IlpNs, IlpCs, IlpCsDs };
 
 /** Printable configuration name. */
 const char *configName(Config c);

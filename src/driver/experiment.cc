@@ -99,6 +99,12 @@ manifestKey(const Workload &w, Config cfg, const RunOptions &o)
                       std::to_string(o.detail_window),
                   h);
     }
+    if (o.alat_entries || o.alat_assoc) {
+        // ALAT geometry changes recovery-cycle record bytes.
+        h = fnv1a("alat:" + std::to_string(o.alat_entries.value_or(-1)) +
+                      "," + std::to_string(o.alat_assoc.value_or(-1)),
+                  h);
+    }
     return w.name + "|" + std::string(configName(cfg)) + "|" +
            hashHex(h);
 }
@@ -156,6 +162,10 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
     base.sim_mode = opts.sim_mode;
     base.ff_functional = opts.ff_functional;
     base.detail_window = opts.detail_window;
+    if (opts.alat_entries)
+        base.mach.alat_entries = *opts.alat_entries;
+    if (opts.alat_assoc)
+        base.mach.alat_assoc = *opts.alat_assoc;
 
     // Sim-layer chaos: the plan (and whether it fires) is a pure
     // function of (seed, workload, rung); it corrupts the *first*
@@ -181,6 +191,9 @@ superviseSim(const Workload &w, Config cfg, const RunOptions &opts,
                 break;
               case FaultKind::SimMemBitFlip:
                 mem.flipBit(plan.mem_bit_sel);
+                break;
+              case FaultKind::SimAlatCorrupt:
+                topts.corrupt_alat = plan.alat_corrupt;
                 break;
               default: // SimHang
                 topts.hang_at_instr = plan.hang_at_instr;
@@ -345,6 +358,10 @@ runConfig(const Workload &w, Config cfg, const RunOptions &opts)
     topts.sim_mode = opts.sim_mode;
     topts.ff_functional = opts.ff_functional;
     topts.detail_window = opts.detail_window;
+    if (opts.alat_entries)
+        topts.mach.alat_entries = *opts.alat_entries;
+    if (opts.alat_assoc)
+        topts.mach.alat_assoc = *opts.alat_assoc;
     auto r = simulate(*c.prog, mem, topts);
     out.sim_attempts = 1;
     if (!r.ok) {

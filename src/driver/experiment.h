@@ -82,6 +82,14 @@ struct RunOptions
     /// ConfigRun and fold a fingerprint into the manifest key, so a
     /// resumed fleet never mixes sampled and unsampled records.
     PmuOptions pmu;
+
+    // ---- ALAT geometry (sim/alat.h; ILP-CS-DS data speculation) ----
+    /// Overrides for MachineConfig::alat_entries / alat_assoc (assoc
+    /// <= 0 selects fully-associative). Unset = machine defaults; a set
+    /// value folds a fingerprint into the manifest key since it changes
+    /// record bytes (recovery cycles).
+    std::optional<int> alat_entries;
+    std::optional<int> alat_assoc;
 };
 
 /** One configuration's full outcome. */

@@ -21,6 +21,7 @@ configName(Config c)
       case Config::ONS: return "O-NS";
       case Config::IlpNs: return "ILP-NS";
       case Config::IlpCs: return "ILP-CS";
+      case Config::IlpCsDs: return "ILP-CS-DS";
     }
     return "?";
 }
@@ -29,6 +30,7 @@ bool
 degradeConfig(Config c, Config *lower)
 {
     switch (c) {
+      case Config::IlpCsDs: *lower = Config::IlpCs; return true;
       case Config::IlpCs: *lower = Config::IlpNs; return true;
       case Config::IlpNs: *lower = Config::ONS; return true;
       case Config::ONS: *lower = Config::Gcc; return true;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "driver/compiler.h"
+#include "ilp/specmodel.h"
 #include "ir/function.h"
 
 namespace epic {
@@ -134,7 +135,8 @@ namespace {
 bool
 isIlp(Config rung)
 {
-    return rung == Config::IlpNs || rung == Config::IlpCs;
+    return rung == Config::IlpNs || rung == Config::IlpCs ||
+           rung == Config::IlpCsDs;
 }
 
 /** Build the one true pass list (paper Figure 4 order). */
@@ -212,15 +214,19 @@ makeRegistry()
     // Speculation hoists loads and inserts check code but never adds
     // or removes an edge, so dominance and loop structure survive; the
     // Cfg object dies (insertions shift its per-edge branch indices).
-    reg.push_back({"speculate",
-                   [](Config rung, const CompileOptions &) {
-                       return rung == Config::IlpCs;
-                   },
-                   [](Function &f, Config, const CompileOptions &opts,
-                      AnalysisManager &am, CompileStats &s) {
-                       s.spec += speculateFunction(f, am, opts.spec_opts);
-                   },
-                   true, true, kPreserveGraphShape});
+    // One gated pass per registered model, registry order (control
+    // speculation first, so it never sees ld.a/chk.a).
+    for (const SpeculationModel *m : speculationModels()) {
+        reg.push_back({m->passName(),
+                       [m](Config rung, const CompileOptions &) {
+                           return m->enabledAt(rung);
+                       },
+                       [m](Function &f, Config, const CompileOptions &opts,
+                           AnalysisManager &am, CompileStats &s) {
+                           s.spec += m->run(f, am, opts.spec_opts);
+                       },
+                       true, true, kPreserveGraphShape});
+    }
 
     // Register allocation renames operands and inserts spill code:
     // instruction-level analyses die, and so does the Cfg (spill

@@ -1,0 +1,119 @@
+#include "ilp/specmodel.h"
+
+#include "analysis/alias.h"
+#include "analysis/manager.h"
+#include "support/logging.h"
+
+namespace epic {
+
+namespace {
+
+class ControlSpecModel final : public SpeculationModel
+{
+  public:
+    const char *passName() const override { return "speculate"; }
+    bool
+    enabledAt(Config rung) const override
+    {
+        return rung == Config::IlpCs || rung == Config::IlpCsDs;
+    }
+    SpecStats
+    run(Function &f, AnalysisManager &am,
+        const SpecOptions &opts) const override
+    {
+        return speculateFunction(f, am, opts);
+    }
+};
+
+class DataSpecModel final : public SpeculationModel
+{
+  public:
+    const char *passName() const override { return "dataspec"; }
+    bool
+    enabledAt(Config rung) const override
+    {
+        return rung == Config::IlpCsDs;
+    }
+    SpecStats
+    run(Function &f, AnalysisManager &am,
+        const SpecOptions &opts) const override
+    {
+        return dataSpeculateFunction(f, am, opts);
+    }
+};
+
+} // namespace
+
+SpecStats
+dataSpeculateFunction(Function &f, AnalysisManager &am,
+                      const SpecOptions &opts)
+{
+    SpecStats stats;
+    const Cfg &cfg = am.cfg();
+    const AliasAnalysis &aa = am.alias();
+
+    for (auto &bp : f.blocks) {
+        if (!bp || !cfg.reachable(bp->id))
+            continue;
+        BasicBlock &b = *bp;
+        int budget = opts.max_advanced_per_block;
+        for (int i = 0; i < static_cast<int>(b.instrs.size()) && budget > 0;
+             ++i) {
+            const Instruction &inst = b.instrs[i];
+            // Unguarded integer loads, plain or control-speculated: a
+            // ld.s the speculate model already hoisted above a branch
+            // may advance across stores too (the combined ld.sa of the
+            // ILP-CS-DS rung) — the spec flag travels to both halves,
+            // so deferral semantics are unchanged. A guarded load may
+            // not execute at all on some predicate outcomes, so it
+            // stays put.
+            if (inst.op != Opcode::LD || inst.hasGuard())
+                continue;
+            if ((inst.attr & kAttrAdvanced) || inst.dests.size() != 1)
+                continue;
+
+            // Worth advancing only when an earlier store in this block
+            // may alias: that store -> load DAG edge is the dependence
+            // ld.a exists to break. The conversion itself moves nothing
+            // — the scheduler hoists the ld.a once the edge is gone, so
+            // the load's address chain never constrains the transform.
+            bool pinned = false;
+            for (int j = i - 1; j >= 0 && !pinned; --j) {
+                const Instruction &other = b.instrs[j];
+                if (other.isStore() && aa.mayAlias(f, inst, other))
+                    pinned = true;
+            }
+            if (!pinned)
+                continue;
+
+            // Split in place: ld.a keeps the load's slot, chk.a follows
+            // immediately. Same destination / address / size, so the
+            // check is an idempotent reload; consumers below RAW-order
+            // against the chk.a (the nearest def), which stays fenced
+            // behind may-aliasing stores, while the ld.a floats free.
+            Instruction chk = inst;
+            chk.op = Opcode::CHK_A;
+            chk.attr |= kAttrAdvanced;
+            b.instrs[i].op = Opcode::LD_A;
+            b.instrs[i].attr |= kAttrAdvanced;
+            b.instrs.insert(b.instrs.begin() + i + 1, chk);
+            ++i; // resume past the inserted chk.a
+            ++stats.advanced;
+            ++stats.checks;
+            --budget;
+        }
+    }
+    return stats;
+}
+
+const std::vector<const SpeculationModel *> &
+speculationModels()
+{
+    static const ControlSpecModel kControl;
+    static const DataSpecModel kData;
+    static const std::vector<const SpeculationModel *> kModels = {
+        &kControl, &kData};
+    return kModels;
+}
+
+} // namespace epic

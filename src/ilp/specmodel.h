@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pluggable speculation models (the unified speculation layer).
+ *
+ * The paper's ILP-CS configuration ships one speculation flavor —
+ * control speculation (ilp/speculate.h). IA-64 offers a second,
+ * orthogonal flavor: *data* speculation, where a load advances above a
+ * may-aliasing store as ld.a, the ALAT watches the loaded address, and
+ * a chk.a at the original site re-executes the access if any
+ * intervening store overlapped it.
+ *
+ * Both flavors are instances of one SpeculationModel interface; the
+ * pass registry (driver/pipeline.cc) materializes one gated PassDesc
+ * per registered model, in registry order. Control speculation runs
+ * first and therefore never sees ld.a/chk.a; data speculation runs
+ * second and skips control-speculative (ld.s) loads, so the two
+ * compose without interference:
+ *
+ *  - ControlSpecModel ("speculate"): delegates to speculateFunction()
+ *    unchanged — byte-identical ILP-CS output is the refactor's
+ *    correctness gate. Enabled at ILP-CS and ILP-CS-DS.
+ *  - DataSpecModel ("dataspec"): converts hoistable plain loads into
+ *    ld.a + chk.a pairs, breaking the conservative load-crosses-store
+ *    ban that dataDepsAllowHoist imposes on control speculation.
+ *    Enabled at ILP-CS-DS only.
+ *
+ * chk.a's architected semantics here are an idempotent reload of the
+ * same address into the same destination, so the ALAT affects timing
+ * and statistics only, never architected state (DESIGN.md §19).
+ */
+#ifndef EPIC_ILP_SPECMODEL_H
+#define EPIC_ILP_SPECMODEL_H
+
+#include <vector>
+
+#include "driver/config.h"
+#include "ilp/speculate.h"
+
+namespace epic {
+
+class AnalysisManager;
+
+/** One speculation flavor, registered as a gated pipeline pass. */
+class SpeculationModel
+{
+  public:
+    virtual ~SpeculationModel() = default;
+
+    /** Pass-registry (and fault-injection site) name. */
+    virtual const char *passName() const = 0;
+
+    /** Does this model run at `rung`? */
+    virtual bool enabledAt(Config rung) const = 0;
+
+    /** Apply the model to one function. */
+    virtual SpecStats run(Function &f, AnalysisManager &am,
+                          const SpecOptions &opts) const = 0;
+};
+
+/**
+ * The registered models, in pipeline order (control speculation before
+ * data speculation — see the file comment for why the order matters).
+ */
+const std::vector<const SpeculationModel *> &speculationModels();
+
+/**
+ * Apply data speculation to one function: plain unguarded loads whose
+ * only obstacle to upward motion is crossing stores become ld.a at the
+ * hoisted position plus chk.a at the original site (same destination,
+ * address register and access size). Register dependences (RAW on the
+ * address, WAR/WAW on the destination) and control fences (branches,
+ * calls, returns, alloc) still stop the motion, and a per-block budget
+ * (SpecOptions::max_advanced_per_block) bounds ALAT pressure.
+ */
+SpecStats dataSpeculateFunction(Function &f, AnalysisManager &am,
+                                const SpecOptions &opts = {});
+
+} // namespace epic
+
+#endif // EPIC_ILP_SPECMODEL_H

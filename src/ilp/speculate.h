@@ -32,6 +32,9 @@ struct SpecOptions
     bool enable_promotion = true;
     /// Maximum side-exit branches an instruction may hoist across.
     int max_cross_branches = 3;
+    /// Data speculation (ilp/specmodel.h): maximum loads advanced to
+    /// ld.a per block, bounding ALAT pressure.
+    int max_advanced_per_block = 4;
 };
 
 /** Statistics. */
@@ -40,6 +43,8 @@ struct SpecStats
     int moved = 0;        ///< instructions hoisted above a branch
     int promoted = 0;     ///< guards weakened to always-true
     int spec_loads = 0;   ///< loads marked control-speculative
+    int advanced = 0;     ///< loads converted to ld.a (data speculation)
+    int checks = 0;       ///< chk.a checks inserted (== advanced today)
 
     SpecStats &
     operator+=(const SpecStats &o)
@@ -47,6 +52,8 @@ struct SpecStats
         moved += o.moved;
         promoted += o.promoted;
         spec_loads += o.spec_loads;
+        advanced += o.advanced;
+        checks += o.checks;
         return *this;
     }
 };

@@ -99,6 +99,7 @@ enum InstrAttr : uint32_t {
     kAttrSpecMoved = 1u << 5,  ///< moved above a branch (speculative)
     kAttrSpill = 1u << 6,      ///< register-allocator spill/fill code
     kAttrUnrolled = 1u << 7,   ///< loop-unroll copy
+    kAttrAdvanced = 1u << 8,   ///< data-speculation pair (ld.a / chk.a)
 };
 
 /** Profile annotation entry for indirect calls. */

@@ -54,6 +54,10 @@ enum class Opcode : uint8_t {
     // Misc
     ALLOC,   ///< declare register-stack frame of 'imm' stacked registers
     NOP,     ///< explicit no-op (slot filler; unit class in 'size' field)
+    // Data speculation (appended so existing positional tables persist)
+    LD_A,    ///< advanced load: gr = [gr], allocates an ALAT entry
+    CHK_A,   ///< advanced-load check: reload [gr] into the same dest;
+             ///< an ALAT hit makes the reload free in the timing model
 
     NumOpcodes,
 };
@@ -148,6 +152,12 @@ inline constexpr OpcodeInfo kOpcodeTable[] = {
     /* CHK_S    */ {"chk.s",    FuClass::I, 1, false, false, true,  false, false, true},
     /* ALLOC    */ {"alloc",    FuClass::M, 1, false, false, false, false, false, true},
     /* NOP      */ {"nop",      FuClass::A, 1, false, false, false, false, false, false},
+    // chk.a carries has_side_effect so no transform ever moves, guards
+    // or dead-code-removes the check away from its original site; it is
+    // still is_load (the architected semantics are an idempotent reload)
+    // so the DAG keeps it ordered against may-aliasing stores.
+    /* LD_A     */ {"ld.a",     FuClass::M, 1, true,  false, false, false, false, false},
+    /* CHK_A    */ {"chk.a",    FuClass::M, 1, true,  false, false, false, false, true},
 };
 
 static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) ==

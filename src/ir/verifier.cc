@@ -120,6 +120,8 @@ struct Checker
             expect_dests(2, RegClass::Pr);
             break;
           case Opcode::LD:
+          case Opcode::LD_A:
+          case Opcode::CHK_A:
             expect_dests(1, RegClass::Gr);
             src_reg(0, RegClass::Gr);
             break;
@@ -228,10 +230,14 @@ struct Checker
         }
 
         // Per issue group: branches last; no intra-group RAW/WAW except
-        // (a) the compare-to-dependent-branch-guard special case, and
+        // (a) the compare-to-dependent-branch-guard special case,
         // (b) instructions guarded by provably disjoint predicates
         //     (IA-64 allows same-group writes under mutually exclusive
-        //     qualifying predicates).
+        //     qualifying predicates), and
+        // (c) reads after a chk.a writing the same register — on a hit
+        //     chk.a writes nothing (the paired ld.a already delivered
+        //     the value), and on a miss the pipeline re-steers, so the
+        //     consumer never observes a torn value.
         PredRelations prel(b);
         auto effective_guard = [](const Instruction &inst) {
             if ((inst.op == Opcode::CMP || inst.op == Opcode::CMPI) &&
@@ -279,6 +285,7 @@ struct Checker
                             continue;
                         auto it = written.find(o.reg);
                         if (it != written.end() &&
+                            b.instrs[it->second].op != Opcode::CHK_A &&
                             !disjoint(inst, s, b.instrs[it->second],
                                       it->second)) {
                             fail(&b, "intra-group RAW on " + o.reg.str() +

@@ -113,6 +113,13 @@ struct MachineConfig
     int stlf_window = 10;      ///< cycles a store occupies the micropipe
     int stlf_penalty = 4;      ///< stall for a (possibly spurious) hit
 
+    // ---- ALAT (data speculation: ld.a / chk.a) ----
+    int alat_entries = 32;        ///< Itanium 2: 32-entry
+    int alat_assoc = 2;           ///< set-associativity (<=0: fully assoc.)
+    /// chk.a miss cost: the re-executed access plus pipeline re-steer
+    /// (chk.a hits are free — the check retires like a NOP).
+    int alat_recovery_cycles = 10;
+
     // ---- Register stack ----
     int stacked_phys_regs = 96; ///< r32..r127
     int rse_regs_per_cycle = 2; ///< spill/fill bandwidth

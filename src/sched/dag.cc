@@ -99,6 +99,13 @@ DepDag::DepDag(const Function &f, const BasicBlock &b,
                 if (dj && effectiveGuard(ij) != kPrTrue)
                     continue;
                 int lat = opLatency(mach, ij.op);
+                // chk.a validates a value the paired ld.a already
+                // delivered: on the scheduler's hit assumption the
+                // consumer may share the check's issue group (a miss is
+                // charged dynamically as ALAT recovery, not planned
+                // here).
+                if (ij.op == Opcode::CHK_A)
+                    lat = 0;
                 // IA-64 special case: a compare may feed the guard of a
                 // branch in the same issue group.
                 bool guard_only = guard_read;
@@ -145,6 +152,13 @@ DepDag::DepDag(const Function &f, const BasicBlock &b,
                     }
                 } else if (ii.isMem() && ij.isMem()) {
                     if (ii.isLoad() && ij.isLoad()) {
+                        conflict = false;
+                    } else if (ii.op == Opcode::LD_A && ij.isStore()) {
+                        // Advanced load: the store→load dependence is the
+                        // one ld.a exists to break; the trailing chk.a
+                        // (an ordinary load for aliasing purposes) keeps
+                        // the store→check ordering and re-executes the
+                        // access if the ALAT entry was invalidated.
                         conflict = false;
                     } else {
                         conflict = aa.mayAlias(f, ii, ij);

@@ -180,6 +180,9 @@ saveState(CkptWriter &w, const Perfmon &pm)
     w.u64(pm.l1i_miss_peel_remainder);
     w.u64(pm.l2i_miss_taildup);
     w.u64(pm.l2i_miss_peel_remainder);
+    w.u64(pm.advanced_loads);
+    w.u64(pm.alat_hits);
+    w.u64(pm.alat_misses);
     std::vector<std::pair<int, uint64_t>> fc(pm.func_cycles.begin(),
                                              pm.func_cycles.end());
     std::sort(fc.begin(), fc.end());
@@ -224,6 +227,9 @@ loadState(CkptReader &r, Perfmon &pm)
     pm.l1i_miss_peel_remainder = r.u64();
     pm.l2i_miss_taildup = r.u64();
     pm.l2i_miss_peel_remainder = r.u64();
+    pm.advanced_loads = r.u64();
+    pm.alat_hits = r.u64();
+    pm.alat_misses = r.u64();
     pm.func_cycles.clear();
     const uint64_t n = r.u64();
     for (uint64_t i = 0; i < n; ++i) {

@@ -143,6 +143,12 @@ classifyGroup(const DecodedInstr *members, size_t n)
             store = true;
         if ((d.flags & (kDecCall | kDecRet)) || d.op == Opcode::CHK_S)
             other_ctl = true;
+        // ALAT bookkeeping (allocate / check / recovery accounting) lives
+        // only in the Generic detailed kernel, so advanced-load groups must
+        // never be admitted by LoadAlu even though ld.a/chk.a decode as
+        // loads.
+        if (d.op == Opcode::LD_A || d.op == Opcode::CHK_A)
+            other_ctl = true;
         if (d.op == Opcode::BR) {
             ++nbranches;
             br_last = i + 1 == n;

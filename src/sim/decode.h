@@ -444,7 +444,12 @@ execDecodedImpl(const Program &prog, const DecodedInstr &inst,
         break;
       }
 
-      case Opcode::LD: {
+      // ld.a is architecturally a plain load (the ALAT is timing-only
+      // state); chk.a is an idempotent reload of the same address into
+      // the same destination, so re-executing the load IS the recovery.
+      case Opcode::LD:
+      case Opcode::LD_A:
+      case Opcode::CHK_A: {
         GrVal a = evalGrDec(prog, frame, inst.src[0]);
         eff.is_mem = true;
         eff.is_load = true;

@@ -400,7 +400,15 @@ execInstr(const Program &prog, const Instruction &inst, Frame &frame,
         break;
       }
 
-      case Opcode::LD: {
+      // An advanced load is architecturally a plain load; the ALAT it
+      // allocates is timing-only state. chk.a is an idempotent reload of
+      // the same address into the same destination — the data-spec pass
+      // guarantees neither the address register nor the destination is
+      // touched between the pair, so re-executing the load IS the
+      // recovery (consumers all sit after the check).
+      case Opcode::LD:
+      case Opcode::LD_A:
+      case Opcode::CHK_A: {
         GrVal a = evalGr(prog, frame, inst.srcs[0]);
         eff.is_mem = true;
         eff.is_load = true;

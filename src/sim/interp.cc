@@ -276,6 +276,7 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
         &&h_FCMP, &&h_CVTFI, &&h_CVTIF,
         &&h_BR, &&h_BR_CALL, &&h_BR_ICALL, &&h_BR_RET, &&h_CHK_S,
         &&h_ALLOC, &&h_NOP,
+        &&h_LD_A, &&h_CHK_A,
     };
     static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
                       static_cast<size_t>(Opcode::NumOpcodes),
@@ -392,6 +393,8 @@ interpret(Program &prog, Memory &mem, const InterpOptions &opts)
     EPIC_HANDLER(CVTIF)
     EPIC_HANDLER(ALLOC)
     EPIC_HANDLER(NOP)
+    EPIC_HANDLER(LD_A)
+    EPIC_HANDLER(CHK_A)
 
     h_BR: {
         Effect eff = execDecodedImpl<static_cast<int>(Opcode::BR)>(

@@ -30,6 +30,7 @@ enum class CycleCat : uint8_t {
     BrMispredFlush, ///< branch misprediction flushes
     Rse,            ///< register stack engine spills/fills
     Kernel,         ///< OS time (wild-load page walks)
+    AlatRecovery,   ///< chk.a misses: re-executed advanced loads
     NumCats,
 };
 
@@ -46,6 +47,7 @@ cycleCatName(CycleCat c)
       case CycleCat::BrMispredFlush: return "br. mispr. flush";
       case CycleCat::Rse: return "register stack engine";
       case CycleCat::Kernel: return "kernel cycles";
+      case CycleCat::AlatRecovery: return "ALAT recovery";
       default: return "?";
     }
 }
@@ -115,6 +117,12 @@ struct Perfmon
     uint64_t dtlb_misses = 0, vhpt_walks = 0;
     uint64_t wild_loads = 0, null_page_loads = 0;
     uint64_t stlf_conflicts = 0;
+
+    // ---- ALAT (data speculation) ----
+    // Invariant: AlatRecovery cycles == alat_misses * alat_recovery_cycles.
+    uint64_t advanced_loads = 0; ///< ld.a executed (guard-true)
+    uint64_t alat_hits = 0;      ///< chk.a found its entry intact
+    uint64_t alat_misses = 0;    ///< chk.a recovered (entry lost/invalid)
 
     // ---- RSE (paper §4.4) ----
     uint64_t rse_spill_regs = 0, rse_fill_regs = 0;

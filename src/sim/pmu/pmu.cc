@@ -20,6 +20,7 @@ cycleCatKey(CycleCat c)
       case CycleCat::BrMispredFlush: return "br_mispred_flush";
       case CycleCat::Rse: return "rse";
       case CycleCat::Kernel: return "kernel";
+      case CycleCat::AlatRecovery: return "alat_recovery";
       default: return "unknown";
     }
 }

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/alat.h"
 #include "sim/caches.h"
 #include "sim/checkpoint.h"
 #include "sim/decode.h"
@@ -319,6 +320,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
     MemHierarchy hier(mach);
     BranchPredictor pred(mach.predictor_bits);
     Dtlb dtlb(mach.dtlb_entries);
+    Alat alat(mach.alat_entries, mach.alat_assoc);
     Perfmon &pm = res.pm;
 
     // ---- PMU sampling (sim/pmu/pmu.h) ----
@@ -488,6 +490,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         hier.saveState(w);
         pred.saveState(w);
         dtlb.saveState(w);
+        alat.saveState(w);
         saveState(w, pm);
         w.u64(frames.size());
         for (const Frame &f : frames) {
@@ -580,6 +583,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
         hier.loadState(r);
         pred.loadState(r);
         dtlb.loadState(r);
+        alat.loadState(r);
         loadState(r, pm);
         frames.clear();
         const uint64_t nframes = r.u64();
@@ -709,6 +713,7 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                            opts.checkpoint_every
                      : ~0ull;
     bool hang_pending = opts.hang_at_instr != 0;
+    bool alat_corrupt_pending = opts.corrupt_alat;
     uint32_t sup_poll = 0;
 
     // ---- Fused issue-group kernels (DESIGN.md §18) ----
@@ -904,6 +909,10 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                 // Result timing for executed, non-memory ops.
                 int actual_lat = di.latency;
                 int planned_lat = di.latency;
+                // chk.a on an ALAT hit delivers nothing: the dest keeps
+                // the paired ld.a's ready time (a consumer still waits
+                // out an in-flight ld.a cache miss).
+                bool chk_validated = false;
 
                 // ---- Memory behaviour ----
                 if constexpr (kLoads || kStores) {
@@ -944,6 +953,38 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                                     }
                                 }
                             } else {
+                                // ---- ALAT (data speculation) ----
+                                // ld.a/chk.a groups classify Generic, so
+                                // the ALAT exists only in this
+                                // instantiation. A chk.a whose entry
+                                // survived retires like a NOP — no
+                                // D-cache or TLB traffic, result at the
+                                // planned (hit) latency; a miss
+                                // re-executes the ordinary load path
+                                // below plus the re-steer penalty, so
+                                // AlatRecovery == alat_misses *
+                                // alat_recovery_cycles exactly.
+                                bool chk_hit = false;
+                                if constexpr (kStores) {
+                                    if (__builtin_expect(
+                                            di.op == Opcode::CHK_A, 0)) {
+                                        if (alat.check(di.dest0.id,
+                                                       eff.addr,
+                                                       di.orig->size)) {
+                                            ++pm.alat_hits;
+                                            chk_hit = true;
+                                            chk_validated = true;
+                                        } else {
+                                            ++pm.alat_misses;
+                                            post_penalty +=
+                                                mach.alat_recovery_cycles;
+                                            charge(
+                                                CycleCat::AlatRecovery,
+                                                mach.alat_recovery_cycles);
+                                        }
+                                    }
+                                }
+                                if (!chk_hit) {
                                 if (!dtlb.access(page)) {
                                     ++pm.dtlb_misses;
                                     ++pm.vhpt_walks;
@@ -990,6 +1031,17 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                                         break;
                                     }
                                 }
+
+                                if constexpr (kStores) {
+                                    if (__builtin_expect(
+                                            di.op == Opcode::LD_A, 0)) {
+                                        ++pm.advanced_loads;
+                                        alat.allocate(di.dest0.id,
+                                                      eff.addr,
+                                                      di.orig->size);
+                                    }
+                                }
+                                } // !chk_hit
                             }
                         } else if constexpr (kStores) {
                             ++pm.stores;
@@ -1007,12 +1059,16 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                             store_ring[store_count & 15u] =
                                 StoreRec{issue, eff.addr};
                             ++store_count;
+                            // Committing store: drop overlapping
+                            // advanced-load entries (their chk.a must
+                            // recover).
+                            alat.invalidate(eff.addr, di.orig->size);
                         }
                     }
                 }
 
                 // ---- Result ready times ----
-                if (eff.executed) {
+                if (eff.executed && !chk_validated) {
                     bool is_f =
                         di.fu == static_cast<uint8_t>(FuClass::F);
                     bool is_ld = (di.flags & kDecLoad) != 0;
@@ -1246,6 +1302,11 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                     }
                 }
 
+                // Calls flush the ALAT (timing-only state: frozen in
+                // fast-forward, like the caches).
+                if constexpr (kDetailed)
+                    alat.flushAll();
+
                 fn = callee;
                 dfn = &dec.func(fn->id);
                 gdi_base = dfn->ginstrs();
@@ -1299,6 +1360,9 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                         charge(CycleCat::Rse, cost);
                     }
                 }
+
+                if constexpr (kDetailed)
+                    alat.flushAll();
 
                 RetPos rp = ret_stack.back();
                 ret_stack.pop_back();
@@ -1380,6 +1444,17 @@ simulate(Program &prog, Memory &mem, const TimingOptions &opts)
                          "wall-clock deadline exceeded (injected hang)");
                 return res;
             }
+        }
+
+        // Injected ALAT corruption (chaos): poison one entry's tag at
+        // a deterministic retired-op boundary. Timing-only state, so
+        // the checksum stays provably correct — containment means the
+        // supervised run still validates; at worst one extra chk.a
+        // recovery is charged.
+        if (__builtin_expect(alat_corrupt_pending, 0) &&
+            retiredOps() >= 1000) {
+            alat_corrupt_pending = false;
+            alat.corruptOne();
         }
 
         // Deterministic checkpoint boundary (retired-op multiples).

@@ -133,6 +133,11 @@ struct TimingOptions
     /// dispatch table must panic ("malformed kernel descriptor"), never
     /// run a wrong kernel.
     bool corrupt_kernel_desc = false;
+    /// Injected ALAT corruption: poison one ALAT entry's tag mid-run.
+    /// Timing-only state, so the checksum must stay correct (containment
+    /// = the supervised run still proves against the source checksum);
+    /// at worst one extra chk.a recovery is charged.
+    bool corrupt_alat = false;
 
     // ---- Fidelity mode (sim/decode.h kernel shapes, DESIGN.md §18) ----
     SimMode sim_mode = SimMode::Detailed;

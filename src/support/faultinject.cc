@@ -23,6 +23,7 @@ faultKindName(FaultKind k)
       case FaultKind::SimDecodeCorrupt: return "sim-decode-corrupt";
       case FaultKind::SimMemBitFlip: return "sim-mem-bitflip";
       case FaultKind::SimHang: return "sim-hang";
+      case FaultKind::SimAlatCorrupt: return "sim-alat-corrupt";
     }
     return "?";
 }
@@ -32,7 +33,8 @@ static bool
 isSimKind(FaultKind k)
 {
     return k == FaultKind::SimDecodeCorrupt ||
-           k == FaultKind::SimMemBitFlip || k == FaultKind::SimHang;
+           k == FaultKind::SimMemBitFlip || k == FaultKind::SimHang ||
+           k == FaultKind::SimAlatCorrupt;
 }
 
 namespace {
@@ -145,6 +147,7 @@ candidates(Function &f, FaultKind kind)
               case FaultKind::SimDecodeCorrupt:
               case FaultKind::SimMemBitFlip:
               case FaultKind::SimHang:
+              case FaultKind::SimAlatCorrupt:
                 ok = false; // no IR victim at a compile-site boundary
                 break;
             }
@@ -209,9 +212,10 @@ FaultInjector::simPlan(const std::string &workload, const char *rung)
     if (!(rng.nextDouble() < rate_))
         return plan;
 
-    FaultKind kinds[3] = {FaultKind::SimDecodeCorrupt,
-                          FaultKind::SimMemBitFlip, FaultKind::SimHang};
-    int knum = 3;
+    FaultKind kinds[4] = {FaultKind::SimDecodeCorrupt,
+                          FaultKind::SimMemBitFlip, FaultKind::SimHang,
+                          FaultKind::SimAlatCorrupt};
+    int knum = 4;
     if (has_restrict_kind_) {
         kinds[0] = restrict_kind_;
         knum = 1;
@@ -232,6 +236,10 @@ FaultInjector::simPlan(const std::string &workload, const char *rung)
         plan.mem_bit_sel = rng.next();
         rec.detail = "one bit of the input image flipped (sel " +
                      std::to_string(plan.mem_bit_sel) + ")";
+        break;
+      case FaultKind::SimAlatCorrupt:
+        plan.alat_corrupt = true;
+        rec.detail = "one ALAT entry tag poisoned at op 1000";
         break;
       case FaultKind::SimHang:
       default:

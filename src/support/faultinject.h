@@ -72,6 +72,11 @@ enum class FaultKind {
     /// Stall the simulation thread mid-run (caught by the watchdog
     /// deadline, never by a verifier gate).
     SimHang,
+    /// Poison one ALAT entry's address tag mid-run. Timing-only state:
+    /// the checksum stays correct (containment = the supervised run
+    /// still proves against the source checksum); at worst one extra
+    /// chk.a recovery is charged.
+    SimAlatCorrupt,
 };
 
 /** Printable fault-kind name. */
@@ -98,7 +103,7 @@ struct FaultRecord
 
 /**
  * Deterministic plan for one sim-layer site (a workload x config task's
- * detailed simulation). Applied to the *first* attempt only — all three
+ * detailed simulation). Applied to the *first* attempt only — all four
  * kinds model transient faults, so the supervised retry runs clean.
  */
 struct SimFaultPlan
@@ -108,6 +113,7 @@ struct SimFaultPlan
     uint64_t mem_bit_sel = 0;   ///< Memory::flipBit selector
     uint64_t hang_at_instr = 0; ///< TimingOptions::hang_at_instr
     int64_t hang_ms = 0;        ///< TimingOptions::hang_ms
+    bool alat_corrupt = false;  ///< TimingOptions::corrupt_alat
     int record = -1;            ///< index for markCaught()
 };
 

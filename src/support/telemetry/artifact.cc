@@ -32,10 +32,18 @@ pathComponent(const std::string &name)
 void
 recordPerfmon(StatsRegistry &reg, const Perfmon &pm)
 {
-    for (int c = 0; c < Perfmon::kNumCats; ++c)
+    for (int c = 0; c < Perfmon::kNumCats; ++c) {
+        // AlatRecovery can only be nonzero under ILP-CS-DS; omitting
+        // the key when zero keeps the legacy four-configuration
+        // artifacts byte-identical (the category sum is prefix-based,
+        // so a missing zero addend cannot break the invariant).
+        if (static_cast<CycleCat>(c) == CycleCat::AlatRecovery &&
+            pm.cycles[c] == 0)
+            continue;
         reg.setInt(std::string("sim.cycles.") +
                        cycleCatKey(static_cast<CycleCat>(c)),
                    static_cast<int64_t>(pm.cycles[c]));
+    }
     reg.setInt("sim.cycles_total", static_cast<int64_t>(pm.total()));
     reg.setInt("sim.cycles_planned", static_cast<int64_t>(pm.planned()));
     reg.declareSum("cycle-categories-sum", "sim.cycles.",
@@ -93,6 +101,16 @@ recordPerfmon(StatsRegistry &reg, const Perfmon &pm)
     reg.setInt("sim.icache_provenance.l2i_peel_remainder",
                static_cast<int64_t>(pm.l2i_miss_peel_remainder));
 
+    // ALAT activity exists only under ILP-CS-DS; the keys are omitted
+    // entirely when quiet so legacy artifacts keep their exact bytes.
+    if (pm.advanced_loads || pm.alat_hits || pm.alat_misses) {
+        reg.setInt("sim.alat.advanced_loads",
+                   static_cast<int64_t>(pm.advanced_loads));
+        reg.setInt("sim.alat.hits", static_cast<int64_t>(pm.alat_hits));
+        reg.setInt("sim.alat.misses",
+                   static_cast<int64_t>(pm.alat_misses));
+    }
+
     // Per-function attribution as a distribution (unordered iteration
     // is fine: count/sum/min/max are order-independent).
     for (const auto &[fid, cyc] : pm.func_cycles) {
@@ -112,6 +130,9 @@ recordPmu(StatsRegistry &reg, const PmuData &pmu)
     if (pmu.stride() != 0) {
         for (int c = 0; c < Perfmon::kNumCats; ++c) {
             const CycleCat cat = static_cast<CycleCat>(c);
+            if (cat == CycleCat::AlatRecovery &&
+                pmu.sampledCycles(cat) == 0)
+                continue; // same zero-gate as recordPerfmon
             const std::string path =
                 std::string("pmu.interval.cycles.") + cycleCatKey(cat);
             reg.setInt(path,
@@ -201,6 +222,8 @@ recordPmu(StatsRegistry &reg, const PmuData &pmu)
         }
         for (int c = 0; c < Perfmon::kNumCats; ++c) {
             const CycleCat cat = static_cast<CycleCat>(c);
+            if (cat == CycleCat::AlatRecovery && totals[c] == 0)
+                continue; // same zero-gate as recordPerfmon
             const std::string path =
                 std::string("pmu.region.cycles.") + cycleCatKey(cat);
             reg.setInt(path, totals[c]);
@@ -232,10 +255,14 @@ recordSampled(StatsRegistry &reg, const SampledStats &s)
                static_cast<int64_t>(s.total_ops));
     reg.setInt("sim.sampled.detail_cycles",
                static_cast<int64_t>(s.detail_cycles));
-    for (int c = 0; c < Perfmon::kNumCats; ++c)
+    for (int c = 0; c < Perfmon::kNumCats; ++c) {
+        if (static_cast<CycleCat>(c) == CycleCat::AlatRecovery &&
+            s.est_cycles[c] == 0)
+            continue; // same zero-gate as recordPerfmon
         reg.setInt(std::string("sim.sampled.est.") +
                        cycleCatKey(static_cast<CycleCat>(c)),
                    static_cast<int64_t>(s.est_cycles[c]));
+    }
     reg.setInt("sim.sampled.est_total",
                static_cast<int64_t>(s.est_total));
     reg.declareSum("sampled-est-cycles-sum", "sim.sampled.est.",
@@ -272,6 +299,13 @@ recordCompile(StatsRegistry &reg, const CompileStats &stats,
     reg.setInt("compile.spec.moved", stats.spec.moved);
     reg.setInt("compile.spec.promoted", stats.spec.promoted);
     reg.setInt("compile.spec.spec_loads", stats.spec.spec_loads);
+    // Data speculation (the "dataspec" model) is a no-op below
+    // ILP-CS-DS; the keys appear only when the pass did something so
+    // the legacy four-configuration artifacts keep their exact bytes.
+    if (stats.spec.advanced || stats.spec.checks) {
+        reg.setInt("compile.spec.advanced", stats.spec.advanced);
+        reg.setInt("compile.spec.checks", stats.spec.checks);
+    }
     reg.setInt("compile.regalloc.gr_used", stats.ra.gr_used);
     reg.setInt("compile.regalloc.spilled", stats.ra.spilled);
     reg.setInt("compile.sched.groups", stats.sched.groups);
@@ -487,6 +521,12 @@ samplesArtifact(const std::vector<WorkloadRuns> &suite,
                            std::to_string(r.sampled.total_ops) +
                            ",\"scale_den\":" +
                            std::to_string(r.sampled.detail_ops);
+            // Run-level gate: an ILP-CS-DS run with recoveries prints
+            // the alat_recovery column on every line (a consistent
+            // per-run key set); legacy runs never print it at all.
+            const bool emit_alat =
+                r.pm.cycles[static_cast<int>(CycleCat::AlatRecovery)] !=
+                0;
             int64_t seq = 0;
             for (const PmuSample &s : r.pmu->samples()) {
                 os << "{\"schema\":\"" << kSamplesSchemaVersion
@@ -496,6 +536,10 @@ samplesArtifact(const std::vector<WorkloadRuns> &suite,
                    << ",\"cycles_end\":" << s.cycles_end
                    << ",\"intervals\":" << s.intervals << ",\"cycles\":{";
                 for (int c = 0; c < Perfmon::kNumCats; ++c) {
+                    if (static_cast<CycleCat>(c) ==
+                            CycleCat::AlatRecovery &&
+                        !emit_alat)
+                        continue;
                     if (c)
                         os << ',';
                     os << '"' << cycleCatKey(static_cast<CycleCat>(c))

@@ -270,8 +270,9 @@ TEST(AnalysisManagerTest, StaleCheckAcceptsProperInvalidation)
 
 TEST(AnalysisManagerTest, RegistryDeclaresPreservesSets)
 {
-    // Speculate and regalloc insert straight-line code (checks,
-    // spills): the Cfg object dies with the shifted branch indices but
+    // Speculate, dataspec and regalloc insert straight-line code
+    // (checks, spills): the Cfg object dies with the shifted branch
+    // indices but
     // the edge shape — dominance and loop nesting — survives. Peel
     // mutates behind the manager's back and so preserves nothing;
     // every other pass routes its mid-pass mutations through the
@@ -286,7 +287,8 @@ TEST(AnalysisManagerTest, RegistryDeclaresPreservesSets)
     for (const PassDesc &p : passRegistry()) {
         if (p.name == "peel") {
             EXPECT_EQ(p.preserves, kPreserveNone) << p.name;
-        } else if (p.name == "speculate" || p.name == "regalloc") {
+        } else if (p.name == "speculate" || p.name == "dataspec" ||
+                   p.name == "regalloc") {
             EXPECT_EQ(p.preserves, kPreserveGraphShape) << p.name;
         } else {
             EXPECT_EQ(p.preserves, kPreserveAll) << p.name;

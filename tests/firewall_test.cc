@@ -73,20 +73,23 @@ TEST(FirewallTest, EveryPassBoundarySurvivesInjection)
     ASSERT_NE(w, nullptr);
 
     // The site axis comes from the pass registry itself, so a pass
-    // added or renamed there is automatically covered here.
+    // added or renamed there is automatically covered here. The config
+    // axis includes the opt-in ILP-CS-DS rung so the dataspec boundary
+    // (which only runs there) fires too.
+    std::vector<Config> cfgs = standardConfigs();
+    cfgs.push_back(Config::IlpCsDs);
     for (const std::string &pass : allPassBoundaries()) {
         FaultInjector inj(/*seed=*/0xf1e1d + pass.size(),
                           /*rate=*/1.0);
         inj.restrictTo(/*function=*/"", pass);
 
-        WorkloadRuns runs =
-            runWorkload(*w, standardConfigs(), injectedOpts(&inj));
+        WorkloadRuns runs = runWorkload(*w, cfgs, injectedOpts(&inj));
 
         // Zero crashes, zero silent corruptions: every configuration
         // completed and reproduced the source checksum.
         EXPECT_TRUE(runs.error.empty()) << pass << ": " << runs.error;
         EXPECT_TRUE(runs.all_match) << "corruption escaped at " << pass;
-        for (Config cfg : standardConfigs()) {
+        for (Config cfg : cfgs) {
             const ConfigRun &r = runs.by_config.at(cfg);
             ASSERT_TRUE(r.ok) << pass << " [" << configName(cfg)
                               << "]: " << r.error;
